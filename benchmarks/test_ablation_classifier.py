@@ -1,0 +1,120 @@
+"""Classifier ablations — the studies the paper ran but omitted.
+
+Section III.B: "Due to the space limit, we omit the evaluation results and
+discussions on various features, tree depth, and training set size."  This
+harness performs those three studies on the reproduction: which of the five
+Table I features carry the signal, how deep the tree must be, and how the
+accuracy scales with the training set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import Dataset, RandomTreeClassifier, evaluate
+
+#: Feature subsets for the ablation (indices into VMER, RT, BR, RM, WM).
+FEATURE_SETS = {
+    "all five (paper)": (0, 1, 2, 3, 4),
+    "without VMER": (1, 2, 3, 4),
+    "without RT": (0, 2, 3, 4),
+    "VMER + RT only": (0, 1),
+    "VMER only": (0,),
+    "RT only": (1,),
+}
+
+DEPTHS = (2, 4, 8, 16, 32)
+TRAIN_FRACTIONS = (0.05, 0.15, 0.4, 1.0)
+
+
+def project(dataset: Dataset, columns: tuple[int, ...]) -> Dataset:
+    return Dataset(
+        dataset.X[:, list(columns)],
+        dataset.y,
+        tuple(dataset.feature_names[c] for c in columns),
+    )
+
+
+def fit_eval(train: Dataset, test: Dataset, **kw) -> float:
+    clf = RandomTreeClassifier(
+        max_depth=kw.get("max_depth", 32), min_samples_leaf=1, seed=3
+    )
+    clf.fit(train.oversampled(1, 3))
+    return evaluate(test.y, clf.predict(test.X)).accuracy
+
+
+class TestFeatureAblation:
+    @pytest.fixture(scope="class")
+    def accuracies(self, trained_bundle):
+        train = trained_bundle.random_tree.train_set
+        test = trained_bundle.random_tree.test_set
+        return {
+            name: fit_eval(project(train, cols), project(test, cols))
+            for name, cols in FEATURE_SETS.items()
+        }
+
+    def test_ablation_regenerate(self, benchmark, accuracies):
+        benchmark(lambda: accuracies)
+        print("\nFeature ablation (random tree accuracy):")
+        for name, acc in sorted(accuracies.items(), key=lambda kv: -kv[1]):
+            print(f"  {name:<20} {acc:7.2%}")
+
+    def test_full_feature_set_is_best_or_tied(self, accuracies):
+        best = max(accuracies.values())
+        assert accuracies["all five (paper)"] >= best - 0.005
+
+    def test_vmer_is_load_bearing(self, accuracies):
+        """Counter values only make sense relative to the exit reason —
+        dropping VMER may shuffle sub-percent noise (the counters correlate
+        with the reason), but must not *beat* the full set meaningfully."""
+        assert accuracies["all five (paper)"] >= accuracies["without VMER"] - 0.01
+
+    def test_single_features_are_weakest(self, accuracies):
+        assert accuracies["VMER only"] <= accuracies["all five (paper)"]
+        assert accuracies["RT only"] <= accuracies["all five (paper)"]
+
+
+class TestDepthSweep:
+    @pytest.fixture(scope="class")
+    def by_depth(self, trained_bundle):
+        train = trained_bundle.random_tree.train_set
+        test = trained_bundle.random_tree.test_set
+        return {d: fit_eval(train, test, max_depth=d) for d in DEPTHS}
+
+    def test_depth_sweep_regenerate(self, benchmark, by_depth):
+        benchmark(lambda: by_depth)
+        print("\nTree-depth sweep (random tree accuracy):")
+        for depth, acc in by_depth.items():
+            print(f"  depth {depth:>2}: {acc:7.2%}")
+
+    def test_accuracy_saturates_with_depth(self, by_depth):
+        assert by_depth[32] >= by_depth[2]
+        # Depth 16 already captures nearly everything depth 32 does.
+        assert by_depth[32] - by_depth[16] < 0.02
+
+
+class TestTrainingSizeSweep:
+    @pytest.fixture(scope="class")
+    def by_fraction(self, trained_bundle):
+        train = trained_bundle.random_tree.train_set
+        test = trained_bundle.random_tree.test_set
+        rng = np.random.default_rng(11)
+        out = {}
+        for fraction in TRAIN_FRACTIONS:
+            if fraction >= 1.0:
+                subset = train
+            else:
+                n = max(50, int(len(train) * fraction))
+                subset = train.subset(rng.permutation(len(train))[:n])
+            out[fraction] = fit_eval(subset, test)
+        return out
+
+    def test_size_sweep_regenerate(self, benchmark, by_fraction):
+        benchmark(lambda: by_fraction)
+        print("\nTraining-set-size sweep (random tree accuracy):")
+        for fraction, acc in by_fraction.items():
+            print(f"  {fraction:>5.0%} of the training set: {acc:7.2%}")
+
+    def test_more_data_does_not_hurt(self, by_fraction):
+        assert by_fraction[1.0] >= by_fraction[0.05] - 0.01

@@ -1,0 +1,59 @@
+"""Fig. 10 — CDF of detection latency.
+
+Paper: latency is the number of instructions between error activation and
+detection; ~95% of VM-transition-detected faults are within 700 instructions;
+hardware exceptions and software assertions have generally shorter latencies;
+all detections happen before the VM execution resumes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ComparisonTable, LatencyStudy, ascii_cdf
+from repro.faults.outcomes import DetectionTechnique
+
+CDF_POINTS = [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
+
+
+def test_fig10_regenerate(benchmark, campaign_result):
+    study = benchmark(LatencyStudy.from_records, campaign_result.records)
+    print("\nFig. 10 — cumulative distribution of detection latency")
+    print(study.table(CDF_POINTS))
+    print()
+    print(ascii_cdf(
+        {tech.value: cdf for tech, cdf in study.cdfs.items()}, x_max=1000
+    ))
+    table = ComparisonTable("Fig. 10 headline numbers")
+    table.add_percent(
+        "transition detections within 700 instr", 0.95,
+        study.fraction_within(DetectionTechnique.VM_TRANSITION, 700),
+    )
+    p95 = study.percentile(DetectionTechnique.VM_TRANSITION, 0.95)
+    table.add("transition p95 latency", "<= 700 instr",
+              f"{p95:,.0f} instr" if p95 is not None else "---")
+    hw50 = study.percentile(DetectionTechnique.HW_EXCEPTION, 0.5)
+    table.add("hw-exception median", "short (leftmost curve)",
+              f"{hw50:,.0f} instr")
+    print("\n" + table.render())
+
+
+def test_majority_of_transition_detections_within_700(campaign_result):
+    study = LatencyStudy.from_records(campaign_result.records)
+    assert study.fraction_within(DetectionTechnique.VM_TRANSITION, 700) > 0.6
+
+
+def test_runtime_techniques_are_faster_than_transition(campaign_result):
+    """'Hardware exceptions and software assertions have generally shorter
+    latencies' — compare medians."""
+    study = LatencyStudy.from_records(campaign_result.records)
+    transition_median = study.percentile(DetectionTechnique.VM_TRANSITION, 0.5)
+    for technique in (DetectionTechnique.HW_EXCEPTION, DetectionTechnique.SW_ASSERTION):
+        median = study.percentile(technique, 0.5)
+        if median is not None and transition_median is not None:
+            assert median <= transition_median
+
+
+def test_cdf_is_monotone(campaign_result):
+    study = LatencyStudy.from_records(campaign_result.records)
+    for technique, cdf in study.cdfs.items():
+        fractions = [cdf.fraction_at(x) for x in CDF_POINTS]
+        assert fractions == sorted(fractions), technique

@@ -1,0 +1,88 @@
+"""Fig. 8 — Overall detection results.
+
+Paper: 30,000 injections of which ~17,700 manifest; overall coverage up to
+99.4% with a 97.6% average; 85.1% of manifested faults detected by hardware
+exceptions, 5.2% by software assertions, 6.9% by VM transition detection.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    ComparisonTable,
+    ascii_stacked_bars,
+    coverage_by_benchmark,
+    coverage_by_technique,
+)
+from repro.faults.outcomes import DetectionTechnique
+
+
+def test_fig8_regenerate(benchmark, campaign_result):
+    """Aggregate the campaign into the Fig. 8 stacked-bar table."""
+    result = benchmark(lambda: coverage_by_benchmark(campaign_result.records))
+    print(f"\nFig. 8 — overall detection results "
+          f"({len(campaign_result)} injections, "
+          f"{len(campaign_result.manifested)} manifested)")
+    for name, cov in result.items():
+        print(cov.row(name))
+    print()
+    print(ascii_stacked_bars({
+        name: [
+            ("hw", cov.share(DetectionTechnique.HW_EXCEPTION)),
+            ("assert", cov.share(DetectionTechnique.SW_ASSERTION)),
+            ("transition", cov.share(DetectionTechnique.VM_TRANSITION)),
+            ("undetected", cov.share(DetectionTechnique.UNDETECTED)),
+        ]
+        for name, cov in result.items()
+        if name != "AVG"
+    }))
+    avg = result["AVG"]
+    table = ComparisonTable("Fig. 8 headline numbers")
+    table.add_percent("average coverage", 0.976, avg.coverage)
+    table.add_percent("best-benchmark coverage", 0.994,
+                      max(c.coverage for n, c in result.items() if n != "AVG"))
+    table.add_percent("hw-exception share", 0.851,
+                      avg.share(DetectionTechnique.HW_EXCEPTION))
+    table.add_percent("sw-assertion share", 0.052,
+                      avg.share(DetectionTechnique.SW_ASSERTION))
+    table.add_percent("vm-transition share", 0.069,
+                      avg.share(DetectionTechnique.VM_TRANSITION))
+    print("\n" + table.render())
+
+
+def test_hw_exceptions_dominate(campaign_result):
+    """'Most of errors (85.1%) are detected by the hardware exceptions'."""
+    cov = coverage_by_technique(campaign_result.records)
+    assert cov.share(DetectionTechnique.HW_EXCEPTION) > 0.5
+    assert cov.share(DetectionTechnique.HW_EXCEPTION) > cov.share(
+        DetectionTechnique.SW_ASSERTION
+    )
+    assert cov.share(DetectionTechnique.HW_EXCEPTION) > cov.share(
+        DetectionTechnique.VM_TRANSITION
+    )
+
+
+def test_every_technique_contributes(campaign_result):
+    cov = coverage_by_technique(campaign_result.records)
+    for technique in (
+        DetectionTechnique.HW_EXCEPTION,
+        DetectionTechnique.SW_ASSERTION,
+        DetectionTechnique.VM_TRANSITION,
+    ):
+        assert cov.share(technique) > 0.005, technique
+
+
+def test_overall_coverage_is_high(campaign_result):
+    """Average coverage within the high band the paper reports (ours is a
+    few points below 97.6% — see EXPERIMENTS.md for the deviation analysis)."""
+    cov = coverage_by_technique(campaign_result.records)
+    assert cov.coverage > 0.80
+
+
+def test_substantial_fraction_of_injections_manifest(campaign_result):
+    """Paper: 17,700 of 30,000 injections caused failures or corruptions.
+
+    Ours manifests a smaller share (most flips land in dead register slices
+    of short handlers), but the population must be large enough for stable
+    percentages.
+    """
+    assert len(campaign_result.manifested) > 0.1 * len(campaign_result)

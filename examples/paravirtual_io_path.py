@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""The paravirtual I/O path, assembled from the substrate's subsystems.
+
+Why the hypervisor is "activated about 650,000 times per second" under I/O
+load (Section II.B): every block request a guest issues rides grant tables
+(share the buffer), event channels (kick the backend), interrupts (device
+completion) and the scheduler (wake the backend's VCPU) — four hypervisor
+activations or more per request.  This demo wires those subsystems together
+on a 2-core platform and pushes a burst of requests through, counting what
+the hypervisor actually executed.
+"""
+
+from __future__ import annotations
+
+from repro.hypervisor import XenHypervisor
+from repro.hypervisor.events import EventChannelManager
+from repro.hypervisor.grants import GrantFlags, GrantTableManager
+from repro.hypervisor.scheduler import CreditScheduler
+
+FRONTEND = 2   # the guest issuing block requests
+BACKEND = 0    # Dom0 hosts the backend driver
+DISK_PIRQ = 14
+
+
+def main() -> None:
+    hv = XenHypervisor(seed=7, n_cores=2)
+    events = EventChannelManager(hv)
+    grants = GrantTableManager(hv)
+    scheduler = CreditScheduler(n_cpus=2)
+    for domain in range(hv.n_domains):
+        scheduler.add_vcpu(domain, weight=512 if domain == 0 else 256)
+
+    print("=== connection setup (what xenbus does at device bring-up) ===")
+    ring_grant = grants.grant_access(
+        FRONTEND, BACKEND, frame=0x1000, flags=GrantFlags.READ | GrantFlags.WRITE
+    )
+    grants.map_grant(BACKEND, FRONTEND, ring_grant.ref)
+    kick_front = events.alloc_unbound(FRONTEND)
+    kick_back = events.bind_interdomain(kick_front, BACKEND)
+    events.bind_pirq(BACKEND, pirq=DISK_PIRQ)
+    print(f"  shared ring: grant ref {ring_grant.ref} "
+          f"(dom{FRONTEND} -> dom{BACKEND}), mapped")
+    print(f"  kick channel: dom{FRONTEND}:port{kick_front.port} <-> "
+          f"dom{BACKEND}:port{kick_back.port}")
+    print(f"  disk IRQ {DISK_PIRQ} routed to dom{BACKEND}")
+
+    print("\n=== pushing 8 block requests through the path ===")
+    total_instructions = 0
+    activations = 0
+    for request in range(8):
+        # 1. Frontend fills the shared ring across the grant.
+        result = grants.copy_through(ring_grant, words=8 + request)
+        total_instructions += result.instructions
+        activations += 1
+        # 2. Frontend kicks the backend's event channel.
+        result = events.notify(kick_front)
+        total_instructions += result.instructions
+        activations += 1
+        scheduler.wake(BACKEND)
+        # 3. The device completes: physical interrupt into the backend.
+        result = events.raise_pirq(DISK_PIRQ)
+        total_instructions += result.instructions
+        activations += 1
+        # 4. Backend kicks completion back to the frontend.
+        result = events.notify(kick_back)
+        total_instructions += result.instructions
+        activations += 1
+        scheduler.wake(FRONTEND)
+    print(f"  {activations} hypervisor activations, "
+          f"{total_instructions:,} host-mode instructions "
+          f"for 8 requests ({activations / 8:.0f} activations/request)")
+    print(f"  frontend sees completions pending: "
+          f"{hv.domain(FRONTEND).vcpu(0).pending}")
+
+    print("\n=== why this matters for Xentry ===")
+    print("At the paper's postmark rates (tens of thousands of requests per")
+    print("second), every one of these activations is a window for a soft")
+    print("error to corrupt state bound for a guest — and a VM entry at")
+    print("which Xentry gets to check the execution before the guest runs.")
+
+    print("\n=== teardown ===")
+    grants.unmap_grant(BACKEND, FRONTEND, ring_grant.ref)
+    grants.end_access(FRONTEND, ring_grant.ref)
+    events.close(kick_front)
+    print(f"  grants live: {len(grants.grants_of(FRONTEND))}, "
+          f"channels live (dom{FRONTEND}): {len(events.channels_of(FRONTEND))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Build the VM transition detector end to end (Section III.B).
+
+Collects labeled feature vectors from fault-free runs and fault-injection
+runs on the simulated platform, trains both tree algorithms the paper
+compares (plain decision tree vs WEKA-style random tree), evaluates on a
+held-out injection set, compiles the winner into the integer-comparison rule
+table deployed at every VM entry, and demonstrates a live detection.
+
+Takes about a minute at the default scale; pass ``--scale 3`` for the
+paper's ~23,400-injection training campaign.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.faults import FaultSpec, capture_golden, run_trial
+from repro.hypervisor import Activation, REGISTRY, XenHypervisor
+from repro.ml import compile_tree
+from repro.xentry import (
+    TrainingConfig,
+    VMTransitionDetector,
+    collect_dataset,
+    train_and_evaluate,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="sample-count multiplier (3 ~= paper scale)")
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args()
+
+    def scaled(n: int) -> int:
+        return max(50, int(n * args.scale))
+
+    print("=== collecting training data (correct + incorrect executions) ===")
+    t0 = time.time()
+    train = collect_dataset(
+        TrainingConfig(fault_free_runs=scaled(2000),
+                       injection_runs=scaled(7800), seed=args.seed),
+        stream="train",
+    )
+    test = collect_dataset(
+        TrainingConfig(fault_free_runs=scaled(1000),
+                       injection_runs=scaled(3900), seed=args.seed),
+        stream="test",
+    )
+    print(f"collected in {time.time() - t0:.0f}s")
+    print(f"train: {train.describe()}")
+    print(f"test:  {test.describe()}")
+    print("(paper: 12,024 training samples / 6,596 test samples)")
+
+    print("\n=== training both tree algorithms ===")
+    models = {
+        algo: train_and_evaluate(train, test, algorithm=algo, seed=3)
+        for algo in ("decision_tree", "random_tree")
+    }
+    for model in models.values():
+        print()
+        print(model.confusion.report(model.name))
+    print("\n(paper: random tree 98.6% vs decision tree 96.1%, FP rate 0.7%)")
+
+    print("\n=== compiling the deployed rules ===")
+    winner = models["random_tree"]
+    rules = compile_tree(winner.classifier)
+    print(f"{rules.n_nodes} nodes, worst-case {rules.max_depth} integer "
+          f"comparisons per VM entry")
+    print("\nfirst rules of the tree:")
+    print("\n".join(winner.classifier.rules_text().splitlines()[:12]))
+
+    print("\n=== live detection demo ===")
+    detector = VMTransitionDetector.from_classifier(winner.classifier)
+    hv = XenHypervisor(seed=args.seed)
+    activation = Activation(
+        vmer=REGISTRY.by_name("grant_table_op").vmer, args=(16, 3), domain_id=1,
+    )
+    golden = capture_golden(hv, activation)
+    # Stretch the rep movs count (the Fig. 5a scenario) and let the detector
+    # judge the perturbed feature vector at VM entry.  Sweep injection points
+    # so the flip lands while the count register is live.
+    for bit in range(5, 10):
+        record = next(
+            (
+                r
+                for idx in range(golden.result.instructions)
+                if (r := run_trial(hv, activation, FaultSpec("rcx", bit, idx),
+                                   detector=detector, golden=golden)).manifested
+            ),
+            None,
+        )
+        if record is None:
+            print(f"rcx bit {bit:>2}: masked at every injection point")
+            continue
+        print(f"rcx bit {bit:>2}: consequence={record.failure_class.value:<18} "
+              f"detected_by={record.detected_by.value}")
+    print(f"\ndetector stats: {detector.classifications} classifications, "
+          f"{detector.mean_comparisons:.1f} comparisons on average")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""repro — reproduction of Xentry: Hypervisor-Level Soft Error Detection.
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module inventory.  The top-level namespace re-exports the public
+facade; subsystem packages (:mod:`repro.machine`, :mod:`repro.hypervisor`,
+:mod:`repro.ml`, :mod:`repro.faults`, :mod:`repro.xentry`,
+:mod:`repro.workloads`, :mod:`repro.analysis`, :mod:`repro.system`) hold the
+full API.
+"""
+
+__version__ = "1.0.0"

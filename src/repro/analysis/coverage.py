@@ -1,0 +1,125 @@
+"""Coverage aggregation over campaign records (Fig. 8, Fig. 9, Table II).
+
+All coverage denominators follow the paper: percentages are computed over
+*manifested* faults — "about 17,700 injected errors cause failures or data
+corruptions.  We summarize the results of these errors by the detection
+techniques."
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.errors import CampaignConfigError
+from repro.faults.outcomes import (
+    DetectionTechnique,
+    FailureClass,
+    TrialRecord,
+    UndetectedKind,
+)
+
+__all__ = [
+    "CoverageBreakdown",
+    "coverage_by_technique",
+    "coverage_by_benchmark",
+    "long_latency_breakdown",
+    "undetected_breakdown",
+]
+
+
+@dataclass(frozen=True)
+class CoverageBreakdown:
+    """Per-technique detection shares over a set of manifested faults."""
+
+    total: int
+    hw_exception: int
+    sw_assertion: int
+    vm_transition: int
+    undetected: int
+
+    @property
+    def coverage(self) -> float:
+        """Overall fraction detected by any technique."""
+        if self.total == 0:
+            return 0.0
+        return 1.0 - self.undetected / self.total
+
+    def share(self, technique: DetectionTechnique) -> float:
+        if self.total == 0:
+            return 0.0
+        value = {
+            DetectionTechnique.HW_EXCEPTION: self.hw_exception,
+            DetectionTechnique.SW_ASSERTION: self.sw_assertion,
+            DetectionTechnique.VM_TRANSITION: self.vm_transition,
+            DetectionTechnique.UNDETECTED: self.undetected,
+        }[technique]
+        return value / self.total
+
+    def row(self, label: str) -> str:
+        if self.total == 0:
+            return f"{label:<12} (no manifested faults)"
+        return (
+            f"{label:<12} n={self.total:<6} "
+            f"hw={self.share(DetectionTechnique.HW_EXCEPTION):6.1%} "
+            f"assert={self.share(DetectionTechnique.SW_ASSERTION):6.1%} "
+            f"transition={self.share(DetectionTechnique.VM_TRANSITION):6.1%} "
+            f"undetected={self.share(DetectionTechnique.UNDETECTED):6.1%} "
+            f"coverage={self.coverage:6.1%}"
+        )
+
+
+def coverage_by_technique(records: tuple[TrialRecord, ...]) -> CoverageBreakdown:
+    """Aggregate manifested faults by detecting technique (Fig. 8)."""
+    manifested = [r for r in records if r.manifested]
+    counts = Counter(r.detected_by for r in manifested)
+    return CoverageBreakdown(
+        total=len(manifested),
+        hw_exception=counts[DetectionTechnique.HW_EXCEPTION],
+        sw_assertion=counts[DetectionTechnique.SW_ASSERTION],
+        vm_transition=counts[DetectionTechnique.VM_TRANSITION],
+        undetected=counts[DetectionTechnique.UNDETECTED],
+    )
+
+
+def coverage_by_benchmark(
+    records: tuple[TrialRecord, ...]
+) -> dict[str, CoverageBreakdown]:
+    """Per-benchmark Fig. 8 columns (plus an AVG aggregate)."""
+    benchmarks = sorted({r.benchmark for r in records})
+    out = {b: coverage_by_technique(tuple(r for r in records if r.benchmark == b))
+           for b in benchmarks}
+    out["AVG"] = coverage_by_technique(records)
+    return out
+
+
+def long_latency_breakdown(
+    records: tuple[TrialRecord, ...]
+) -> dict[FailureClass, tuple[int, int]]:
+    """Fig. 9: per-consequence (detected, total) counts for long-latency errors."""
+    out: dict[FailureClass, tuple[int, int]] = {}
+    for klass in (
+        FailureClass.APP_SDC,
+        FailureClass.APP_CRASH,
+        FailureClass.ALL_VM_FAILURE,
+        FailureClass.ONE_VM_FAILURE,
+    ):
+        subset = [r for r in records if r.failure_class is klass]
+        detected = sum(1 for r in subset if r.detected)
+        out[klass] = (detected, len(subset))
+    return out
+
+
+def undetected_breakdown(
+    records: tuple[TrialRecord, ...]
+) -> dict[UndetectedKind, float]:
+    """Table II: shares of undetected manifested faults by kind."""
+    undetected = [
+        r for r in records
+        if r.manifested and not r.detected and r.undetected_kind is not None
+    ]
+    if not undetected:
+        raise CampaignConfigError("no undetected manifested faults to break down")
+    counts = Counter(r.undetected_kind for r in undetected)
+    total = len(undetected)
+    return {kind: counts.get(kind, 0) / total for kind in UndetectedKind}

@@ -1,0 +1,119 @@
+"""Fault-free performance-overhead model (Fig. 7).
+
+The paper measures Xentry's fault-free overhead on a physical Xeon E5506
+server: ten runs per benchmark, overhead normalized to unmodified Xen, with
+runtime detection alone nearly free and runtime + VM-transition detection
+averaging 2.5% (bzip2 as low as 0.19% average; postmark worst at 11.7% max).
+
+We model per-run overhead as
+
+    overhead = mean_activation_rate * per_activation_detection_ns
+               * io_amplification / 1e9
+
+where the per-activation cost comes from the interception cost model
+(counter MSR traffic + rule traversal + assertion predicates) and the
+I/O amplification reflects that detection latency on an I/O completion path
+delays the application by more than the detection time itself (each
+activation the app *blocks on* stalls a chain of dependent operations).
+``io_amplification = 1 + chain_length * blocking_fraction`` is the one
+calibrated constant; benchmarks that overlap hypervisor activity (bzip2)
+have blocking_fraction near 0 and land at the paper's ~0.2%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.errors import CampaignConfigError
+from repro.workloads.base import VirtMode, WorkloadProfile
+from repro.xentry.interception import DetectionCostModel
+
+__all__ = ["OverheadStudy", "PerfOverheadModel"]
+
+#: Dependent-operation chain length for blocking activations (calibrated so
+#: the Fig. 7 ordering and magnitudes are reproduced; see module docstring).
+DEFAULT_CHAIN_LENGTH = 8.0
+
+
+@dataclass(frozen=True)
+class OverheadStudy:
+    """Per-run overheads for one benchmark under one configuration."""
+
+    benchmark: str
+    runtime_only: np.ndarray        # fraction per run
+    runtime_plus_transition: np.ndarray
+
+    @property
+    def mean_full(self) -> float:
+        return float(self.runtime_plus_transition.mean())
+
+    @property
+    def max_full(self) -> float:
+        return float(self.runtime_plus_transition.max())
+
+    @property
+    def mean_runtime_only(self) -> float:
+        return float(self.runtime_only.mean())
+
+    def row(self) -> str:
+        return (
+            f"{self.benchmark:<10} runtime-only={self.mean_runtime_only:7.3%}  "
+            f"full avg={self.mean_full:7.3%}  full max={self.max_full:7.3%}"
+        )
+
+
+@dataclass(frozen=True)
+class PerfOverheadModel:
+    """Fig. 7 methodology: N runs per benchmark, overhead per run."""
+
+    cost_model: DetectionCostModel = field(default_factory=DetectionCostModel)
+    runs: int = 10
+    run_seconds: int = 60
+    chain_length: float = DEFAULT_CHAIN_LENGTH
+    #: Mean compiled-rule comparisons per VM entry (from the deployed
+    #: detector's stats; default matches a depth-~20 tree's mean traversal).
+    tree_comparisons: float = 9.0
+    #: Mean assertion predicates per activation (measured on the image).
+    assertion_checks: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.runs < 1 or self.run_seconds < 1:
+            raise CampaignConfigError("runs and run_seconds must be positive")
+
+    def amplification(self, profile: WorkloadProfile) -> float:
+        return 1.0 + self.chain_length * profile.blocking_fraction
+
+    def study(
+        self,
+        profile: WorkloadProfile,
+        *,
+        mode: VirtMode = VirtMode.PV,
+        seed: int = 0,
+    ) -> OverheadStudy:
+        """Run the ten-run overhead experiment for one benchmark."""
+        rng = rng_mod.stream(seed, "overhead", profile.name, mode.value)
+        amp = self.amplification(profile)
+        runtime_ns = self.cost_model.per_activation_ns(
+            tree_comparisons=0.0,
+            assertion_checks=self.assertion_checks,
+            transition_enabled=False,
+        )
+        full_ns = self.cost_model.per_activation_ns(
+            tree_comparisons=self.tree_comparisons,
+            assertion_checks=self.assertion_checks,
+            transition_enabled=True,
+        )
+        runtime_only = np.empty(self.runs)
+        full = np.empty(self.runs)
+        for i in range(self.runs):
+            mean_rate = float(profile.rate(mode).sample(rng, self.run_seconds).mean())
+            runtime_only[i] = mean_rate * runtime_ns * amp / 1e9
+            full[i] = mean_rate * full_ns * amp / 1e9
+        return OverheadStudy(
+            benchmark=profile.name,
+            runtime_only=runtime_only,
+            runtime_plus_transition=full,
+        )

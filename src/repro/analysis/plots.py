@@ -1,0 +1,140 @@
+"""ASCII figure rendering: box plots, CDF curves, stacked bars.
+
+Terminal renditions of the paper's figure types so the benchmark harnesses
+can regenerate the *figures* (not only the underlying numbers): Fig. 3's
+log-scale box plots, Fig. 10's latency CDFs, Fig. 8's stacked coverage bars.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.stats import BoxStats, Cdf
+from repro.errors import CampaignConfigError
+
+__all__ = ["ascii_boxplot", "ascii_cdf", "ascii_stacked_bars"]
+
+
+def ascii_boxplot(
+    series: dict[str, BoxStats],
+    *,
+    width: int = 60,
+    log_scale: bool = True,
+) -> str:
+    """Render labeled five-number summaries as horizontal box plots.
+
+    ``|----[  =  ]----|`` per row: whiskers at min/max, box at q25/q75, ``=``
+    at the median — the paper's Fig. 3 convention, log-scaled by default
+    because activation rates span decades.
+    """
+    if not series:
+        raise CampaignConfigError("nothing to plot")
+    lo = min(s.minimum for s in series.values())
+    hi = max(s.maximum for s in series.values())
+    if log_scale and lo <= 0:
+        raise CampaignConfigError("log scale requires positive values")
+
+    def position(value: float) -> int:
+        if hi == lo:
+            return 0
+        if log_scale:
+            frac = (math.log10(value) - math.log10(lo)) / (
+                math.log10(hi) - math.log10(lo)
+            )
+        else:
+            frac = (value - lo) / (hi - lo)
+        return min(width - 1, max(0, round(frac * (width - 1))))
+
+    label_width = max(len(name) for name in series)
+    lines = []
+    for name, stats in series.items():
+        row = [" "] * width
+        p_min, p_q25 = position(stats.minimum), position(stats.q25)
+        p_med = position(stats.median)
+        p_q75, p_max = position(stats.q75), position(stats.maximum)
+        for i in range(p_min, p_q25):
+            row[i] = "-"
+        for i in range(p_q75 + 1, p_max + 1):
+            row[i] = "-"
+        row[p_min] = "|"
+        row[p_max] = "|"
+        for i in range(p_q25, p_q75 + 1):
+            row[i] = "."
+        row[p_q25] = "["
+        row[p_q75] = "]"
+        row[p_med] = "="
+        lines.append(f"{name:<{label_width}}  {''.join(row)}")
+    scale = "log scale" if log_scale else "linear"
+    lines.append(
+        f"{'':<{label_width}}  {lo:,.0f} {'-' * max(0, width - len(f'{lo:,.0f}') - len(f'{hi:,.0f}') - 2)} {hi:,.0f}  ({scale})"
+    )
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    curves: dict[str, Cdf],
+    *,
+    x_max: float,
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Render cumulative-distribution curves on one shared canvas.
+
+    Each curve gets a marker character (``*``, ``o``, ``+``, ...); the y axis
+    spans 0-100%, the x axis 0..``x_max`` — Fig. 10's frame.
+    """
+    if not curves:
+        raise CampaignConfigError("nothing to plot")
+    markers = "*o+x#@"
+    canvas = [[" "] * width for _ in range(height)]
+    for (name, cdf), marker in zip(curves.items(), markers):
+        for col in range(width):
+            x = (col + 0.5) / width * x_max
+            frac = cdf.fraction_at(x)
+            row = height - 1 - min(height - 1, int(frac * (height - 1) + 0.5))
+            canvas[row][col] = marker
+    lines = []
+    for i, row in enumerate(canvas):
+        frac = (height - 1 - i) / (height - 1)
+        lines.append(f"{frac:>4.0%} |{''.join(row)}")
+    lines.append("     +" + "-" * width)
+    lines.append(f"      0{'':<{width - 8}}{x_max:,.0f}")
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(curves.items(), markers)
+    )
+    lines.append(f"      {legend}")
+    return "\n".join(lines)
+
+
+def ascii_stacked_bars(
+    bars: dict[str, list[tuple[str, float]]],
+    *,
+    width: int = 50,
+    symbols: str = "#+=:. ",
+) -> str:
+    """Render per-label stacked shares (fractions summing to <= 1).
+
+    The Fig. 8 form: one bar per benchmark, one segment per detection
+    technique.
+    """
+    if not bars:
+        raise CampaignConfigError("nothing to plot")
+    label_width = max(len(name) for name in bars)
+    segment_names: list[str] = []
+    for parts in bars.values():
+        for seg_name, _ in parts:
+            if seg_name not in segment_names:
+                segment_names.append(seg_name)
+    lines = []
+    for name, parts in bars.items():
+        row = ""
+        shares = dict(parts)
+        for seg_name, symbol in zip(segment_names, symbols):
+            chars = round(shares.get(seg_name, 0.0) * width)
+            row += symbol * chars
+        lines.append(f"{name:<{label_width}}  |{row[:width]:<{width}}|")
+    legend = "   ".join(
+        f"{symbol}={seg}" for seg, symbol in zip(segment_names, symbols)
+    )
+    lines.append(f"{'':<{label_width}}  {legend}")
+    return "\n".join(lines)

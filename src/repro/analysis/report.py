@@ -1,0 +1,64 @@
+"""Report formatting: paper-vs-measured tables for every experiment.
+
+Each benchmark harness prints one of these tables so EXPERIMENTS.md can be
+filled by copy-paste.  Nothing here computes — it renders values produced by
+the other analysis modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ComparisonRow", "ComparisonTable", "format_percent"]
+
+
+def format_percent(value: float | None) -> str:
+    """Render a fraction as a percentage, or ``---`` for missing values."""
+    return "---" if value is None else f"{value:.1%}"
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One quantity: what the paper reports vs what we measured."""
+
+    quantity: str
+    paper: str
+    measured: str
+    note: str = ""
+
+
+class ComparisonTable:
+    """ASCII paper-vs-measured table with a title."""
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self.rows: list[ComparisonRow] = []
+
+    def add(self, quantity: str, paper: str, measured: str, note: str = "") -> None:
+        self.rows.append(ComparisonRow(quantity, paper, measured, note))
+
+    def add_percent(
+        self, quantity: str, paper: float | None, measured: float | None, note: str = ""
+    ) -> None:
+        self.add(quantity, format_percent(paper), format_percent(measured), note)
+
+    def render(self) -> str:
+        if not self.rows:
+            return f"== {self.title} ==\n(no rows)"
+        q_width = max(len("quantity"), max(len(r.quantity) for r in self.rows))
+        p_width = max(len("paper"), max(len(r.paper) for r in self.rows))
+        m_width = max(len("measured"), max(len(r.measured) for r in self.rows))
+        lines = [
+            f"== {self.title} ==",
+            f"{'quantity':<{q_width}}  {'paper':>{p_width}}  {'measured':>{m_width}}  note",
+            "-" * (q_width + p_width + m_width + 10),
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.quantity:<{q_width}}  {row.paper:>{p_width}}  "
+                f"{row.measured:>{m_width}}  {row.note}"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,230 @@
+"""Command-line interface: drive the reproduction without writing code.
+
+Installed as ``repro-xentry``.  Subcommands map one-to-one onto the paper's
+evaluation artifacts::
+
+    repro-xentry info                      # platform inventory
+    repro-xentry rates [--mode pv|hvm]     # Fig. 3 activation-rate table
+    repro-xentry train [--scale 3]         # Section III.B classifier pipeline
+    repro-xentry campaign [--injections N] # Figs. 8-10 + Table II
+    repro-xentry overhead                  # Fig. 7 fault-free overhead
+    repro-xentry recovery                  # Fig. 11 recovery-cost estimate
+
+All commands are deterministic in ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+
+from repro.analysis import (
+    BoxStats,
+    LatencyStudy,
+    PerfOverheadModel,
+    coverage_by_benchmark,
+    long_latency_breakdown,
+    undetected_breakdown,
+)
+from repro.faults import CampaignConfig, FaultInjectionCampaign
+from repro.hypervisor import ExitCategory, REGISTRY, XenHypervisor
+from repro.ml import compile_tree
+from repro.persist import load_records, save_records, save_rules
+from repro.workloads import BENCHMARKS, VirtMode, WorkloadGenerator
+from repro.xentry import (
+    RecoveryCostModel,
+    TrainingConfig,
+    VMTransitionDetector,
+    collect_dataset,
+    estimate_recovery_overhead,
+    train_and_evaluate,
+)
+
+__all__ = ["main"]
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    hv = XenHypervisor(seed=args.seed, n_domains=args.domains)
+    print("simulated platform")
+    print(f"  domains:            {hv.n_domains} (Dom0 + {hv.n_domains - 1} guests)")
+    print(f"  hypervisor text:    {hv.program.size:,} bytes "
+          f"({len(hv.program):,} instructions)")
+    print(f"  hypervisor heap:    {hv.memory_map.heap_size:,} bytes, "
+          f"{len(hv.layout.all_slots)} structures")
+    print("  exit reasons:")
+    for category in ExitCategory:
+        reasons = REGISTRY.in_category(category)
+        print(f"    {category.value:<12} {len(reasons)}")
+    print(f"    total        {len(REGISTRY)}")
+    return 0
+
+
+def _cmd_rates(args: argparse.Namespace) -> int:
+    modes = [VirtMode.PV, VirtMode.HVM] if args.mode == "both" else [
+        VirtMode.PV if args.mode == "pv" else VirtMode.HVM
+    ]
+    print("Fig. 3 — hypervisor activation frequency (activations/second)")
+    for mode in modes:
+        print(f"\n[{mode.value}]")
+        print(f"{'benchmark':<14} {'min':>12} {'q25':>12} {'median':>12} "
+              f"{'q75':>12} {'max':>12}")
+        for profile in BENCHMARKS:
+            generator = WorkloadGenerator(profile, mode, seed=args.seed)
+            stats = BoxStats.from_samples(generator.rate_per_second(args.seconds))
+            print(stats.row(profile.name))
+    return 0
+
+
+def _train(args: argparse.Namespace):
+    train = collect_dataset(
+        TrainingConfig(fault_free_runs=int(2000 * args.scale),
+                       injection_runs=int(7800 * args.scale), seed=args.seed),
+        stream="train",
+    )
+    test = collect_dataset(
+        TrainingConfig(fault_free_runs=int(1000 * args.scale),
+                       injection_runs=int(3900 * args.scale), seed=args.seed),
+        stream="test",
+    )
+    return train, test
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    t0 = time.time()
+    train, test = _train(args)
+    print(f"train: {train.describe()}")
+    print(f"test:  {test.describe()}")
+    models = {}
+    for algo in ("decision_tree", "random_tree"):
+        models[algo] = train_and_evaluate(train, test, algorithm=algo, seed=3)
+        print()
+        print(models[algo].confusion.report(algo))
+    print(f"\n(paper: random tree 98.6% vs decision tree 96.1%; "
+          f"elapsed {time.time() - t0:.0f}s)")
+    if args.save_rules:
+        save_rules(compile_tree(models["random_tree"].classifier), args.save_rules)
+        print(f"deployable rule table written to {args.save_rules}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    t0 = time.time()
+    if args.records_from:
+        return _report_records(load_records(args.records_from))
+    train, test = _train(args)
+    model = train_and_evaluate(train, test, algorithm="random_tree", seed=3)
+    print(f"detector: accuracy {model.accuracy:.1%}, "
+          f"FP {model.false_positive_rate:.2%}")
+    detector = VMTransitionDetector.from_classifier(model.classifier)
+    campaign = FaultInjectionCampaign(
+        CampaignConfig(n_injections=args.injections, seed=args.seed),
+        detector=detector,
+    )
+
+    def progress(done: int, total: int) -> None:
+        sys.stdout.write(f"\r{done}/{total} trials")
+        sys.stdout.flush()
+
+    result = campaign.run(progress=progress)
+    print(f"\n{len(result)} injections, {len(result.manifested)} manifested "
+          f"({time.time() - t0:.0f}s)")
+    if args.output:
+        save_records(result.records, args.output)
+        print(f"records written to {args.output}")
+    return _report_records(result.records)
+
+
+def _report_records(records) -> int:
+    print("\nFig. 8 — coverage by technique")
+    for name, cov in coverage_by_benchmark(records).items():
+        print(cov.row(name))
+    print("\nFig. 9 — long-latency errors")
+    for klass, (detected, total) in long_latency_breakdown(records).items():
+        rate = f"{detected / total:.1%}" if total else "---"
+        print(f"  {klass.value:<16} {detected}/{total} ({rate})")
+    print("\nFig. 10 — latency CDF")
+    print(LatencyStudy.from_records(records).table([100, 300, 500, 700, 1000]))
+    print("\nTable II — undetected faults")
+    for kind, share in undetected_breakdown(records).items():
+        print(f"  {kind.value:<16} {share:6.1%}")
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    model = PerfOverheadModel()
+    print("Fig. 7 — fault-free performance overhead (10 runs per benchmark)")
+    total = 0.0
+    for profile in BENCHMARKS:
+        study = model.study(profile, seed=args.seed)
+        total += study.mean_full
+        print(study.row())
+    print(f"average full overhead: {total / len(BENCHMARKS):.2%} (paper: 2.5%)")
+    return 0
+
+
+def _cmd_recovery(args: argparse.Namespace) -> int:
+    model = RecoveryCostModel()
+    print("Fig. 11 — recovery overhead with false positives")
+    print(f"(copy {model.copy_ns:.0f} ns/exit, FP rate "
+          f"{model.false_positive_rate:.1%}, 100 repetitions)")
+    total = 0.0
+    for profile in BENCHMARKS:
+        study = estimate_recovery_overhead(profile, model=model, seed=args.seed)
+        total += study.mean
+        print(f"  {profile.name:<12} mean {study.mean:7.3%}  "
+              f"spread {study.spread:9.5%}")
+    print(f"average: {total / len(BENCHMARKS):.2%} (paper: 2.7%)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xentry",
+        description="Xentry (ICPP 2014) reproduction toolkit",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=5, help="root seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="platform inventory", parents=[common])
+    p.add_argument("--domains", type=int, default=3)
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("rates", help="Fig. 3 activation-rate table", parents=[common])
+    p.add_argument("--mode", choices=("pv", "hvm", "both"), default="both")
+    p.add_argument("--seconds", type=int, default=600)
+    p.set_defaults(func=_cmd_rates)
+
+    p = sub.add_parser("train", help="Section III.B classifier pipeline", parents=[common])
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--save-rules", metavar="PATH",
+                   help="write the deployable rule table as JSON")
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("campaign", help="fault-injection campaign (Figs. 8-10)", parents=[common])
+    p.add_argument("--injections", type=int, default=6000)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--output", metavar="PATH",
+                   help="write trial records as JSON lines")
+    p.add_argument("--records-from", metavar="PATH",
+                   help="skip execution; re-analyze saved records")
+    p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser("overhead", help="Fig. 7 fault-free overhead", parents=[common])
+    p.set_defaults(func=_cmd_overhead)
+
+    p = sub.add_parser("recovery", help="Fig. 11 recovery-cost estimate", parents=[common])
+    p.set_defaults(func=_cmd_recovery)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+Two distinct families live here:
+
+* ``ReproError`` subclasses signal *misuse of the library* (bad arguments,
+  unmapped configuration, malformed assembly).  They are ordinary bugs in the
+  caller's code and should never be caught by simulation logic.
+
+* ``SimulationEvent`` subclasses signal *simulated architectural events*
+  (hardware exceptions, assertion violations, guest failures).  They are part
+  of the simulation's control flow: the hypervisor and the Xentry framework
+  catch them and turn them into detection outcomes, exactly like real
+  exception vectors fan out to handlers on hardware.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-usage errors raised by :mod:`repro`."""
+
+
+class AssemblyError(ReproError):
+    """Malformed assembly source or an unresolvable label."""
+
+
+class MemoryConfigError(ReproError):
+    """Invalid memory-map configuration (overlapping or misaligned regions)."""
+
+
+class MachineConfigError(ReproError):
+    """Invalid machine configuration (core counts, counter selection, ...)."""
+
+
+class CampaignConfigError(ReproError):
+    """Invalid fault-injection campaign parameters."""
+
+
+class DatasetError(ReproError):
+    """Malformed machine-learning dataset (shape/label mismatches)."""
+
+
+class NotFittedError(ReproError):
+    """A classifier was used before :meth:`fit` was called."""
+
+
+class SimulationEvent(Exception):
+    """Base class for simulated architectural events.
+
+    These are *not* library errors: they model events that real hardware or a
+    real hypervisor would observe (exception vectors, failed assertions).
+    """
+
+
+class SimulationLimitExceeded(SimulationEvent):
+    """The per-activation dynamic instruction budget was exhausted.
+
+    On real hardware a runaway hypervisor execution manifests as a hang or a
+    watchdog reset; the instruction budget is our watchdog.
+    """
+
+    def __init__(self, budget: int, message: str = "") -> None:
+        super().__init__(message or f"instruction budget of {budget} exhausted")
+        self.budget = budget

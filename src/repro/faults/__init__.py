@@ -1,0 +1,48 @@
+"""Fault injection: the Simics-module equivalent of Section V.
+
+Single-bit register flips into live hypervisor executions, golden-run
+comparison, consequence classification, and campaign orchestration.
+"""
+
+from repro.faults.campaign import CampaignConfig, CampaignResult, FaultInjectionCampaign
+from repro.faults.injector import TransitionDetector, run_memory_trial, run_trial
+from repro.faults.model import FaultModel, MemoryFaultModel
+from repro.faults.outcomes import (
+    DetectionTechnique,
+    FailureClass,
+    FaultSpec,
+    MemoryFaultSpec,
+    TrialRecord,
+    UndetectedKind,
+)
+from repro.faults.propagation import (
+    Divergence,
+    GoldenRun,
+    capture_golden,
+    classify_divergence,
+    compute_divergence,
+    undetected_kind_for,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "DetectionTechnique",
+    "Divergence",
+    "FailureClass",
+    "FaultInjectionCampaign",
+    "FaultModel",
+    "FaultSpec",
+    "MemoryFaultModel",
+    "MemoryFaultSpec",
+    "GoldenRun",
+    "TransitionDetector",
+    "TrialRecord",
+    "UndetectedKind",
+    "capture_golden",
+    "classify_divergence",
+    "compute_divergence",
+    "run_memory_trial",
+    "run_trial",
+    "undetected_kind_for",
+]

@@ -1,0 +1,328 @@
+"""Single-trial fault injection.
+
+One *trial* executes the same activation twice from identical machine state —
+fault-free, then with a scheduled single-bit register flip — and reduces the
+pair to a :class:`~repro.faults.outcomes.TrialRecord`:
+
+* a hardware exception or failed software assertion during the faulty run is
+  a **runtime detection** (short detection latency, Fig. 10);
+* a faulty run that reaches VM entry is shown to the optional **transition
+  detector** (anything with a ``flags_incorrect(features)`` predicate, e.g.
+  compiled tree rules);
+* divergence against the golden run yields the ground-truth consequence
+  (Fig. 9) and, for missed faults, the Table II attribution.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.errors import SimulationLimitExceeded
+from repro.faults.outcomes import (
+    DetectionTechnique,
+    FailureClass,
+    FaultSpec,
+    MemoryFaultSpec,
+    TrialRecord,
+    UndetectedKind,
+)
+from repro.faults.propagation import (
+    GoldenRun,
+    capture_golden,
+    classify_divergence,
+    compute_divergence,
+    undetected_kind_for,
+)
+from repro.hypervisor.xen import Activation, XenHypervisor
+from repro.machine.exceptions import AssertionViolation, HardwareException, classify_exception
+
+__all__ = ["TransitionDetector", "run_trial", "run_memory_trial"]
+
+
+class TransitionDetector(Protocol):
+    """Anything usable as the VM-transition classifier in a trial."""
+
+    def flags_incorrect(self, features: tuple[int, ...]) -> bool: ...
+
+
+def run_trial(
+    hv: XenHypervisor,
+    activation: Activation,
+    fault: FaultSpec,
+    *,
+    detector: TransitionDetector | None = None,
+    golden: GoldenRun | None = None,
+    benchmark: str = "",
+    followups: tuple[Activation, ...] = (),
+) -> TrialRecord:
+    """Execute one golden/faulty pair and classify the outcome.
+
+    ``golden`` may be supplied to amortize the fault-free run across several
+    injections into the same activation; it must have been captured from the
+    current machine state (with the same ``followups``).
+
+    ``followups`` continues the simulation past the injected activation, the
+    way the paper's Simics campaign does: corrupted state that survived the
+    first VM entry is detected when a later hypervisor execution consumes it
+    (a fatal exception, a failed assertion, or a transition-feature anomaly),
+    with the detection latency accumulating across activations.
+    """
+    if golden is None:
+        golden = capture_golden(hv, activation, followups)
+    hv.restore(golden.checkpoint)
+    hv.cpu.schedule_register_flip(fault.dynamic_index, fault.register, fault.bit)
+
+    def _activation_index() -> int:
+        report = hv.cpu.injection_report
+        if report is not None and report.activation_index is not None:
+            return report.activation_index
+        return fault.dynamic_index
+
+    def _activated() -> bool:
+        report = hv.cpu.injection_report
+        return bool(report is not None and report.applied and report.activated)
+
+    return _execute_and_classify(
+        hv, activation, fault, golden,
+        detector=detector, benchmark=benchmark, followups=followups,
+        activation_index=_activation_index, activated=_activated,
+    )
+
+
+def run_memory_trial(
+    hv: XenHypervisor,
+    activation: Activation,
+    fault: "MemoryFaultSpec",
+    *,
+    detector: TransitionDetector | None = None,
+    golden: GoldenRun | None = None,
+    benchmark: str = "",
+    followups: tuple[Activation, ...] = (),
+) -> TrialRecord:
+    """Inject a single bit flip into hypervisor *memory* before an activation.
+
+    Extension beyond the paper's register-only model: the paper scopes to CPU
+    faults because "combinational logic circuits in CPU are usually not
+    protected by ECC", noting that memory errors beyond ECC's correction
+    capability still occur.  This models exactly that residual class — an
+    uncorrected flip in a hypervisor structure, present when the activation
+    begins.
+
+    A memory fault is present from instruction 0 and has no register to
+    watch; it counts as activated when the execution observably diverges.
+    """
+    if golden is None:
+        golden = capture_golden(hv, activation, followups)
+    hv.restore(golden.checkpoint)
+    hv.cpu.clear_injection()
+    original = hv.memory.read_u64(fault.address)
+    hv.memory.write_u64(fault.address, original ^ (1 << fault.bit))
+
+    return _execute_and_classify(
+        hv, activation, fault, golden,
+        detector=detector, benchmark=benchmark, followups=followups,
+        activation_index=lambda: 0,
+        activated=None,  # inferred from divergence
+    )
+
+
+def _execute_and_classify(
+    hv: XenHypervisor,
+    activation: Activation,
+    fault,
+    golden: GoldenRun,
+    *,
+    detector: TransitionDetector | None,
+    benchmark: str,
+    followups: tuple[Activation, ...],
+    activation_index,
+    activated,
+) -> TrialRecord:
+    """Run the prepared faulty activation and classify (shared trial core)."""
+    _activation_index = activation_index
+    try:
+        faulty = hv.execute(activation)
+    except HardwareException as exc:
+        verdict = classify_exception(exc)
+        latency = max(0, hv.cpu.tracer.count - _activation_index())
+        return TrialRecord(
+            benchmark=benchmark,
+            vmer=activation.vmer,
+            fault=fault,
+            activated=True,
+            failure_class=FailureClass.HYPERVISOR_CRASH,
+            detected_by=(
+                DetectionTechnique.HW_EXCEPTION
+                if verdict.fatal
+                else DetectionTechnique.UNDETECTED
+            ),
+            detection_latency=latency if verdict.fatal else None,
+            undetected_kind=None if verdict.fatal else UndetectedKind.OTHER_VALUES,
+            detail=f"{exc.vector.name}: {verdict.reason}",
+        )
+    except AssertionViolation as exc:
+        latency = max(0, hv.cpu.tracer.count - _activation_index())
+        return TrialRecord(
+            benchmark=benchmark,
+            vmer=activation.vmer,
+            fault=fault,
+            activated=True,
+            failure_class=FailureClass.HYPERVISOR_CRASH,
+            detected_by=DetectionTechnique.SW_ASSERTION,
+            detection_latency=latency,
+            detail=f"assertion {exc.assertion_id}",
+        )
+    except SimulationLimitExceeded:
+        # A stuck host-mode execution trips the platform's NMI watchdog —
+        # delivered as a hardware exception, hence a runtime detection.
+        return TrialRecord(
+            benchmark=benchmark,
+            vmer=activation.vmer,
+            fault=fault,
+            activated=True,
+            failure_class=FailureClass.HYPERVISOR_HANG,
+            detected_by=DetectionTechnique.HW_EXCEPTION,
+            detection_latency=max(0, hv.cpu.tracer.count - _activation_index()),
+            detail="watchdog NMI (instruction budget exhausted)",
+        )
+
+    # The faulty run reached VM entry.
+    divergence = compute_divergence(hv, activation, golden, faulty)
+    was_activated = activated() if activated is not None else divergence.any
+    if not was_activated and not divergence.any:
+        return TrialRecord(
+            benchmark=benchmark,
+            vmer=activation.vmer,
+            fault=fault,
+            activated=False,
+            failure_class=FailureClass.BENIGN,
+            detected_by=DetectionTechnique.UNDETECTED,
+            detection_latency=None,
+            detail="non-activated",
+        )
+    failure = classify_divergence(divergence, activation)
+    # VM transition detection runs at every VM entry (Fig. 4).
+    flagged = detector is not None and detector.flags_incorrect(faulty.features)
+    if flagged:
+        latency = max(0, faulty.instructions - _activation_index())
+        return TrialRecord(
+            benchmark=benchmark,
+            vmer=activation.vmer,
+            fault=fault,
+            activated=was_activated,
+            failure_class=failure,
+            detected_by=DetectionTechnique.VM_TRANSITION,
+            detection_latency=latency,
+            detail="transition classifier flagged the feature vector",
+        )
+    # Continue the simulation: corrupted machine state may be consumed by a
+    # later hypervisor execution (and the fault detected there).
+    followups_diverged = False
+    if divergence.any and golden.followups:
+        record, followups_diverged = _run_followups(
+            hv, activation, fault, followups, golden, failure, was_activated,
+            base_latency=max(0, faulty.instructions - _activation_index()),
+            detector=detector, benchmark=benchmark,
+        )
+        if record is not None:
+            return record
+        # Internal-only corruption that neither reached a guest-visible
+        # output nor perturbed any follow-up execution is *latent*: the
+        # paper's methodology counts only injections that cause observable
+        # failures or data corruptions.
+        if (
+            failure.is_manifested
+            and failure not in (FailureClass.APP_SDC, FailureClass.APP_CRASH)
+            and not divergence.output_diffs
+            and not followups_diverged
+        ):
+            failure = FailureClass.LATENT
+    kind = (
+        undetected_kind_for(divergence, fault.register)
+        if failure.is_manifested
+        else None
+    )
+    return TrialRecord(
+        benchmark=benchmark,
+        vmer=activation.vmer,
+        fault=fault,
+        activated=was_activated,
+        failure_class=failure,
+        detected_by=DetectionTechnique.UNDETECTED,
+        detection_latency=None,
+        undetected_kind=kind,
+        detail="",
+    )
+
+
+def _run_followups(
+    hv: XenHypervisor,
+    activation: Activation,
+    fault: FaultSpec,
+    followups: tuple[Activation, ...],
+    golden: GoldenRun,
+    failure,
+    activated: bool,
+    *,
+    base_latency: int,
+    detector: TransitionDetector | None,
+    benchmark: str,
+) -> tuple[TrialRecord | None, bool]:
+    """Execute the continuation stream on the corrupted state.
+
+    Returns ``(record, diverged)``: a detection record (or ``None`` when the
+    corruption survives the whole window undetected) and whether any
+    follow-up execution visibly diverged from its golden twin.
+    """
+    elapsed = base_latency
+    diverged = False
+    for follow, golden_follow in zip(followups, golden.followups):
+        try:
+            result = hv.execute(follow)
+        except (HardwareException, AssertionViolation) as exc:
+            is_assert = isinstance(exc, AssertionViolation)
+            if not is_assert:
+                verdict = classify_exception(exc)
+                if not verdict.fatal:
+                    return None, True  # benign trap; corruption persists
+                detail = f"{exc.vector.name} in follow-up: {verdict.reason}"
+                technique = DetectionTechnique.HW_EXCEPTION
+            else:
+                detail = f"assertion {exc.assertion_id} in follow-up"
+                technique = DetectionTechnique.SW_ASSERTION
+            return TrialRecord(
+                benchmark=benchmark,
+                vmer=activation.vmer,
+                fault=fault,
+                activated=activated,
+                failure_class=failure,
+                detected_by=technique,
+                detection_latency=elapsed + hv.cpu.tracer.count,
+                detail=detail,
+            ), True
+        except SimulationLimitExceeded:
+            return TrialRecord(
+                benchmark=benchmark,
+                vmer=activation.vmer,
+                fault=fault,
+                activated=activated,
+                failure_class=FailureClass.HYPERVISOR_HANG,
+                detected_by=DetectionTechnique.HW_EXCEPTION,
+                detection_latency=elapsed + hv.cpu.tracer.count,
+                detail="watchdog NMI in follow-up execution",
+            ), True
+        elapsed += result.instructions
+        if result.features != golden_follow.features:
+            diverged = True
+            if detector is not None and detector.flags_incorrect(result.features):
+                return TrialRecord(
+                    benchmark=benchmark,
+                    vmer=activation.vmer,
+                    fault=fault,
+                    activated=activated,
+                    failure_class=failure,
+                    detected_by=DetectionTechnique.VM_TRANSITION,
+                    detection_latency=elapsed,  # detected at this VM entry
+                    detail="transition classifier flagged a follow-up execution",
+                ), True
+    return None, diverged

@@ -1,0 +1,90 @@
+"""The fault model: single bit flips in architectural register state.
+
+Section V.B: "We currently use the single bit-flip fault model in the
+architectural register state, including general purpose registers, instruction
+and stack pointers and flags.  We adopt the common practice that assumes one
+single-bit flip soft error may occur at a time."
+
+Injection points are uniform over the dynamic instructions of the target
+hypervisor execution; registers and bit positions are uniform over the
+injectable state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CampaignConfigError
+from repro.faults.outcomes import FaultSpec, MemoryFaultSpec
+from repro.hypervisor.layout import HypervisorLayout, ValueKind
+from repro.machine.registers import INJECTABLE_REGISTERS
+
+__all__ = ["FaultModel", "MemoryFaultModel"]
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Sampling distribution for fault specs.
+
+    ``registers`` defaults to the full architectural set; restrict it to
+    study per-register sensitivities (e.g. RIP-only or flags-only ablations).
+    """
+
+    registers: tuple[str, ...] = INJECTABLE_REGISTERS
+    bits: tuple[int, int] = (0, 63)
+
+    def __post_init__(self) -> None:
+        if not self.registers:
+            raise CampaignConfigError("fault model needs at least one register")
+        unknown = set(self.registers) - set(INJECTABLE_REGISTERS)
+        if unknown:
+            raise CampaignConfigError(f"not injectable: {sorted(unknown)}")
+        lo, hi = self.bits
+        if not (0 <= lo <= hi <= 63):
+            raise CampaignConfigError(f"bit range {self.bits} outside [0, 63]")
+
+    def sample(self, rng: np.random.Generator, run_length: int) -> FaultSpec:
+        """Draw one fault for an execution of ``run_length`` dynamic instructions."""
+        if run_length <= 0:
+            raise CampaignConfigError("run_length must be positive")
+        lo, hi = self.bits
+        return FaultSpec(
+            register=self.registers[int(rng.integers(0, len(self.registers)))],
+            bit=int(rng.integers(lo, hi + 1)),
+            dynamic_index=int(rng.integers(0, run_length)),
+        )
+
+
+@dataclass(frozen=True)
+class MemoryFaultModel:
+    """Sampling distribution for uncorrected memory flips (extension).
+
+    Targets the hypervisor's live structures: a uniformly-chosen word among
+    all non-scratch layout slots, uniform bit.  Scratch buffers are excluded
+    because flips in data about to be overwritten tell us nothing.
+    """
+
+    bits: tuple[int, int] = (0, 63)
+
+    def sample(self, rng: np.random.Generator, layout: HypervisorLayout) -> MemoryFaultSpec:
+        """Draw one memory fault against ``layout``."""
+        slots = [
+            s for s in layout.all_slots.values() if s.kind is not ValueKind.SCRATCH
+        ]
+        if not slots:
+            raise CampaignConfigError("layout has no injectable slots")
+        # Weight slots by size so every word is equally likely.
+        words = [s.words for s in slots]
+        total = sum(words)
+        pick = int(rng.integers(0, total))
+        for slot, n in zip(slots, words):
+            if pick < n:
+                lo, hi = self.bits
+                return MemoryFaultSpec(
+                    address=slot.word_address(pick),
+                    bit=int(rng.integers(lo, hi + 1)),
+                )
+            pick -= n
+        raise AssertionError("unreachable")  # pragma: no cover

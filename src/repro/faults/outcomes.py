@@ -1,0 +1,160 @@
+"""Fault-outcome taxonomy.
+
+Mirrors the paper's vocabulary end to end:
+
+* **detection technique** (Fig. 8): hardware exception, software assertion,
+  VM transition detection, or undetected;
+* **failure class** (Fig. 9 / Section V.E): the consequence a fault *would*
+  have without detection — one-VM failure, all-VM failure, application crash,
+  application silent data corruption; plus host-side classes for faults that
+  never reach VM entry (hypervisor crash/hang, Fig. 2 path 1) and
+  benign/masked faults;
+* **undetected kind** (Table II): mis-classified, stack values, time values,
+  other values.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "DetectionTechnique",
+    "FailureClass",
+    "UndetectedKind",
+    "FaultSpec",
+    "TrialRecord",
+]
+
+
+class DetectionTechnique(enum.Enum):
+    """Which Xentry mechanism caught the fault (Fig. 8 legend)."""
+
+    HW_EXCEPTION = "hw_exception"
+    SW_ASSERTION = "sw_assertion"
+    VM_TRANSITION = "vm_transition"
+    UNDETECTED = "undetected"
+
+
+class FailureClass(enum.Enum):
+    """Consequence of the fault absent detection."""
+
+    BENIGN = "benign"                    # masked / non-activated: no effect
+    LATENT = "latent"                    # internal state corrupted, but no
+    #                                      observable failure within the
+    #                                      observation window (the paper's
+    #                                      methodology only counts injections
+    #                                      that "cause failures or data
+    #                                      corruptions" as manifested)
+    HYPERVISOR_CRASH = "hypervisor_crash"  # fatal corruption in host mode (path 1)
+    HYPERVISOR_HANG = "hypervisor_hang"    # watchdog-budget exhaustion
+    ONE_VM_FAILURE = "one_vm_failure"
+    ALL_VM_FAILURE = "all_vm_failure"
+    APP_CRASH = "app_crash"
+    APP_SDC = "app_sdc"
+
+    @property
+    def is_long_latency(self) -> bool:
+        """Long-latency errors propagate *across VM entry* (Section II.A)."""
+        return self in (
+            FailureClass.ONE_VM_FAILURE,
+            FailureClass.ALL_VM_FAILURE,
+            FailureClass.APP_CRASH,
+            FailureClass.APP_SDC,
+        )
+
+    @property
+    def is_manifested(self) -> bool:
+        """True when the fault caused an observable failure or corruption."""
+        return self not in (FailureClass.BENIGN, FailureClass.LATENT)
+
+
+#: Severity order used when one fault corrupts several structures.
+_SEVERITY = {
+    FailureClass.BENIGN: 0,
+    FailureClass.LATENT: 0,
+    FailureClass.APP_SDC: 1,
+    FailureClass.APP_CRASH: 2,
+    FailureClass.ONE_VM_FAILURE: 3,
+    FailureClass.HYPERVISOR_CRASH: 4,
+    FailureClass.HYPERVISOR_HANG: 4,
+    FailureClass.ALL_VM_FAILURE: 5,
+}
+
+
+def most_severe(classes: list[FailureClass]) -> FailureClass:
+    """Pick the most severe consequence among ``classes``."""
+    if not classes:
+        return FailureClass.BENIGN
+    return max(classes, key=lambda c: _SEVERITY[c])
+
+
+class UndetectedKind(enum.Enum):
+    """Why an undetected fault slipped through (Table II)."""
+
+    MIS_CLASSIFY = "mis_classify"    # footprint changed; classifier wrong
+    STACK_VALUES = "stack_values"    # corrupted saved/restored context
+    TIME_VALUES = "time_values"      # corrupted time delivery
+    OTHER_VALUES = "other_values"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected soft error: a single bit flip in one register at one
+    dynamic instruction of a host-mode execution (the Section V.B model)."""
+
+    register: str
+    bit: int
+    dynamic_index: int
+
+
+@dataclass(frozen=True)
+class MemoryFaultSpec:
+    """An uncorrected *memory* bit flip (extension beyond the paper).
+
+    Present in a hypervisor structure when the activation begins — the
+    residual class ECC cannot correct.  Duck-types the fields aggregations
+    read from :class:`FaultSpec` (``register`` reports ``"memory"``).
+    """
+
+    address: int
+    bit: int
+
+    @property
+    def register(self) -> str:
+        return "memory"
+
+    @property
+    def dynamic_index(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """Complete record of one fault-injection trial."""
+
+    benchmark: str
+    vmer: int
+    fault: FaultSpec
+    #: Whether the flipped value was read before being overwritten.
+    activated: bool
+    failure_class: FailureClass
+    detected_by: DetectionTechnique
+    #: Dynamic instructions between activation and detection (None when
+    #: undetected or never activated) — the Fig. 10 metric.
+    detection_latency: int | None
+    undetected_kind: UndetectedKind | None = None
+    #: Diagnostic details (assertion id, exception vector, corrupted slots).
+    detail: str = ""
+
+    @property
+    def manifested(self) -> bool:
+        return self.failure_class.is_manifested
+
+    @property
+    def detected(self) -> bool:
+        return self.detected_by is not DetectionTechnique.UNDETECTED
+
+    @property
+    def long_latency(self) -> bool:
+        return self.failure_class.is_long_latency

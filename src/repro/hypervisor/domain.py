@@ -1,0 +1,120 @@
+"""Python-side views of domain and VCPU structures.
+
+The structures themselves live in simulated memory (see
+:mod:`repro.hypervisor.layout`); these views give tests, examples and the
+guest-consumption model typed read/write access without raw address math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hypervisor.layout import DomainLayout, VcpuLayout
+from repro.machine.memory import Memory
+from repro.machine.registers import GPR_NAMES
+
+__all__ = ["VcpuView", "DomainView"]
+
+#: Guest register frame slot order (matches vcpu.regs word layout: the 16
+#: GPRs in architectural order except slot 15 doubles as the guest RIP).
+GUEST_REG_SLOTS: tuple[str, ...] = GPR_NAMES[:15] + ("rip",)
+
+
+@dataclass(frozen=True)
+class VcpuView:
+    """Typed accessor for one VCPU's in-memory structure."""
+
+    memory: Memory
+    layout: VcpuLayout
+
+    # -- guest register frame ----------------------------------------------
+
+    def reg(self, index: int) -> int:
+        """Read guest register slot ``index`` (0 = rax, ..., 15 = rip)."""
+        return self.memory.read_u64(self.layout.regs.word_address(index))
+
+    def set_reg(self, index: int, value: int) -> None:
+        self.memory.write_u64(self.layout.regs.word_address(index), value)
+
+    @property
+    def rax(self) -> int:
+        return self.reg(0)
+
+    @property
+    def rip(self) -> int:
+        return self.reg(15)
+
+    # -- control state --------------------------------------------------------
+
+    @property
+    def mode(self) -> int:
+        return self.memory.read_u64(self.layout.mode.address)
+
+    @mode.setter
+    def mode(self, value: int) -> None:
+        self.memory.write_u64(self.layout.mode.address, value)
+
+    @property
+    def pending(self) -> bool:
+        return bool(self.memory.read_u64(self.layout.pending.address))
+
+    @property
+    def trapno(self) -> int:
+        return self.memory.read_u64(self.layout.trapno.address)
+
+    @property
+    def system_time(self) -> int:
+        return self.memory.read_u64(self.layout.time.address)
+
+
+@dataclass(frozen=True)
+class DomainView:
+    """Typed accessor for one domain's in-memory structures."""
+
+    memory: Memory
+    layout: DomainLayout
+
+    @property
+    def domain_id(self) -> int:
+        return self.memory.read_u64(self.layout.info.word_address(0))
+
+    @property
+    def is_live(self) -> bool:
+        return self.memory.read_u64(self.layout.info.word_address(1)) == 1
+
+    @property
+    def is_control_domain(self) -> bool:
+        """Dom0 manages all other VMs; its failure takes the platform down."""
+        return self.layout.domain_id == 0
+
+    def vcpu(self, index: int) -> VcpuView:
+        return VcpuView(self.memory, self.layout.vcpus[index])
+
+    @property
+    def vcpus(self) -> tuple[VcpuView, ...]:
+        return tuple(VcpuView(self.memory, v) for v in self.layout.vcpus)
+
+    # -- event channels ---------------------------------------------------------
+
+    def evtchn_pending_word(self, word: int) -> int:
+        return self.memory.read_u64(self.layout.evtchn_pending.word_address(word))
+
+    def is_port_pending(self, port: int) -> bool:
+        word, bit = (port // 64) & 3, port % 64
+        return bool(self.evtchn_pending_word(word) & (1 << bit))
+
+    def mask_port(self, port: int) -> None:
+        """Set the mask bit for ``port`` (masked channels drop events)."""
+        word, bit = (port // 64) & 3, port % 64
+        addr = self.layout.evtchn_mask.word_address(word)
+        self.memory.write_u64(addr, self.memory.read_u64(addr) | (1 << bit))
+
+    # -- time -----------------------------------------------------------------------
+
+    @property
+    def wallclock_sec(self) -> int:
+        return self.memory.read_u64(self.layout.wallclock.word_address(0))
+
+    @property
+    def wallclock_nsec(self) -> int:
+        return self.memory.read_u64(self.layout.wallclock.word_address(1))

@@ -1,0 +1,194 @@
+"""Event-channel control plane: Xen's port allocation and binding.
+
+The handlers operate on the per-domain pending/mask bitmaps in simulated
+memory (the Fig. 5b ``evtchn_set_pending`` path); this module supplies the
+management layer above them — the part of Xen's ``common/event_channel.c``
+that allocates ports, binds them (interdomain pairs, VIRQs, physical IRQs),
+masks/unmasks, and routes a send on one domain's port to the peer's pending
+bitmap by issuing the corresponding ``event_channel_op`` activation.
+
+State lives in two places, as in Xen: the *routing* (what a port is bound
+to) is hypervisor bookkeeping held here; the *signalling* state (pending and
+mask bits) lives in guest-visible shared memory and is only ever mutated by
+executed handler code.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import CampaignConfigError
+from repro.hypervisor.vmexit import REGISTRY
+from repro.hypervisor.xen import Activation, ActivationResult, XenHypervisor
+
+__all__ = ["ChannelState", "Channel", "EventChannelManager"]
+
+#: Ports per domain (the bitmaps cover 4 words = 256 bits).
+MAX_PORTS = 256
+
+
+class ChannelState(enum.Enum):
+    """Lifecycle of one event-channel port (Xen's ECS_* states)."""
+
+    FREE = "free"
+    UNBOUND = "unbound"            # allocated, awaiting a peer
+    INTERDOMAIN = "interdomain"    # connected to a remote (domain, port)
+    VIRQ = "virq"                  # bound to a virtual IRQ
+    PIRQ = "pirq"                  # bound to a physical IRQ
+
+
+@dataclass
+class Channel:
+    """Routing state of one port."""
+
+    domain_id: int
+    port: int
+    state: ChannelState = ChannelState.FREE
+    remote_domain: int | None = None
+    remote_port: int | None = None
+    virq: int | None = None
+    pirq: int | None = None
+    notifications: int = 0
+
+
+class EventChannelManager:
+    """Port allocation, binding and routed notification for one platform."""
+
+    def __init__(self, hypervisor: XenHypervisor) -> None:
+        self.hv = hypervisor
+        self._channels: dict[tuple[int, int], Channel] = {}
+        self._virq_bindings: dict[tuple[int, int], int] = {}  # (dom, virq) -> port
+        self._pirq_bindings: dict[int, tuple[int, int]] = {}  # pirq -> (dom, port)
+        self._seq = 1_000_000  # activation sequence space for notifications
+        self._send_vmer = REGISTRY.by_name("event_channel_op").vmer
+
+    # -- allocation -----------------------------------------------------------
+
+    def _channel(self, domain_id: int, port: int) -> Channel:
+        key = (domain_id, port)
+        if key not in self._channels:
+            self._channels[key] = Channel(domain_id, port)
+        return self._channels[key]
+
+    def alloc_unbound(self, domain_id: int) -> Channel:
+        """Allocate the lowest free port of ``domain_id`` (EVTCHNOP_alloc_unbound)."""
+        self._check_domain(domain_id)
+        for port in range(MAX_PORTS):
+            channel = self._channel(domain_id, port)
+            if channel.state is ChannelState.FREE:
+                channel.state = ChannelState.UNBOUND
+                return channel
+        raise CampaignConfigError(f"domain {domain_id} has no free ports")
+
+    def _check_domain(self, domain_id: int) -> None:
+        if not 0 <= domain_id < self.hv.n_domains:
+            raise CampaignConfigError(f"no domain {domain_id}")
+
+    # -- binding ---------------------------------------------------------------
+
+    def bind_interdomain(self, local: Channel, remote_domain: int) -> Channel:
+        """Connect an unbound local port to a fresh port of ``remote_domain``
+        (EVTCHNOP_bind_interdomain): sends on either side signal the peer."""
+        if local.state is not ChannelState.UNBOUND:
+            raise CampaignConfigError(
+                f"port {local.port} of domain {local.domain_id} is {local.state.value}"
+            )
+        remote = self.alloc_unbound(remote_domain)
+        local.state = remote.state = ChannelState.INTERDOMAIN
+        local.remote_domain, local.remote_port = remote.domain_id, remote.port
+        remote.remote_domain, remote.remote_port = local.domain_id, local.port
+        return remote
+
+    def bind_virq(self, domain_id: int, virq: int) -> Channel:
+        """Bind a virtual IRQ (timer, console, ...) to a fresh port."""
+        if (domain_id, virq) in self._virq_bindings:
+            raise CampaignConfigError(
+                f"virq {virq} already bound in domain {domain_id}"
+            )
+        channel = self.alloc_unbound(domain_id)
+        channel.state = ChannelState.VIRQ
+        channel.virq = virq
+        self._virq_bindings[(domain_id, virq)] = channel.port
+        return channel
+
+    def bind_pirq(self, domain_id: int, pirq: int) -> Channel:
+        """Route a physical IRQ line to a guest port (the driver-domain path)."""
+        if pirq in self._pirq_bindings:
+            raise CampaignConfigError(f"pirq {pirq} already routed")
+        channel = self.alloc_unbound(domain_id)
+        channel.state = ChannelState.PIRQ
+        channel.pirq = pirq
+        self._pirq_bindings[pirq] = (domain_id, channel.port)
+        return channel
+
+    def close(self, channel: Channel) -> None:
+        """Tear a port down (EVTCHNOP_close); interdomain peers unbind."""
+        if channel.state is ChannelState.INTERDOMAIN and channel.remote_domain is not None:
+            peer = self._channel(channel.remote_domain, channel.remote_port)
+            peer.state = ChannelState.UNBOUND
+            peer.remote_domain = peer.remote_port = None
+        if channel.state is ChannelState.VIRQ and channel.virq is not None:
+            self._virq_bindings.pop((channel.domain_id, channel.virq), None)
+        if channel.state is ChannelState.PIRQ and channel.pirq is not None:
+            self._pirq_bindings.pop(channel.pirq, None)
+        channel.state = ChannelState.FREE
+        channel.remote_domain = channel.remote_port = None
+        channel.virq = channel.pirq = None
+
+    # -- signalling (through executed handler code) ---------------------------------
+
+    def _deliver(self, domain_id: int, port: int) -> ActivationResult:
+        """Run the real event_channel_op handler against the target port."""
+        self._seq += 1
+        activation = Activation(
+            vmer=self._send_vmer,
+            args=(port, 0),
+            domain_id=domain_id,
+            seq=self._seq,
+        )
+        return self.hv.execute(activation)
+
+    def notify(self, channel: Channel) -> ActivationResult:
+        """Send on a channel (EVTCHNOP_send): the *peer's* port goes pending."""
+        if channel.state is ChannelState.INTERDOMAIN:
+            target_domain = channel.remote_domain
+            target_port = channel.remote_port
+        elif channel.state in (ChannelState.VIRQ, ChannelState.PIRQ):
+            target_domain, target_port = channel.domain_id, channel.port
+        else:
+            raise CampaignConfigError(
+                f"cannot notify a {channel.state.value} channel"
+            )
+        channel.notifications += 1
+        return self._deliver(target_domain, target_port)  # type: ignore[arg-type]
+
+    def raise_virq(self, domain_id: int, virq: int) -> ActivationResult:
+        """Hypervisor-side VIRQ delivery (e.g. the timer tick)."""
+        try:
+            port = self._virq_bindings[(domain_id, virq)]
+        except KeyError:
+            raise CampaignConfigError(
+                f"virq {virq} not bound in domain {domain_id}"
+            ) from None
+        return self._deliver(domain_id, port)
+
+    def raise_pirq(self, pirq: int) -> ActivationResult:
+        """Physical-interrupt delivery into whichever guest owns the line."""
+        try:
+            domain_id, port = self._pirq_bindings[pirq]
+        except KeyError:
+            raise CampaignConfigError(f"pirq {pirq} not routed") from None
+        return self._deliver(domain_id, port)
+
+    # -- inspection -----------------------------------------------------------------
+
+    def is_pending(self, channel: Channel) -> bool:
+        """Read the guest-visible pending bit for this channel's port."""
+        return self.hv.domain(channel.domain_id).is_port_pending(channel.port)
+
+    def channels_of(self, domain_id: int) -> tuple[Channel, ...]:
+        return tuple(
+            c for (d, _), c in self._channels.items()
+            if d == domain_id and c.state is not ChannelState.FREE
+        )

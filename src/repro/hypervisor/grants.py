@@ -1,0 +1,169 @@
+"""Grant-table control plane: page sharing between domains.
+
+Xen's grant tables let one domain grant another access to its pages — the
+mechanism every paravirtual I/O path (netfront/netback, blkfront/blkback)
+rides on, and the reason ``grant_table_op`` is hot in the paper's I/O-bound
+workloads.  This module supplies the management layer: grant issuance,
+map/unmap with reference counting, and page transfer, with the shared data
+itself living in the granting domain's guest-visible ``grant_frames`` window
+(so corrupted transfers are observable guest state).
+
+As with :mod:`repro.hypervisor.events`, bulk data movement goes through
+*executed handler code* (a ``grant_table_op`` activation), not Python-side
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import CampaignConfigError
+from repro.hypervisor.vmexit import REGISTRY
+from repro.hypervisor.xen import Activation, ActivationResult, XenHypervisor
+
+__all__ = ["GrantFlags", "GrantEntry", "GrantTableManager"]
+
+
+class GrantFlags(enum.Flag):
+    """Access modes of a grant (Xen's GTF_* permissions)."""
+
+    NONE = 0
+    READ = enum.auto()
+    WRITE = enum.auto()
+    TRANSFER = enum.auto()
+
+
+@dataclass
+class GrantEntry:
+    """One issued grant: (granter, ref) -> grantee access to a frame."""
+
+    granter: int
+    ref: int
+    grantee: int
+    frame: int
+    flags: GrantFlags
+    mappings: int = 0
+    transferred: bool = False
+
+    @property
+    def busy(self) -> bool:
+        return self.mappings > 0
+
+
+@dataclass
+class GrantTableManager:
+    """Grant issuance, mapping and transfer for one platform."""
+
+    hv: XenHypervisor
+    _entries: dict[tuple[int, int], GrantEntry] = field(default_factory=dict)
+    _next_ref: dict[int, int] = field(default_factory=dict)
+    _seq: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        self._vmer = REGISTRY.by_name("grant_table_op").vmer
+
+    # -- issuance -------------------------------------------------------------
+
+    def grant_access(
+        self, granter: int, grantee: int, frame: int, flags: GrantFlags
+    ) -> GrantEntry:
+        """Issue a grant reference allowing ``grantee`` to map ``frame``."""
+        self._check_domain(granter)
+        self._check_domain(grantee)
+        if granter == grantee:
+            raise CampaignConfigError("a domain cannot grant to itself")
+        if flags is GrantFlags.NONE:
+            raise CampaignConfigError("a grant needs at least one access flag")
+        ref = self._next_ref.get(granter, 0)
+        self._next_ref[granter] = ref + 1
+        entry = GrantEntry(granter, ref, grantee, frame, flags)
+        self._entries[(granter, ref)] = entry
+        return entry
+
+    def entry(self, granter: int, ref: int) -> GrantEntry:
+        try:
+            return self._entries[(granter, ref)]
+        except KeyError:
+            raise CampaignConfigError(f"no grant ({granter}, {ref})") from None
+
+    def _check_domain(self, domain_id: int) -> None:
+        if not 0 <= domain_id < self.hv.n_domains:
+            raise CampaignConfigError(f"no domain {domain_id}")
+
+    # -- map / unmap ----------------------------------------------------------------
+
+    def map_grant(self, grantee: int, granter: int, ref: int) -> GrantEntry:
+        """Map a granted frame into the grantee (GNTTABOP_map_grant_ref)."""
+        entry = self.entry(granter, ref)
+        if entry.grantee != grantee:
+            raise CampaignConfigError(
+                f"grant ({granter}, {ref}) was issued to domain {entry.grantee}"
+            )
+        if entry.transferred:
+            raise CampaignConfigError("grant was already transferred")
+        entry.mappings += 1
+        return entry
+
+    def unmap_grant(self, grantee: int, granter: int, ref: int) -> None:
+        entry = self.entry(granter, ref)
+        if entry.mappings == 0:
+            raise CampaignConfigError(f"grant ({granter}, {ref}) is not mapped")
+        if entry.grantee != grantee:
+            raise CampaignConfigError("only the grantee may unmap")
+        entry.mappings -= 1
+
+    def end_access(self, granter: int, ref: int) -> None:
+        """Revoke a grant (gnttab_end_foreign_access): refuses while mapped."""
+        entry = self.entry(granter, ref)
+        if entry.busy:
+            raise CampaignConfigError(
+                f"grant ({granter}, {ref}) still has {entry.mappings} mapping(s)"
+            )
+        del self._entries[(granter, ref)]
+
+    # -- data movement (through executed handler code) --------------------------------
+
+    def copy_through(self, entry: GrantEntry, words: int) -> ActivationResult:
+        """Move a payload across the grant (GNTTABOP_copy).
+
+        Executes the real ``grant_table_op`` handler in the *granter's*
+        context; the processed payload lands in the granter's guest-visible
+        grant window, where the grantee (or a fault-injection golden-run
+        diff) can observe it.
+        """
+        if not entry.flags & (GrantFlags.READ | GrantFlags.WRITE):
+            raise CampaignConfigError("grant does not permit data access")
+        if not 1 <= words <= 24:
+            raise CampaignConfigError("copy size must be within the legal batch range")
+        self._seq += 1
+        activation = Activation(
+            vmer=self._vmer,
+            args=(words, entry.ref & 7),
+            domain_id=entry.granter,
+            seq=self._seq,
+        )
+        return self.hv.execute(activation)
+
+    def transfer(self, entry: GrantEntry) -> None:
+        """Hand the frame over entirely (GNTTABOP_transfer)."""
+        if not entry.flags & GrantFlags.TRANSFER:
+            raise CampaignConfigError("grant does not permit transfer")
+        if entry.busy:
+            raise CampaignConfigError("cannot transfer a mapped frame")
+        entry.transferred = True
+
+    # -- inspection --------------------------------------------------------------------
+
+    def grants_of(self, granter: int) -> tuple[GrantEntry, ...]:
+        return tuple(
+            e for (d, _), e in self._entries.items() if d == granter
+        )
+
+    def window_words(self, domain_id: int) -> list[int]:
+        """Current contents of a domain's guest-visible grant window."""
+        dom = self.hv.layout.domains[domain_id]
+        return [
+            self.hv.memory.read_u64(dom.grant_frames.word_address(i))
+            for i in range(dom.grant_frames.words)
+        ]

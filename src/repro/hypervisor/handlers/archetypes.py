@@ -1,0 +1,770 @@
+"""Handler archetypes: parameterized emitters for hypervisor entry points.
+
+Xen's ~70 entry points fall into a dozen behavioural families (acknowledge an
+interrupt, update a descriptor table, copy a batch from the guest, set an
+event channel pending, switch VCPU context, deliver time, emulate a privileged
+instruction, ...).  Each family is one *archetype emitter* here; the registry
+instantiates it per exit reason with distinct parameters (loop scales, flavor
+constants, output slots) so every VMER has its own characteristic dynamic
+footprint — the property the VM-transition classifier learns.
+
+Archetypes deliberately reproduce the paper's fault surfaces:
+
+* ``rep movs`` bulk copies with a validated count register (Fig. 5a),
+* the event-channel ``test``/``je``/``vcpu_mark_events_pending`` path
+  (Fig. 5b),
+* Listing 1-style bounded-value assertions on trap numbers,
+* Listing 2-style state-invariant assertions on the idle path,
+* straight-line ``rdtsc`` time delivery (the Table II "time values" bucket),
+* push/pop context save/restore through the stack (the "stack values" bucket).
+
+Register conventions (see :mod:`repro.hypervisor.image`): args in
+``rdi, rsi, rdx, r8, r9``; ``rbp`` = globals base; ``r12`` = current domain
+block; ``r13`` = current VCPU block; handlers end in ``vmentry``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.hypervisor.image import ImageBuilder
+from repro.hypervisor.vmexit import ExitReason
+
+__all__ = ["Archetype", "OutputRef", "HandlerParams", "emit_handler", "ASSERTION_IDS"]
+
+# Globals word indices (control state; see image.py's conventions).
+G_CURRENT_DOM = 0
+G_TIME_CALIB = 1
+# Stats word indices (bookkeeping counters in the SCRATCH stats slot, which
+# sits immediately after the globals slot; offsets are rbp-relative).
+S_IRQ_ACKS = 0
+S_SOFTIRQ_DISPATCH = 1
+S_HYPERCALLS = 2
+S_SCHED_SWITCHES = 3
+S_EXCEPTIONS = 4
+S_DEBUG_FLAGS = 5
+
+#: Assertion identifiers planted by the archetypes (runtime detection).
+ASSERTION_IDS: tuple[str, ...] = (
+    "irq_vector_bound",       # Listing 1 flavor: vector within table bounds
+    "trapno_bound",           # Listing 1 flavor: trap number within range
+    "table_index_bound",      # descriptor index inside the table
+    "evtchn_port_bound",      # event-channel port within bitmap range
+    "irq_desc_valid",         # IRQ descriptor cookie within the wired range
+    "vcpu_idle_invariant",    # Listing 2: VCPU must be idle before idling CPU
+    "sched_pick_valid",       # scheduler picked a plausible cookie
+    "mem_op_count_bound",     # batched memory-op count within limits
+    "stack_redundancy",       # Section VI hardening: duplicated stack copies
+    "time_variation",         # Section VI hardening: adjacent-rdtsc variation
+)
+
+
+class Archetype(enum.Enum):
+    """Behavioural families of hypervisor entry points."""
+
+    IRQ_ACK = "irq_ack"
+    EXCEPTION_FIXUP = "exception_fixup"
+    SOFTIRQ_DRAIN = "softirq_drain"
+    TABLE_UPDATE = "table_update"
+    MEMORY_OP = "memory_op"
+    BULK_COPY = "bulk_copy"
+    EVENT_OP = "event_op"
+    SCHED_OP = "sched_op"
+    TIME_OP = "time_op"
+    INFO_QUERY = "info_query"
+    EMULATE_CPUID = "emulate_cpuid"
+    IO_EMULATE = "io_emulate"
+
+
+class OutputRef(enum.Enum):
+    """Guest-visible output locations a handler may write.
+
+    Resolved to concrete addresses per (domain, vcpu) by the outcome layer;
+    see :meth:`repro.hypervisor.xen.XenHypervisor.output_addresses`.
+    """
+
+    VCPU_REG0 = "vcpu_reg0"        # rax slot of the guest VCPU frame
+    VCPU_REG1 = "vcpu_reg1"
+    VCPU_REG2 = "vcpu_reg2"
+    VCPU_REG3 = "vcpu_reg3"
+    VCPU_PENDING = "vcpu_pending"
+    VCPU_TRAPNO = "vcpu_trapno"
+    VCPU_TIME = "vcpu_time"
+    WALLCLOCK = "wallclock"
+    EVTCHN_PENDING = "evtchn_pending"
+    GRANT_FRAMES = "grant_frames"
+
+
+@dataclass(frozen=True)
+class HandlerParams:
+    """Per-reason instantiation parameters for an archetype."""
+
+    archetype: Archetype
+    #: Scales internal loop lengths; distinct per reason for footprint variety.
+    scale: int = 1
+    #: Flavor constant mixed into computations so two same-archetype handlers
+    #: produce different data (and slightly different branch mixes).
+    flavor: int = 0
+    #: Guest-visible outputs this handler writes.
+    outputs: tuple[OutputRef, ...] = ()
+    #: Whether software assertions are compiled in (Xentry runtime detection).
+    with_assertions: bool = True
+    #: Section VI hardening: duplicate context values through the stack and
+    #: verify the copies on restore ("the values can be duplicated when they
+    #: are pushed on to the stack, and verified when they are popped").
+    stack_redundancy: bool = False
+    #: Section VI hardening: check the variation between adjacent rdtsc reads
+    #: when delivering time ("two adjacent rdtsc may have a small variation
+    #: in their output values.  Checking this variation may help detect
+    #: errors").
+    time_variation_check: bool = False
+
+
+def emit_handler(b: ImageBuilder, reason: ExitReason, p: HandlerParams) -> None:
+    """Emit the handler for ``reason`` according to ``p``."""
+    _EMITTERS[p.archetype](b, reason, p)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+
+
+def _prologue(b: ImageBuilder, label: str) -> None:
+    """Label + frame save.  Saved registers travel through the stack — the
+    surface the Table II "stack values" faults corrupt."""
+    a = b.asm
+    a.label(label)
+    a.push("rbp")
+    a.push("r12")
+    a.push("r13")
+
+
+def _epilogue(b: ImageBuilder, p: HandlerParams | None = None) -> None:
+    """Frame restore + the per-entry time update every VM entry performs.
+
+    Xen refreshes the VCPU's system-time info on the way back to the guest
+    (``update_vcpu_system_time``), which is why corrupted time values are the
+    dominant undetected-fault class (Table II): the delivery is branch-free
+    straight-line data flow.  The delivered value is quantized (>> 7) so that
+    small legitimate path-length differences don't register as corruption —
+    only flips in the value itself, or large detours, change it.
+
+    With ``time_variation_check`` hardening (the Section VI proposal), a
+    second rdtsc brackets the delivered value: the difference between two
+    adjacent reads has a tight legal bound, so a corrupted first read trips
+    the variation assertion before the value reaches the guest.
+    """
+    a = b.asm
+    a.rdtsc()
+    a.shl("rdx", 32)
+    a.or_("rax", "rdx")
+    if p is not None and p.time_variation_check:
+        a.mov("rbx", "rax")                    # delivery copy (t1)
+        a.rdtsc()
+        a.shl("rdx", 32)
+        a.or_("rax", "rdx")                    # t2
+        a.sub("rax", "rbx")                    # variation = t2 - t1
+        a.assert_range("rax", 0, 64, "time_variation")
+        a.shr("rbx", 7)
+        a.store("r13", b.off_vcpu_time, "rbx")
+    else:
+        a.shr("rax", 7)
+        a.store("r13", b.off_vcpu_time, "rax")
+    a.pop("r13")
+    a.pop("r12")
+    a.pop("rbp")
+    a.vmentry()
+
+
+def _bump_counter(b: ImageBuilder, word_index: int) -> None:
+    """Load-inc-store a stats counter (typical bookkeeping traffic)."""
+    a = b.asm
+    off = b.layout.stats.address - b.layout.globals_.address + word_index * 8
+    a.load("rax", "rbp", off)
+    a.inc("rax")
+    a.store("rbp", off, "rax")
+
+
+def _unique(label: str, suffix: str) -> str:
+    return f"{label}.{suffix}"
+
+
+def _stats_off(b: ImageBuilder, word_index: int) -> int:
+    """rbp-relative offset of a stats-counter word."""
+    return b.layout.stats.address - b.layout.globals_.address + word_index * 8
+
+
+def _sanitize32(b: ImageBuilder, label: str, reg: str, tag: str) -> None:
+    """Range-validate a 32-bit guest-bound result before publishing it.
+
+    Real hypervisors sanity-check emulation results (cpuid/MSR outputs are
+    architecturally 32-bit); a corrupted high half diverts through the
+    sanitize path — which is how flips in the upper bits of guest-bound data
+    become *control-flow-visible* to the transition detector.
+    """
+    a = b.asm
+    ok = _unique(label, f"san_{tag}")
+    a.cmp(reg, 0xFFFF_FFFF)
+    a.jcc("be", ok)
+    a.store("rbp", _stats_off(b, S_DEBUG_FLAGS), reg)  # log the anomaly
+    a.and_(reg, 0xFFFF_FFFF)
+    a.label(ok)
+
+
+# ---------------------------------------------------------------------------
+# archetype emitters
+
+
+def _emit_irq_ack(b: ImageBuilder, reason: ExitReason, p: HandlerParams) -> None:
+    """Acknowledge an interrupt, raise a softirq, note delivery on the VCPU.
+
+    do_irq and the ten APIC handlers.  ``rdi`` = vector/IRQ number.
+    """
+    a = b.asm
+    L = reason.handler_label
+    _prologue(b, L)
+    if p.with_assertions:
+        a.assert_range("rdi", 0, b.layout.irq_descs.words - 1, "irq_vector_bound")
+    # Look up the IRQ descriptor (held in r11 across the counter bump).
+    a.mov("r11", "rdi")
+    a.shl("r11", 3)
+    a.add("r11", b.layout.irq_descs.address)
+    a.load("rbx", "r11")                      # descriptor cookie
+    if p.with_assertions:
+        # Wired descriptors are 0x100 + irq; anything else is corruption.
+        a.assert_range("rbx", 0x100, 0x100 + b.layout.irq_descs.words - 1,
+                       "irq_desc_valid")
+    _bump_counter(b, S_IRQ_ACKS)
+    # Mask, service, unmask: store desc | flavor bit, small delay loop, restore.
+    a.mov("rcx", "rbx")
+    a.or_("rcx", 1 << (8 + p.flavor % 8))
+    a.store("r11", 0, "rcx")
+    a.mov("rdx", p.scale * 4)
+    loop = _unique(L, "delay")
+    a.label(loop)
+    a.dec("rdx")
+    a.cmp("rdx", 0)
+    a.jcc("g", loop)
+    if p.with_assertions:
+        # The cookie survived the service window unchanged?  (Listing 1
+        # style: re-check the bounded value right before writing it back.)
+        a.assert_range("rbx", 0x100, 0x100 + b.layout.irq_descs.words - 1,
+                       "irq_desc_valid")
+    a.store("r11", 0, "rbx")                  # restore descriptor
+    # Raise the matching softirq bit.
+    a.mov("rcx", "rdi")
+    a.and_("rcx", 63)
+    a.mov("rdx", 1)
+    a.shl("rdx", "rcx")
+    a.load("r10", "rbp", b.layout.softirq_bits.address - b.layout.globals_.address)
+    a.or_("r10", "rdx")
+    a.store("rbp", b.layout.softirq_bits.address - b.layout.globals_.address, "r10")
+    # Note the pending vector on the current VCPU for delivery at VM entry —
+    # re-checking the bound first, exactly the Listing 1 pattern ("clean up
+    # pending exceptions, and put them to VCPUs ... ASSERT(trap <= LAST)").
+    if p.with_assertions:
+        a.assert_range("rdi", 0, b.layout.irq_descs.words - 1, "trapno_bound")
+    a.store("r13", b.off_vcpu_trapno, "rdi")
+    _epilogue(b, p)
+
+
+def _emit_exception_fixup(b: ImageBuilder, reason: ExitReason, p: HandlerParams) -> None:
+    """Exception handler: parse the frame, search the fixup chain, deliver.
+
+    ``rdi`` = fault key selector, ``rsi`` = guest trap number to deliver.
+    """
+    a = b.asm
+    L = reason.handler_label
+    _prologue(b, L)
+    _bump_counter(b, S_EXCEPTIONS)
+    if p.with_assertions:
+        a.assert_range("rsi", 0, 255, "trapno_bound")
+    # Derive the fixup key from the selector (flavor-dependent hashing).
+    a.mov("rax", "rdi")
+    a.imul("rax", 4)
+    a.and_("rax", 63)
+    a.add("rax", 0x40)
+    a.mov("rdi", "rax")
+    a.call("sub.list_walk")
+    # Found an entry before the chain end?  Then take the fixup path.
+    n_pairs = b.layout.fixup_table.words // 2
+    a.cmp("rax", n_pairs)
+    fixup = _unique(L, "fixup")
+    deliver = _unique(L, "deliver")
+    a.jcc("b", fixup)
+    # No fixup: deliver the trap to the guest (Listing 1: re-check the trap
+    # number right before putting it to the VCPU).
+    a.label(deliver)
+    if p.with_assertions:
+        a.assert_range("rsi", 0, 255, "trapno_bound")
+    a.store("r13", b.off_vcpu_trapno, "rsi")
+    _epilogue(b, p)
+    # Fixup: record which entry fired, then deliver anyway.
+    a.label(fixup)
+    a.shl("rax", 1 + p.flavor % 2)
+    a.store("rbp", _stats_off(b, S_DEBUG_FLAGS), "rax")
+    a.jmp(deliver)
+
+
+def _emit_softirq_drain(b: ImageBuilder, reason: ExitReason, p: HandlerParams) -> None:
+    """Drain pending softirq/tasklet bits, servicing each with a short loop."""
+    a = b.asm
+    L = reason.handler_label
+    _prologue(b, L)
+    _bump_counter(b, S_SOFTIRQ_DISPATCH)
+    bits_off = b.layout.softirq_bits.address - b.layout.globals_.address
+    outer = _unique(L, "outer")
+    service = _unique(L, "service")
+    done = _unique(L, "done")
+    a.mov("r8", 0)                       # drained count (bounds the loop)
+    a.label(outer)
+    a.cmp("r8", 16)                      # budget per invocation, as Xen's
+    a.jcc("ae", done)                    # softirq loop bails after a batch
+    a.lea("rdi", "rbp", bits_off)
+    a.call("sub.bitmap_scan")
+    a.cmp("rax", 64)
+    a.jcc("ae", done)                    # nothing pending
+    # Clear the bit.
+    a.mov("rcx", "rax")
+    a.mov("rdx", 1)
+    a.shl("rdx", "rcx")
+    a.load("r10", "rbp", bits_off)
+    a.xor("r10", "rdx")
+    a.store("rbp", bits_off, "r10")
+    # Service routine: flavor-scaled compute loop over the scratch area.
+    a.mov("rcx", (p.scale % 6) + 2)
+    a.label(service)
+    a.mov("rbx", "rax")
+    a.imul("rbx", 0x9E37 + p.flavor)
+    a.and_("rbx", (b.layout.scratch.words - 1) * 8)
+    a.add("rbx", b.layout.scratch.address)
+    a.load("r11", "rbx")
+    a.add("r11", "rcx")
+    a.store("rbx", 0, "r11")
+    a.dec("rcx")
+    a.cmp("rcx", 0)
+    a.jcc("g", service)
+    a.inc("r8")
+    a.jmp(outer)
+    a.label(done)
+    _epilogue(b, p)
+
+
+def _emit_table_update(b: ImageBuilder, reason: ExitReason, p: HandlerParams) -> None:
+    """Validate and install guest-supplied descriptor entries.
+
+    ``rdi`` = entry count, ``rsi`` = base selector.  set_trap_table, set_gdt,
+    update_descriptor and friends.
+    """
+    a = b.asm
+    L = reason.handler_label
+    table = b.layout.trap_table
+    req = b.layout.guest_request
+    _prologue(b, L)
+    _bump_counter(b, S_HYPERCALLS)
+    # Validate the count: oversized batches are rejected outright (-EINVAL in
+    # Xen), so the error path is only reachable through a corrupted count.
+    ok = _unique(L, "count_ok")
+    loop = _unique(L, "loop")
+    skip = _unique(L, "skip")
+    done = _unique(L, "done")
+    a.cmp("rdi", table.words)
+    a.jcc("be", ok)
+    a.store("rbp", _stats_off(b, S_DEBUG_FLAGS), "rdi")  # log the bad request
+    a.jmp(done)
+    a.label(ok)
+    a.mov("rcx", 0)
+    a.label(loop)
+    a.cmp("rcx", "rdi")
+    a.jcc("ae", done)
+    if p.with_assertions:
+        a.assert_range("rcx", 0, table.words - 1, "table_index_bound")
+    # Load the candidate entry from the request buffer.
+    a.mov("rax", "rcx")
+    a.shl("rax", 3)
+    a.mov("rbx", "rax")
+    a.add("rax", req.address)
+    a.load("r10", "rax")
+    # Entries failing the privilege check (flavor-dependent bit) are skipped.
+    a.test("r10", 1 << (p.flavor % 4))
+    a.jcc("ne", skip)
+    a.add("rbx", table.address)
+    a.xor("r10", "rsi")
+    # Installed entries are 32-bit guest words xor a 3-bit selector: a high
+    # half can only come from a corrupted register.  Validate before install.
+    san = _unique(L, "entry_san")
+    a.cmp("r10", 0xFFFF_FFFF)
+    a.jcc("be", san)
+    a.store("rbp", _stats_off(b, S_DEBUG_FLAGS), "r10")
+    a.and_("r10", 0xFFFF_FFFF)
+    a.label(san)
+    a.store("rbx", 0, "r10")
+    a.label(skip)
+    a.inc("rcx")
+    a.jmp(loop)
+    a.label(done)
+    _epilogue(b, p)
+
+
+def _emit_memory_op(b: ImageBuilder, reason: ExitReason, p: HandlerParams) -> None:
+    """Batched memory-management operation (mmu_update family).
+
+    ``rdi`` = op count, ``rsi`` = op type selector.
+    """
+    a = b.asm
+    L = reason.handler_label
+    scratch = b.layout.scratch
+    _prologue(b, L)
+    _bump_counter(b, S_HYPERCALLS)
+    if p.with_assertions:
+        a.assert_range("rdi", 0, 63, "mem_op_count_bound")
+    a.mov("rcx", 0)
+    loop = _unique(L, "loop")
+    pte = _unique(L, "pte")
+    flushed = _unique(L, "flushed")
+    done = _unique(L, "done")
+    a.label(loop)
+    a.cmp("rcx", "rdi")
+    a.jcc("ae", done)
+    # Two op kinds: PTE write vs TLB flush accounting (selected per entry).
+    a.mov("rax", "rcx")
+    a.add("rax", "rsi")
+    a.test("rax", 1)
+    a.jcc("ne", pte)
+    _bump_counter(b, S_DEBUG_FLAGS)          # flush bookkeeping
+    a.jmp(flushed)
+    a.label(pte)
+    # Synthesize a PTE: frame = (i * flavor_prime) masked, plus flag bits.
+    a.mov("rbx", "rcx")
+    a.imul("rbx", 0x1003 + 2 * p.flavor)
+    a.and_("rbx", 0xFFFF)
+    a.or_("rbx", 0x67)                        # present/rw/accessed bits
+    a.mov("r10", "rcx")
+    a.and_("r10", scratch.words - 1)
+    a.shl("r10", 3)
+    a.add("r10", scratch.address)
+    a.store("r10", 0, "rbx")
+    a.label(flushed)
+    a.inc("rcx")
+    a.jmp(loop)
+    a.label(done)
+    _epilogue(b, p)
+
+
+def _emit_bulk_copy(b: ImageBuilder, reason: ExitReason, p: HandlerParams) -> None:
+    """Copy a batch from the guest and process it entry by entry.
+
+    ``rdi`` = word count.  grant_table_op / console_io / multicall family.
+    The copy itself is the Fig. 5a ``rep movs`` with a counter register.
+    """
+    a = b.asm
+    L = reason.handler_label
+    dst = b.layout.console_ring if p.flavor % 2 else b.layout.scratch
+    grant = b.layout.grant_table
+    _prologue(b, L)
+    _bump_counter(b, S_HYPERCALLS)
+    a.mov("rcx", "rdi")
+    a.mov("r8", "rdi")                        # keep the count for processing
+    a.mov("rdi", dst.address)
+    a.call("sub.copy_from_guest")
+    loop = _unique(L, "loop")
+    done = _unique(L, "done")
+    rejected = _unique(L, "rejected")
+    # A rejected copy (corrupted count) skips processing entirely.
+    a.cmp("rax", 0)
+    a.jcc("ne", rejected)
+    # Process entries: fold each into the grant table (guest-visible for the
+    # grant family via the per-domain grant_frames window).
+    a.mov("rbx", 0)
+    a.mov("rcx", 0)
+    a.label(loop)
+    a.cmp("rcx", "r8")
+    a.jcc("ae", done)
+    a.mov("rax", "rcx")
+    a.shl("rax", 3)
+    a.add("rax", dst.address)
+    a.load("rbx", "rax")
+    a.imul("rbx", 3 + p.flavor % 5)
+    # Guest words are 32-bit; the folded entry must fit 36 bits — a larger
+    # value is a corrupted register, diverted through the sanitize path.
+    san = _unique(L, "san")
+    a.cmp("rbx", (1 << 36) - 1)
+    a.jcc("be", san)
+    a.store("rbp", _stats_off(b, S_DEBUG_FLAGS), "rbx")
+    a.and_("rbx", (1 << 36) - 1)
+    a.label(san)
+    # Processed entries land in the *current domain's* grant window — grant
+    # entries are guest-owned mappings, so corruption here is guest-visible
+    # application data, not hypervisor control state.
+    a.mov("r10", "rcx")
+    a.and_("r10", 15)                     # grant_frames is 16 words
+    a.shl("r10", 3)
+    a.add("r10", "r12")
+    a.add("r10", b.off_grant)
+    a.store("r10", 0, "rbx")
+    a.inc("rcx")
+    a.jmp(loop)
+    a.label(done)
+    # Account the batch in the global grant table (hypervisor bookkeeping).
+    a.load("rax", "rbp", _stats_off(b, S_HYPERCALLS))
+    a.and_("rax", grant.words - 1)
+    a.shl("rax", 3)
+    a.add("rax", grant.address)
+    a.store("rax", 0, "r8")
+    a.label(rejected)
+    _epilogue(b, p)
+
+
+def _emit_event_op(b: ImageBuilder, reason: ExitReason, p: HandlerParams) -> None:
+    """Event-channel operation: send on one or more ports (Fig. 5b path).
+
+    ``rdi`` = first port, ``rsi`` = extra port count.
+    """
+    a = b.asm
+    L = reason.handler_label
+    _prologue(b, L)
+    _bump_counter(b, S_HYPERCALLS)
+    if p.with_assertions:
+        a.assert_range("rdi", 0, 255, "evtchn_port_bound")
+    a.mov("r8", "rdi")                        # current port
+    a.mov("r9", "rsi")
+    a.and_("r9", 7)                           # at most 8 sends
+    a.inc("r9")
+    loop = _unique(L, "loop")
+    done = _unique(L, "done")
+    a.label(loop)
+    a.cmp("r9", 0)
+    a.jcc("e", done)
+    a.mov("rdi", "r8")
+    a.and_("rdi", 255)
+    a.call("sub.evtchn_set_pending")
+    a.add("r8", 1 + p.flavor % 3)
+    a.dec("r9")
+    a.jmp(loop)
+    a.label(done)
+    _epilogue(b, p)
+
+
+def _emit_sched_op(b: ImageBuilder, reason: ExitReason, p: HandlerParams) -> None:
+    """Scheduling operation: save context, pick a VCPU, maybe idle the CPU.
+
+    ``rdi`` = sub-op (0 = yield, 1 = block -> idle path).  Context travels
+    through push/pop pairs into the VCPU save area — the Table II "stack
+    values" fault surface.  The idle path carries the Listing 2 invariant.
+    """
+    a = b.asm
+    L = reason.handler_label
+    _prologue(b, L)
+    _bump_counter(b, S_SCHED_SWITCHES)
+    # Save a slice of guest context through the stack into the save area.
+    a.load("rax", "r13", 0)            # guest rax
+    a.load("rbx", "r13", 8)            # guest rbx
+    a.load("rcx", "r13", 16)           # guest rcx
+    if p.stack_redundancy:
+        # Section VI hardening: push duplicated copies, verify on pop.
+        for reg in ("rax", "rbx", "rcx"):
+            a.push(reg)
+            a.push(reg)
+        for off in (16, 8, 0):
+            a.pop("r10")
+            a.pop("r11")
+            a.assert_eq_reg("r10", "r11", "stack_redundancy")
+            a.store("r13", b.off_vcpu_stack_save + off, "r10")
+    else:
+        a.push("rax")
+        a.push("rbx")
+        a.push("rcx")
+        for off in (16, 8, 0):
+            a.pop("r10")
+            a.store("r13", b.off_vcpu_stack_save + off, "r10")
+    # Pick the next VCPU.
+    a.call("sub.sched_pick")
+    if p.with_assertions:
+        a.assert_range("rax", 0, 63, "sched_pick_valid")
+    a.store("rbp", G_CURRENT_DOM * 8, "rax")
+    # Idle path: blocking marks the VCPU idle, then idles the physical CPU —
+    # but only after verifying the invariant (Listing 2).
+    a.cmp("rdi", 1)
+    not_idle = _unique(L, "not_idle")
+    a.jcc("ne", not_idle)
+    a.mov("r11", 0)                    # VCPU_MODE_IDLE
+    a.store("r13", b.off_vcpu_mode, "r11")
+    a.load("r11", "r13", b.off_vcpu_mode)
+    if p.with_assertions:
+        a.assert_eq("r11", 0, "vcpu_idle_invariant")
+    _bump_counter(b, S_DEBUG_FLAGS)    # "cpu entered idle" bookkeeping
+    a.mov("r11", 1)                    # model the wakeup that follows
+    a.store("r13", b.off_vcpu_mode, "r11")
+    a.label(not_idle)
+    # Restore the saved context slice back into the VCPU frame.
+    a.load("r10", "r13", b.off_vcpu_stack_save + 0)
+    a.store("r13", 0, "r10")
+    a.load("r10", "r13", b.off_vcpu_stack_save + 8)
+    a.store("r13", 8, "r10")
+    a.load("r10", "r13", b.off_vcpu_stack_save + 16)
+    a.store("r13", 16, "r10")
+    _epilogue(b, p)
+
+
+def _emit_time_op(b: ImageBuilder, reason: ExitReason, p: HandlerParams) -> None:
+    """Deliver system time to the guest (set_timer_op / time VCPUOPs).
+
+    Branch-free delivery: rdtsc -> scale -> store into the VCPU time slot and
+    the domain wallclock.  Corrupted time data changes no feature, which is
+    exactly why 53% of the paper's undetected faults are time values.
+    """
+    a = b.asm
+    L = reason.handler_label
+    _prologue(b, L)
+    _bump_counter(b, S_HYPERCALLS)
+    a.call("sub.get_time")
+    a.add("rax", p.flavor)                       # per-source epsilon
+    a.store("r13", b.off_vcpu_time, "rax")
+    a.mov("rbx", "rax")
+    a.shr("rbx", 30)
+    a.store("r12", b.off_wallclock, "rbx")       # wc_sec
+    a.mov("rcx", "rax")
+    a.and_("rcx", (1 << 30) - 1)
+    a.store("r12", b.off_wallclock + 8, "rcx")   # wc_nsec
+    a.store("r13", b.off_vcpu_time + 8, "rdi")   # requested deadline
+    # Insert the deadline into the timer heap (sift-up style walk).
+    heap = b.layout.timer_heap
+    a.mov("rcx", 0)
+    loop = _unique(L, "heap_loop")
+    done = _unique(L, "heap_done")
+    a.label(loop)
+    a.cmp("rcx", heap.words - 1)
+    a.jcc("ae", done)
+    a.mov("r10", "rcx")
+    a.shl("r10", 3)
+    a.add("r10", heap.address)
+    a.load("r11", "r10")
+    a.cmp("r11", "rdi")
+    a.jcc("a", done)                             # found the insertion point
+    a.inc("rcx")
+    a.jmp(loop)
+    a.label(done)
+    a.store("r10", 0, "rdi")
+    _epilogue(b, p)
+
+
+def _emit_info_query(b: ImageBuilder, reason: ExitReason, p: HandlerParams) -> None:
+    """Read-mostly query (xen_version / get_debugreg / sysctl family).
+
+    ``rdi`` = query selector.  A compare chain dispatches to per-query loads;
+    the result lands in the guest's rax slot (guest-visible app data).
+    """
+    a = b.asm
+    L = reason.handler_label
+    _prologue(b, L)
+    _bump_counter(b, S_HYPERCALLS)
+    q1 = _unique(L, "q1")
+    q2 = _unique(L, "q2")
+    q_default = _unique(L, "q_default")
+    out = _unique(L, "out")
+    a.mov("rax", "rdi")
+    a.and_("rax", 3)
+    a.cmp("rax", 0)
+    a.jcc("e", q1)
+    a.cmp("rax", 1)
+    a.jcc("e", q2)
+    a.jmp(q_default)
+    a.label(q1)                                  # version-style constant
+    a.mov("rbx", 0x0004_0001 + p.flavor)
+    a.jmp(out)
+    a.label(q2)                                  # table-backed value
+    a.mov("rbx", "rdi")
+    a.shr("rbx", 2)
+    a.and_("rbx", b.layout.trap_table.words - 1)
+    a.shl("rbx", 3)
+    a.add("rbx", b.layout.trap_table.address)
+    a.load("rbx", "rbx")
+    a.jmp(out)
+    a.label(q_default)                           # computed fallback
+    a.mov("rbx", "rdi")
+    a.imul("rbx", 0x101 + p.flavor)
+    a.and_("rbx", 0xFFFF)
+    a.label(out)
+    _sanitize32(b, L, "rbx", "result")
+    a.store("r13", 0, "rbx")                     # guest rax slot
+    _epilogue(b, p)
+
+
+def _emit_emulate_cpuid(b: ImageBuilder, reason: ExitReason, p: HandlerParams) -> None:
+    """Trap-and-emulate cpuid: the Section II.A long-latency example.
+
+    Reads the requested leaf from the guest's rax slot, runs the real cpuid,
+    and writes eax..edx back into the VCPU frame.  A fault anywhere along
+    this path corrupts values the guest will consume much later.
+    """
+    a = b.asm
+    L = reason.handler_label
+    _prologue(b, L)
+    _bump_counter(b, S_EXCEPTIONS if p.flavor % 2 else S_HYPERCALLS)
+    a.load("rax", "r13", 0)                      # requested leaf from guest rax
+    a.and_("rax", 0xF)                           # canonicalize the leaf
+    a.cpuid()
+    _sanitize32(b, L, "rax", "eax")
+    a.store("r13", 0, "rax")                     # eax
+    a.store("r13", 8, "rbx")                     # ebx
+    a.store("r13", 16, "rcx")                    # ecx
+    _sanitize32(b, L, "rdx", "edx")
+    a.store("r13", 24, "rdx")                    # edx
+    # Advance the guest instruction pointer past the emulated instruction.
+    a.load("r10", "r13", 15 * 8)                 # guest rip lives in slot 15
+    a.add("r10", 2)                              # cpuid is two bytes
+    a.store("r13", 15 * 8, "r10")
+    _epilogue(b, p)
+
+
+def _emit_io_emulate(b: ImageBuilder, reason: ExitReason, p: HandlerParams) -> None:
+    """Emulate an I/O access (HVM io/msr/cr exits).
+
+    ``rdi`` = port/msr selector, ``rsi`` = write value (writes when rdx=1).
+    """
+    a = b.asm
+    L = reason.handler_label
+    dev = b.layout.scratch
+    _prologue(b, L)
+    _bump_counter(b, S_HYPERCALLS)
+    # Device register address = scratch[port % words].
+    a.mov("rax", "rdi")
+    a.and_("rax", dev.words - 1)
+    a.shl("rax", 3)
+    a.add("rax", dev.address)
+    write = _unique(L, "write")
+    done = _unique(L, "done")
+    a.cmp("rdx", 1)
+    a.jcc("e", write)
+    # Read: fetch the device word, merge flavor ID bits, hand to the guest.
+    a.load("rbx", "rax")
+    a.or_("rbx", p.flavor << 24)
+    _sanitize32(b, L, "rbx", "ioval")
+    a.store("r13", 0, "rbx")                     # guest rax
+    a.jmp(done)
+    a.label(write)
+    a.store("rax", 0, "rsi")
+    a.label(done)
+    # I/O completion raises a softirq for the device model.
+    bits_off = b.layout.softirq_bits.address - b.layout.globals_.address
+    a.load("r10", "rbp", bits_off)
+    a.or_("r10", 1 << (p.flavor % 16))
+    a.store("rbp", bits_off, "r10")
+    _epilogue(b, p)
+
+
+_EMITTERS = {
+    Archetype.IRQ_ACK: _emit_irq_ack,
+    Archetype.EXCEPTION_FIXUP: _emit_exception_fixup,
+    Archetype.SOFTIRQ_DRAIN: _emit_softirq_drain,
+    Archetype.TABLE_UPDATE: _emit_table_update,
+    Archetype.MEMORY_OP: _emit_memory_op,
+    Archetype.BULK_COPY: _emit_bulk_copy,
+    Archetype.EVENT_OP: _emit_event_op,
+    Archetype.SCHED_OP: _emit_sched_op,
+    Archetype.TIME_OP: _emit_time_op,
+    Archetype.INFO_QUERY: _emit_info_query,
+    Archetype.EMULATE_CPUID: _emit_emulate_cpuid,
+    Archetype.IO_EMULATE: _emit_io_emulate,
+}

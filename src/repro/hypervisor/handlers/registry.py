@@ -1,0 +1,171 @@
+"""Per-exit-reason handler specifications.
+
+Maps every :class:`~repro.hypervisor.vmexit.ExitReason` to an archetype
+instantiation.  The assignments follow what the corresponding Xen entry point
+actually does; the ``scale``/``flavor`` parameters make each reason's dynamic
+footprint distinct even within a family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineConfigError
+from repro.hypervisor.handlers.archetypes import Archetype, HandlerParams, OutputRef
+from repro.hypervisor.vmexit import (
+    APIC_NAMES,
+    EXCEPTION_NAMES,
+    ExitReasonRegistry,
+    REGISTRY,
+)
+
+__all__ = ["Hardening", "handler_params_for", "build_handler_table"]
+
+
+@dataclass(frozen=True)
+class Hardening:
+    """Optional Section VI hardening switches, applied image-wide.
+
+    The paper proposes both as future work for the undetected-fault classes
+    of Table II: selective stack-value redundancy (for the 20% "stack
+    values") and adjacent-rdtsc variation checks (for the 53% "time values").
+    """
+
+    stack_redundancy: bool = False
+    time_variation_check: bool = False
+
+_A = Archetype
+_O = OutputRef
+
+#: Hypercall name -> archetype family, mirroring the real Xen implementation.
+_HYPERCALL_FAMILY: dict[str, Archetype] = {
+    # Descriptor/trap-table maintenance.
+    "set_trap_table": _A.TABLE_UPDATE,
+    "set_gdt": _A.TABLE_UPDATE,
+    "update_descriptor": _A.TABLE_UPDATE,
+    "set_debugreg": _A.TABLE_UPDATE,
+    "set_callbacks": _A.TABLE_UPDATE,
+    "set_segment_base": _A.TABLE_UPDATE,
+    "fpu_taskswitch": _A.TABLE_UPDATE,
+    "vm_assist": _A.TABLE_UPDATE,
+    # Memory management.
+    "mmu_update": _A.MEMORY_OP,
+    "memory_op": _A.MEMORY_OP,
+    "update_va_mapping": _A.MEMORY_OP,
+    "update_va_mapping_otherdomain": _A.MEMORY_OP,
+    "mmuext_op": _A.MEMORY_OP,
+    "physdev_op": _A.MEMORY_OP,
+    "physdev_op_compat": _A.MEMORY_OP,
+    # Batched copies.
+    "grant_table_op": _A.BULK_COPY,
+    "console_io": _A.BULK_COPY,
+    "multicall": _A.BULK_COPY,
+    "kexec_op": _A.BULK_COPY,
+    "tmem_op": _A.BULK_COPY,
+    "xenoprof_op": _A.BULK_COPY,
+    "platform_op": _A.BULK_COPY,
+    # Event channels and callbacks.
+    "event_channel_op": _A.EVENT_OP,
+    "event_channel_op_compat": _A.EVENT_OP,
+    "callback_op": _A.EVENT_OP,
+    "nmi_op": _A.EVENT_OP,
+    # Scheduling and context.
+    "sched_op": _A.SCHED_OP,
+    "sched_op_compat": _A.SCHED_OP,
+    "stack_switch": _A.SCHED_OP,
+    "iret": _A.SCHED_OP,
+    "vcpu_op": _A.SCHED_OP,
+    # Time.
+    "set_timer_op": _A.TIME_OP,
+    # Queries and control-plane calls.
+    "xen_version": _A.INFO_QUERY,
+    "get_debugreg": _A.INFO_QUERY,
+    "xsm_op": _A.INFO_QUERY,
+    "sysctl": _A.INFO_QUERY,
+    "domctl": _A.INFO_QUERY,
+    # HVM control from PV tools.
+    "hvm_op": _A.IO_EMULATE,
+}
+
+_FAMILY_OUTPUTS: dict[Archetype, tuple[OutputRef, ...]] = {
+    _A.IRQ_ACK: (_O.VCPU_TRAPNO,),
+    _A.EXCEPTION_FIXUP: (_O.VCPU_TRAPNO,),
+    _A.SOFTIRQ_DRAIN: (),
+    _A.TABLE_UPDATE: (),
+    _A.MEMORY_OP: (),
+    _A.BULK_COPY: (_O.GRANT_FRAMES,),
+    _A.EVENT_OP: (_O.EVTCHN_PENDING, _O.VCPU_PENDING),
+    _A.SCHED_OP: (_O.VCPU_REG0, _O.VCPU_REG1, _O.VCPU_REG2),
+    _A.TIME_OP: (_O.VCPU_TIME, _O.WALLCLOCK),
+    _A.INFO_QUERY: (_O.VCPU_REG0,),
+    _A.EMULATE_CPUID: (_O.VCPU_REG0, _O.VCPU_REG1, _O.VCPU_REG2, _O.VCPU_REG3),
+    _A.IO_EMULATE: (_O.VCPU_REG0,),
+}
+
+#: HVM exit reason -> archetype.
+_HVM_FAMILY: dict[str, Archetype] = {
+    "hvm_cpuid": _A.EMULATE_CPUID,
+    "hvm_io_instruction": _A.IO_EMULATE,
+    "hvm_ept_violation": _A.MEMORY_OP,
+    "hvm_msr_read": _A.IO_EMULATE,
+    "hvm_msr_write": _A.IO_EMULATE,
+    "hvm_hlt": _A.SCHED_OP,
+    "hvm_interrupt_window": _A.EVENT_OP,
+    "hvm_external_interrupt": _A.IRQ_ACK,
+    "hvm_pause": _A.SCHED_OP,
+    "hvm_cr_access": _A.IO_EMULATE,
+}
+
+
+def handler_params_for(
+    name: str, vmer: int, hardening: Hardening | None = None
+) -> HandlerParams:
+    """Archetype parameters for the exit reason ``name``/``vmer``.
+
+    ``flavor`` derives from the VMER so same-family handlers still differ;
+    ``scale`` varies loop lengths across the family.
+    """
+    if name == "do_irq":
+        archetype = _A.IRQ_ACK
+    elif name in APIC_NAMES:
+        archetype = _A.IRQ_ACK
+    elif name in ("do_softirq", "do_tasklet"):
+        archetype = _A.SOFTIRQ_DRAIN
+    elif name in EXCEPTION_NAMES:
+        # general_protection additionally hosts cpuid trap-and-emulate in PV
+        # Xen (the Section II.A example); invalid_op hosts forced emulation.
+        if name in ("general_protection", "invalid_op"):
+            archetype = _A.EMULATE_CPUID
+        else:
+            archetype = _A.EXCEPTION_FIXUP
+    elif name in _HYPERCALL_FAMILY:
+        archetype = _HYPERCALL_FAMILY[name]
+    elif name in _HVM_FAMILY:
+        archetype = _HVM_FAMILY[name]
+    else:
+        raise MachineConfigError(f"no handler family for exit reason {name!r}")
+    outputs = _FAMILY_OUTPUTS[archetype]
+    # Every VM entry refreshes the VCPU's system time (the epilogue's
+    # update_vcpu_system_time analogue), so the time slot is a guest-visible
+    # output of every handler.
+    if OutputRef.VCPU_TIME not in outputs:
+        outputs = outputs + (OutputRef.VCPU_TIME,)
+    hardening = hardening or Hardening()
+    return HandlerParams(
+        archetype=archetype,
+        scale=1 + vmer % 5,
+        flavor=vmer,
+        outputs=outputs,
+        stack_redundancy=hardening.stack_redundancy,
+        time_variation_check=hardening.time_variation_check,
+    )
+
+
+def build_handler_table(
+    registry: ExitReasonRegistry = REGISTRY,
+    hardening: Hardening | None = None,
+) -> dict[int, HandlerParams]:
+    """HandlerParams for every exit reason in ``registry``, keyed by VMER."""
+    return {
+        r.vmer: handler_params_for(r.name, r.vmer, hardening) for r in registry
+    }

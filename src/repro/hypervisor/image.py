@@ -1,0 +1,319 @@
+"""Hypervisor text image: one assembled program containing every handler.
+
+All handlers are assembled into a single contiguous text region, the way a
+real hypervisor's ``.text`` lays out — this matters for fault realism: a bit
+flip in RIP can land inside a *different* handler's code, which is still a
+valid-instruction fetch (incorrect control flow) rather than an immediate
+fault.
+
+:class:`ImageBuilder` couples the assembler with the data layout and emits the
+shared subroutine library used by the handler archetypes:
+
+========================  ====================================================
+``sub.memcpy``            bulk word copy via ``rep movs`` (Fig. 5a surface)
+``sub.copy_from_guest``   bounds-validated copy from the guest request buffer
+``sub.evtchn_set_pending``the Fig. 5b event-channel path (test / je /
+                          vcpu_mark_events_pending)
+``sub.bitmap_scan``       find-first-set over a 64-bit word
+``sub.list_walk``         walk a (key, next) chain in the fixup table
+``sub.sched_pick``        arg-max over run-queue credits
+``sub.get_time``          rdtsc -> scaled system time (Table II time values)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineConfigError
+from repro.machine.assembler import Assembler
+from repro.machine.isa import Program
+from repro.machine.memory import Memory, PAGE_SIZE, Region
+from repro.hypervisor.layout import HypervisorLayout
+
+__all__ = ["MemoryMap", "ImageBuilder", "SUBROUTINES"]
+
+SUBROUTINES: tuple[str, ...] = (
+    "sub.memcpy",
+    "sub.copy_from_guest",
+    "sub.evtchn_set_pending",
+    "sub.bitmap_scan",
+    "sub.list_walk",
+    "sub.sched_pick",
+    "sub.get_time",
+)
+
+
+@dataclass(frozen=True)
+class MemoryMap:
+    """Standard physical memory map of the simulated platform."""
+
+    text_base: int = 0x0100_0000
+    text_size: int = 0x0004_0000       # 256 KiB of hypervisor text
+    heap_base: int = 0x0200_0000
+    heap_size: int = 0x4000            # 16 KiB hypervisor heap (sized to the
+    # layout so runaway bulk copies fault at the region end within ~1k words,
+    # as they would crossing a real xenheap allocation boundary)
+    stack_base: int = 0x0300_0000
+    stack_size: int = PAGE_SIZE * 4    # per-CPU stack
+    #: Logical cores.  Each gets its own stack region separated by an
+    #: unmapped guard gap, so a corrupted RSP that strays off one core's
+    #: stack faults instead of silently scribbling on a neighbour's.
+    n_cpus: int = 1
+    stack_gap: int = PAGE_SIZE * 4
+
+    def create_memory(self) -> Memory:
+        mem = Memory()
+        mem.map_region(
+            Region("hypervisor_text", self.text_base, self.text_size,
+                   writable=False, executable=True)
+        )
+        mem.map_region(Region("hypervisor_heap", self.heap_base, self.heap_size))
+        for cpu in range(self.n_cpus):
+            mem.map_region(
+                Region(f"cpu_stack{cpu}", self.stack_base_for(cpu), self.stack_size)
+            )
+        return mem
+
+    def stack_base_for(self, cpu: int) -> int:
+        return self.stack_base + cpu * (self.stack_size + self.stack_gap)
+
+    def stack_top_for(self, cpu: int) -> int:
+        if not 0 <= cpu < self.n_cpus:
+            raise MachineConfigError(f"no such cpu {cpu}")
+        return self.stack_base_for(cpu) + self.stack_size
+
+    @property
+    def stack_top(self) -> int:
+        """Stack top of CPU 0 (single-core convenience)."""
+        return self.stack_top_for(0)
+
+
+class ImageBuilder:
+    """Assembler + layout + shared-subroutine emitter for handler authors."""
+
+    def __init__(self, layout: HypervisorLayout, memory_map: MemoryMap) -> None:
+        self.layout = layout
+        self.memory_map = memory_map
+        self.asm = Assembler(base=memory_map.text_base)
+        # Per-domain block geometry: identical strides across domains let one
+        # handler body serve whichever domain 'current' (r12/r13) points at.
+        dom0 = layout.domains[0]
+        self.dom_block_base = dom0.info.address
+        if len(layout.domains) > 1:
+            self.dom_stride = layout.domains[1].info.address - dom0.info.address
+        else:
+            self.dom_stride = 0
+        self.off_pending = dom0.evtchn_pending.address - dom0.info.address
+        self.off_mask = dom0.evtchn_mask.address - dom0.info.address
+        self.off_wallclock = dom0.wallclock.address - dom0.info.address
+        self.off_grant = dom0.grant_frames.address - dom0.info.address
+        vcpu0 = dom0.vcpus[0]
+        self.vcpu_block_base = vcpu0.regs.address
+        self.off_vcpu_mode = vcpu0.mode.address - vcpu0.regs.address
+        self.off_vcpu_pending = vcpu0.pending.address - vcpu0.regs.address
+        self.off_vcpu_trapno = vcpu0.trapno.address - vcpu0.regs.address
+        self.off_vcpu_time = vcpu0.time.address - vcpu0.regs.address
+        self.off_vcpu_stack_save = vcpu0.stack_save.address - vcpu0.regs.address
+
+    # -- conventions ------------------------------------------------------------
+    #
+    # Register environment at handler entry (established by the VM-exit path):
+    #   rdi, rsi, rdx, r8, r9   handler arguments
+    #   rbp                     hypervisor globals base
+    #   r12                     current domain block base (dom.info)
+    #   r13                     current VCPU block base (vcpu.regs)
+    #   rsp                     top of the per-CPU stack
+    # Handlers end in `vmentry`.
+
+    def domain_base(self, domain_id: int) -> int:
+        """Address of domain ``domain_id``'s block base (dom.info)."""
+        if not 0 <= domain_id < len(self.layout.domains):
+            raise MachineConfigError(f"no such domain {domain_id}")
+        return self.layout.domains[domain_id].info.address
+
+    def vcpu_base(self, domain_id: int, vcpu_id: int) -> int:
+        dom = self.layout.domains[domain_id]
+        if not 0 <= vcpu_id < len(dom.vcpus):
+            raise MachineConfigError(f"no such vcpu {vcpu_id} in domain {domain_id}")
+        return dom.vcpus[vcpu_id].regs.address
+
+    # -- shared subroutine library ------------------------------------------------
+
+    def emit_subroutines(self) -> None:
+        """Emit the shared library; must be called exactly once per image."""
+        self._emit_memcpy()
+        self._emit_copy_from_guest()
+        self._emit_evtchn_set_pending()
+        self._emit_bitmap_scan()
+        self._emit_list_walk()
+        self._emit_sched_pick()
+        self._emit_get_time()
+
+    def _emit_memcpy(self) -> None:
+        """rsi=src, rdi=dst, rcx=words.  Clobbers rcx/rsi/rdi."""
+        a = self.asm
+        a.label("sub.memcpy")
+        a.rep_movs()
+        a.ret()
+
+    def _emit_copy_from_guest(self) -> None:
+        """rdi=dst, rcx=words requested.  Copies from the guest request
+        buffer after validating the count — oversized requests are rejected
+        outright (rax = error marker, nothing copied), the way Xen fails a
+        malformed hypercall with -EINVAL.  The validation branch is what a
+        flipped count register subverts (Fig. 5a)."""
+        a = self.asm
+        buf = self.layout.guest_request
+        a.label("sub.copy_from_guest")
+        a.mov("rax", 0)
+        a.cmp("rcx", buf.words)
+        a.jcc("be", "sub.copy_from_guest.ok")
+        a.mov("rax", 0xEA)       # -EINVAL marker; caller skips processing
+        a.mov("rcx", 0)
+        a.ret()
+        a.label("sub.copy_from_guest.ok")
+        a.mov("rsi", buf.address)
+        a.rep_movs()
+        a.ret()
+
+    def _emit_evtchn_set_pending(self) -> None:
+        """rdi=port, r12=domain base, r13=vcpu base.
+
+        The Fig. 5b code path: test whether the port is already pending; only
+        when it is not, mark the VCPU as having pending events.  An error in
+        the tested value silently skips (or duplicates) the notification.
+        """
+        a = self.asm
+        a.label("sub.evtchn_set_pending")
+        # rax = &pending_bitmap[port / 64]  (bitmap is 4 words: ports 0..255)
+        a.mov("rax", "rdi")
+        a.shr("rax", 6)
+        a.and_("rax", 3)
+        a.shl("rax", 3)
+        a.add("rax", "r12")
+        a.add("rax", self.off_pending)
+        # rbx = 1 << (port % 64)
+        a.mov("rcx", "rdi")
+        a.and_("rcx", 63)
+        a.mov("rbx", 1)
+        a.shl("rbx", "rcx")
+        # Respect the channel mask: masked channels never mark the VCPU.
+        a.mov("r10", "rax")
+        a.add("r10", self.off_mask - self.off_pending)
+        a.load("r11", "r10")
+        a.test("r11", "rbx")
+        a.jcc("ne", "sub.evtchn_set_pending.done")  # masked -> drop event
+        # test eax, eax / je vcpu_mark_events_pending shape:
+        a.load("r10", "rax")
+        a.test("r10", "rbx")
+        a.jcc("ne", "sub.evtchn_set_pending.done")  # already pending
+        a.or_("r10", "rbx")
+        a.store("rax", 0, "r10")
+        # vcpu_mark_events_pending:
+        a.mov("r11", 1)
+        a.store("r13", self.off_vcpu_pending, "r11")
+        a.label("sub.evtchn_set_pending.done")
+        a.ret()
+
+    def _emit_bitmap_scan(self) -> None:
+        """rdi=word address.  Returns rax = index of first set bit, or 64."""
+        a = self.asm
+        a.label("sub.bitmap_scan")
+        a.load("rbx", "rdi")
+        a.mov("rax", 0)
+        a.label("sub.bitmap_scan.loop")
+        a.cmp("rax", 64)
+        a.jcc("ae", "sub.bitmap_scan.out")
+        a.test("rbx", 1)
+        a.jcc("ne", "sub.bitmap_scan.out")
+        a.shr("rbx", 1)
+        a.inc("rax")
+        a.jmp("sub.bitmap_scan.loop")
+        a.label("sub.bitmap_scan.out")
+        a.ret()
+
+    def _emit_list_walk(self) -> None:
+        """rdi=key.  Walks the fixup-table (key, next) chain.
+
+        Returns rax = matched entry index, or the chain length when no entry
+        matches.  The chain is bounded, so even corrupted keys terminate.
+        """
+        a = self.asm
+        table = self.layout.fixup_table
+        n_pairs = table.words // 2
+        a.label("sub.list_walk")
+        a.mov("rax", 0)            # current index
+        a.label("sub.list_walk.loop")
+        a.cmp("rax", n_pairs)
+        a.jcc("ae", "sub.list_walk.out")
+        # rbx = &table[2 * rax]
+        a.mov("rbx", "rax")
+        a.shl("rbx", 4)            # 2 words per entry = 16 bytes
+        a.add("rbx", table.address)
+        a.load("rcx", "rbx")       # entry key
+        a.cmp("rcx", "rdi")
+        a.jcc("e", "sub.list_walk.out")
+        a.load("rax", "rbx", 8)    # follow next index
+        a.cmp("rax", n_pairs)
+        a.jcc("b", "sub.list_walk.loop")
+        a.mov("rax", n_pairs)
+        a.label("sub.list_walk.out")
+        a.ret()
+
+    def _emit_sched_pick(self) -> None:
+        """Arg-max over run-queue credits.  Returns rax = chosen vcpu cookie."""
+        a = self.asm
+        rq = self.layout.runqueue
+        half = rq.words // 2
+        a.label("sub.sched_pick")
+        a.mov("rax", 0)        # best index
+        a.mov("rbx", 0)        # best credits
+        a.mov("rcx", 0)        # loop index
+        a.label("sub.sched_pick.loop")
+        a.cmp("rcx", half)
+        a.jcc("ae", "sub.sched_pick.out")
+        a.mov("r10", "rcx")
+        a.shl("r10", 3)
+        a.add("r10", rq.address + half * 8)  # credits array
+        a.load("r11", "r10")
+        a.cmp("r11", "rbx")
+        a.jcc("be", "sub.sched_pick.next")
+        a.mov("rbx", "r11")
+        a.mov("rax", "rcx")
+        a.label("sub.sched_pick.next")
+        a.inc("rcx")
+        a.jmp("sub.sched_pick.loop")
+        a.label("sub.sched_pick.out")
+        # Translate run-queue index into the vcpu cookie stored there.
+        a.shl("rax", 3)
+        a.add("rax", rq.address)
+        a.load("rax", "rax")
+        a.ret()
+
+    def _emit_get_time(self) -> None:
+        """Returns rax = scaled system time.
+
+        Pure data flow: rdtsc, merge, scale — deliberately branch-free, which
+        is why corrupted time values leave the detection features untouched
+        (the dominant Table II bucket).
+        """
+        a = self.asm
+        a.label("sub.get_time")
+        a.rdtsc()
+        a.shl("rdx", 32)
+        a.or_("rax", "rdx")
+        a.imul("rax", 1_000)   # tsc -> ns at the modeled 1 GHz-per-tick scale
+        a.shr("rax", 10)
+        a.ret()
+
+    # -- assembly ---------------------------------------------------------------
+
+    def assemble(self) -> Program:
+        program = self.asm.assemble()
+        if program.size > self.memory_map.text_size:
+            raise MachineConfigError(
+                f"hypervisor text ({program.size} bytes) exceeds the text region "
+                f"({self.memory_map.text_size} bytes)"
+            )
+        return program

@@ -1,0 +1,266 @@
+"""Hypervisor data-structure layout in simulated physical memory.
+
+Lays out the Xen-like structures the handlers operate on — domain structs,
+VCPU register blocks, shared-info pages, event-channel bitmaps, scheduler run
+queue, grant table, trap tables — at fixed addresses inside the hypervisor
+heap.  Every word range is registered as a :class:`Slot` carrying an *owner*
+(which domain, or the hypervisor globally) and a *value kind* (app data,
+pointer, time, VCPU state, control state).
+
+These tags are what turns a golden-run memory diff into the paper's outcome
+taxonomy: a corrupted app-data slot of a guest VCPU is an APP SDC/crash, a
+corrupted time value is the Table II "time values" bucket, corrupted global
+scheduler state is an all-VM failure, and so on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import MemoryConfigError
+from repro.machine.memory import Memory
+
+__all__ = [
+    "ValueKind",
+    "GLOBAL_OWNER",
+    "Slot",
+    "DataAllocator",
+    "HypervisorLayout",
+    "DomainLayout",
+    "VcpuLayout",
+]
+
+#: Owner id for hypervisor-global structures (not belonging to any domain).
+GLOBAL_OWNER = -1
+
+WORD = 8
+
+
+class ValueKind(enum.Enum):
+    """Semantic class of the values stored in a slot."""
+
+    APP_DATA = "app_data"      # values a guest application consumes directly
+    POINTER = "pointer"        # values dereferenced later (crash if corrupt)
+    TIME = "time"              # time values delivered to guests (Table II)
+    VCPU_STATE = "vcpu_state"  # per-VCPU control state (pending bits, mode)
+    CONTROL = "control"        # hypervisor control state (sched, evtchn, ...)
+    SCRATCH = "scratch"        # transient buffers, never guest-visible
+
+
+@dataclass(frozen=True)
+class Slot:
+    """A named word range inside the hypervisor heap."""
+
+    name: str
+    address: int
+    words: int
+    owner: int          # domain id, or GLOBAL_OWNER
+    kind: ValueKind
+
+    @property
+    def end(self) -> int:
+        return self.address + self.words * WORD
+
+    def word_address(self, index: int) -> int:
+        """Address of the ``index``-th word of the slot."""
+        if not 0 <= index < self.words:
+            raise MemoryConfigError(
+                f"word {index} outside slot {self.name!r} ({self.words} words)"
+            )
+        return self.address + index * WORD
+
+    def contains(self, address: int) -> bool:
+        return self.address <= address < self.end
+
+
+class DataAllocator:
+    """Bump allocator carving :class:`Slot` ranges out of the heap region."""
+
+    def __init__(self, base: int, size: int) -> None:
+        self._base = base
+        self._limit = base + size
+        self._cursor = base
+        self._slots: dict[str, Slot] = {}
+
+    def alloc(self, name: str, words: int, owner: int, kind: ValueKind) -> Slot:
+        if name in self._slots:
+            raise MemoryConfigError(f"duplicate slot name {name!r}")
+        if words <= 0:
+            raise MemoryConfigError(f"slot {name!r} must have positive size")
+        address = self._cursor
+        if address + words * WORD > self._limit:
+            raise MemoryConfigError(
+                f"heap exhausted allocating {name!r} "
+                f"({words} words at {address:#x}, limit {self._limit:#x})"
+            )
+        slot = Slot(name, address, words, owner, kind)
+        self._slots[name] = slot
+        self._cursor = slot.end
+        return slot
+
+    @property
+    def slots(self) -> dict[str, Slot]:
+        return dict(self._slots)
+
+    @property
+    def bytes_used(self) -> int:
+        return self._cursor - self._base
+
+
+@dataclass(frozen=True)
+class VcpuLayout:
+    """Per-VCPU structure addresses."""
+
+    regs: Slot          # 16 architectural registers as seen by the guest
+    mode: Slot          # running/idle/blocked
+    pending: Slot       # event-pending flag (vcpu_mark_events_pending target)
+    trapno: Slot        # pending trap/interrupt number for delivery
+    time: Slot          # per-VCPU system-time snapshot delivered to the guest
+    stack_save: Slot    # context-switch save area (the "stack values" path)
+
+
+@dataclass(frozen=True)
+class DomainLayout:
+    """Per-domain structure addresses."""
+
+    domain_id: int
+    info: Slot              # id, state, flags, refcount ...
+    evtchn_pending: Slot    # shared-info event-channel pending bitmap
+    evtchn_mask: Slot       # shared-info event-channel mask bitmap
+    wallclock: Slot         # shared-info wc_sec / wc_nsec / tsc_scale
+    grant_frames: Slot      # per-domain grant mapping area
+    vcpus: tuple[VcpuLayout, ...]
+
+
+# Mode values stored in VcpuLayout.mode.
+VCPU_MODE_IDLE = 0
+VCPU_MODE_RUNNING = 1
+VCPU_MODE_BLOCKED = 2
+
+
+@dataclass
+class HypervisorLayout:
+    """Complete data layout: global structures plus per-domain blocks."""
+
+    heap_base: int
+    heap_size: int
+    n_domains: int
+    vcpus_per_domain: int
+    globals_: Slot = field(init=False)
+    stats: Slot = field(init=False)
+    runqueue: Slot = field(init=False)
+    timer_heap: Slot = field(init=False)
+    grant_table: Slot = field(init=False)
+    trap_table: Slot = field(init=False)
+    fixup_table: Slot = field(init=False)
+    irq_descs: Slot = field(init=False)
+    softirq_bits: Slot = field(init=False)
+    console_ring: Slot = field(init=False)
+    guest_request: Slot = field(init=False)
+    scratch: Slot = field(init=False)
+    domains: tuple[DomainLayout, ...] = field(init=False)
+    all_slots: dict[str, Slot] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_domains < 1:
+            raise MemoryConfigError("need at least one domain (Dom0)")
+        if self.vcpus_per_domain < 1:
+            raise MemoryConfigError("need at least one VCPU per domain")
+        alloc = DataAllocator(self.heap_base, self.heap_size)
+        g = GLOBAL_OWNER
+        # Global control state.  Bookkeeping counters live in a separate
+        # SCRATCH slot right after it: statistics diverging between a golden
+        # and a faulty run is not a failure, only control state is.
+        self.globals_ = alloc.alloc("globals", 8, g, ValueKind.CONTROL)
+        self.stats = alloc.alloc("stats", 8, g, ValueKind.SCRATCH)
+        self.runqueue = alloc.alloc("runqueue", 16, g, ValueKind.CONTROL)
+        self.timer_heap = alloc.alloc("timer_heap", 32, g, ValueKind.CONTROL)
+        self.grant_table = alloc.alloc("grant_table", 128, g, ValueKind.CONTROL)
+        self.trap_table = alloc.alloc("trap_table", 32, g, ValueKind.CONTROL)
+        self.fixup_table = alloc.alloc("fixup_table", 32, g, ValueKind.CONTROL)
+        self.irq_descs = alloc.alloc("irq_descs", 32, g, ValueKind.CONTROL)
+        self.softirq_bits = alloc.alloc("softirq_bits", 2, g, ValueKind.CONTROL)
+        self.console_ring = alloc.alloc("console_ring", 64, g, ValueKind.SCRATCH)
+        self.guest_request = alloc.alloc("guest_request", 128, g, ValueKind.SCRATCH)
+        self.scratch = alloc.alloc("scratch", 128, g, ValueKind.SCRATCH)
+        # Per-domain blocks.  Domain 0 is the control domain: corrupting its
+        # state takes the whole platform down (Section V.E "all VM failure").
+        domains: list[DomainLayout] = []
+        for d in range(self.n_domains):
+            info = alloc.alloc(f"dom{d}.info", 8, d, ValueKind.CONTROL)
+            pend = alloc.alloc(f"dom{d}.evtchn_pending", 4, d, ValueKind.VCPU_STATE)
+            mask = alloc.alloc(f"dom{d}.evtchn_mask", 4, d, ValueKind.VCPU_STATE)
+            wc = alloc.alloc(f"dom{d}.wallclock", 4, d, ValueKind.TIME)
+            gf = alloc.alloc(f"dom{d}.grant_frames", 16, d, ValueKind.APP_DATA)
+            vcpus: list[VcpuLayout] = []
+            for v in range(self.vcpus_per_domain):
+                prefix = f"dom{d}.vcpu{v}"
+                vcpus.append(
+                    VcpuLayout(
+                        regs=alloc.alloc(f"{prefix}.regs", 16, d, ValueKind.APP_DATA),
+                        mode=alloc.alloc(f"{prefix}.mode", 1, d, ValueKind.VCPU_STATE),
+                        pending=alloc.alloc(f"{prefix}.pending", 1, d, ValueKind.VCPU_STATE),
+                        trapno=alloc.alloc(f"{prefix}.trapno", 1, d, ValueKind.VCPU_STATE),
+                        time=alloc.alloc(f"{prefix}.time", 2, d, ValueKind.TIME),
+                        stack_save=alloc.alloc(f"{prefix}.stack_save", 8, d, ValueKind.POINTER),
+                    )
+                )
+            domains.append(
+                DomainLayout(
+                    domain_id=d,
+                    info=info,
+                    evtchn_pending=pend,
+                    evtchn_mask=mask,
+                    wallclock=wc,
+                    grant_frames=gf,
+                    vcpus=tuple(vcpus),
+                )
+            )
+        self.domains = tuple(domains)
+        self.all_slots = alloc.slots
+
+    # -- lookups -------------------------------------------------------------
+
+    def slot_at(self, address: int) -> Slot | None:
+        """Find the slot containing ``address`` (linear scan; diagnostics only)."""
+        for slot in self.all_slots.values():
+            if slot.contains(address):
+                return slot
+        return None
+
+    def slot(self, name: str) -> Slot:
+        try:
+            return self.all_slots[name]
+        except KeyError:
+            raise MemoryConfigError(f"unknown slot {name!r}") from None
+
+    # -- initialization ----------------------------------------------------------
+
+    def initialize(self, memory: Memory) -> None:
+        """Write sane initial values into the structures.
+
+        Fault-free handler executions must find internally consistent state:
+        domains marked live, VCPU modes valid, IRQ descriptors populated,
+        fixup chains terminated.
+        """
+        for d, dom in enumerate(self.domains):
+            memory.write_u64(dom.info.word_address(0), d)        # domain id
+            memory.write_u64(dom.info.word_address(1), 1)        # state = live
+            memory.write_u64(dom.info.word_address(2), 0)        # flags
+            for vcpu in dom.vcpus:
+                memory.write_u64(vcpu.mode.address, VCPU_MODE_RUNNING)
+        # IRQ descriptors: word i = handler cookie for IRQ i (nonzero = wired).
+        for i in range(self.irq_descs.words):
+            memory.write_u64(self.irq_descs.word_address(i), 0x100 + i)
+        # Fixup table: chain of (key, next_index) pairs terminated by ~0.
+        n_pairs = self.fixup_table.words // 2
+        for i in range(n_pairs):
+            memory.write_u64(self.fixup_table.word_address(2 * i), 0x40 + 4 * i)
+            nxt = i + 1 if i + 1 < n_pairs else (1 << 64) - 1
+            memory.write_u64(self.fixup_table.word_address(2 * i + 1), nxt)
+        # Run queue: vcpu cookies with descending credits in the upper half.
+        half = self.runqueue.words // 2
+        for i in range(half):
+            memory.write_u64(self.runqueue.word_address(i), i)            # vcpu id
+            memory.write_u64(self.runqueue.word_address(half + i), 64 - i)  # credits

@@ -1,0 +1,181 @@
+"""The credit scheduler: Xen's default VCPU scheduling policy.
+
+A faithful model of the algorithm Xen 4.1 ships (sched_credit.c): each VCPU
+holds *credits* replenished in proportion to its weight every accounting
+epoch and debited while it runs; VCPUs with positive credits (``UNDER``)
+always run before those that have exhausted them (``OVER``); idle physical
+CPUs *steal* runnable work from their peers before idling.
+
+This is the substrate behind the paper's sched_op handlers and the engine
+the SMP platform uses to decide which guest's activations each core
+services.  The Listing 2 invariant ("verify VCPU is idle before idle its
+physical cpu") is this scheduler's contract.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import CampaignConfigError
+
+__all__ = ["Priority", "SchedVcpu", "CreditScheduler"]
+
+#: Credits debited from a running VCPU per accounting tick (Xen's value).
+CREDITS_PER_TICK = 100
+#: Credits granted per weight unit per accounting epoch.
+EPOCH_CREDITS = 300
+
+
+class Priority(enum.IntEnum):
+    """Run-queue priority bands (sched_credit's UNDER/OVER/IDLE)."""
+
+    UNDER = 0   # has credits remaining
+    OVER = 1    # exhausted its credits this epoch
+    IDLE = 2    # nothing to run
+
+
+@dataclass
+class SchedVcpu:
+    """Scheduler-side state of one VCPU."""
+
+    domain_id: int
+    vcpu_id: int
+    weight: int = 256
+    credits: int = 0
+    runnable: bool = True
+    running_on: int | None = None
+    total_ticks: int = 0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise CampaignConfigError("VCPU weight must be positive")
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.domain_id, self.vcpu_id)
+
+    @property
+    def priority(self) -> Priority:
+        if not self.runnable:
+            return Priority.IDLE
+        return Priority.UNDER if self.credits > 0 else Priority.OVER
+
+
+class CreditScheduler:
+    """Weighted proportional-share scheduling over N physical CPUs."""
+
+    def __init__(self, n_cpus: int = 1) -> None:
+        if n_cpus < 1:
+            raise CampaignConfigError("need at least one physical CPU")
+        self.n_cpus = n_cpus
+        self._vcpus: dict[tuple[int, int], SchedVcpu] = {}
+        #: Per-CPU FIFO run queues of vcpu keys.
+        self._runqueues: list[list[tuple[int, int]]] = [[] for _ in range(n_cpus)]
+        self._current: list[tuple[int, int] | None] = [None] * n_cpus
+
+    # -- registration ---------------------------------------------------------
+
+    def add_vcpu(self, domain_id: int, vcpu_id: int = 0, *, weight: int = 256,
+                 cpu: int | None = None) -> SchedVcpu:
+        """Register a VCPU; it starts with one epoch of credits."""
+        vcpu = SchedVcpu(domain_id, vcpu_id, weight=weight)
+        if vcpu.key in self._vcpus:
+            raise CampaignConfigError(f"vcpu {vcpu.key} already registered")
+        vcpu.credits = self._epoch_share(vcpu)
+        self._vcpus[vcpu.key] = vcpu
+        home = cpu if cpu is not None else len(self._vcpus) % self.n_cpus
+        self._runqueues[home % self.n_cpus].append(vcpu.key)
+        return vcpu
+
+    def vcpu(self, domain_id: int, vcpu_id: int = 0) -> SchedVcpu:
+        try:
+            return self._vcpus[(domain_id, vcpu_id)]
+        except KeyError:
+            raise CampaignConfigError(f"unknown vcpu ({domain_id}, {vcpu_id})") from None
+
+    @property
+    def vcpus(self) -> tuple[SchedVcpu, ...]:
+        return tuple(self._vcpus.values())
+
+    # -- credit accounting -----------------------------------------------------
+
+    def _epoch_share(self, vcpu: SchedVcpu) -> int:
+        total_weight = sum(v.weight for v in self._vcpus.values()) or vcpu.weight
+        return max(
+            CREDITS_PER_TICK,
+            EPOCH_CREDITS * self.n_cpus * vcpu.weight // total_weight,
+        )
+
+    def replenish(self) -> None:
+        """Start a new accounting epoch: hand out credits by weight."""
+        for vcpu in self._vcpus.values():
+            vcpu.credits = min(
+                vcpu.credits + self._epoch_share(vcpu), 2 * self._epoch_share(vcpu)
+            )
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def _pop_best(self, cpu: int, *, steal: bool) -> tuple[int, int] | None:
+        """Take the best-priority runnable VCPU from a queue (FIFO within a
+        priority band), optionally stealing from peers."""
+        queues = [cpu] + (
+            [c for c in range(self.n_cpus) if c != cpu] if steal else []
+        )
+        for priority in (Priority.UNDER, Priority.OVER):
+            for q in queues:
+                for key in self._runqueues[q]:
+                    vcpu = self._vcpus[key]
+                    if vcpu.runnable and vcpu.running_on is None and vcpu.priority is priority:
+                        self._runqueues[q].remove(key)
+                        return key
+        return None
+
+    def schedule(self, cpu: int) -> SchedVcpu | None:
+        """Pick the next VCPU for ``cpu`` (None -> the CPU idles).
+
+        The previously-running VCPU is requeued on this CPU first.
+        """
+        if not 0 <= cpu < self.n_cpus:
+            raise CampaignConfigError(f"no such cpu {cpu}")
+        previous = self._current[cpu]
+        if previous is not None:
+            self._vcpus[previous].running_on = None
+            self._runqueues[cpu].append(previous)
+        key = self._pop_best(cpu, steal=True)
+        self._current[cpu] = key
+        if key is None:
+            return None
+        vcpu = self._vcpus[key]
+        vcpu.running_on = cpu
+        return vcpu
+
+    def tick(self, cpu: int) -> None:
+        """One accounting tick on ``cpu``: debit the running VCPU."""
+        key = self._current[cpu]
+        if key is None:
+            return
+        vcpu = self._vcpus[key]
+        vcpu.credits -= CREDITS_PER_TICK
+        vcpu.total_ticks += 1
+
+    def block(self, domain_id: int, vcpu_id: int = 0) -> None:
+        """The VCPU blocked (the sched_op 'idle' path precondition)."""
+        self.vcpu(domain_id, vcpu_id).runnable = False
+
+    def wake(self, domain_id: int, vcpu_id: int = 0) -> None:
+        """An event arrived for a blocked VCPU (evtchn wakeup)."""
+        self.vcpu(domain_id, vcpu_id).runnable = True
+
+    # -- simulation convenience -------------------------------------------------------
+
+    def run_epochs(self, n_ticks: int) -> dict[tuple[int, int], int]:
+        """Round-robin the CPUs for ``n_ticks`` scheduling rounds and return
+        accumulated ticks per VCPU — the fairness experiment."""
+        for t in range(n_ticks):
+            if t % (EPOCH_CREDITS // CREDITS_PER_TICK) == 0:
+                self.replenish()
+            for cpu in range(self.n_cpus):
+                self.schedule(cpu)
+                self.tick(cpu)
+        return {v.key: v.total_ticks for v in self._vcpus.values()}

@@ -1,0 +1,186 @@
+"""VM-exit reason taxonomy.
+
+Section IV of the paper enumerates five groups of hypervisor entry points in
+Xen 4.1.2, all of which Xentry intercepts:
+
+1. common interrupts (``do_irq``),
+2. ten APIC interrupt handlers,
+3. software interrupt and tasklet (``do_softirq`` / ``do_tasklet``),
+4. nineteen exception handlers,
+5. thirty-eight hypercalls.
+
+Hardware-assisted (HVM) guests additionally exit through VMCS-coded reasons
+(cpuid, I/O instructions, EPT violations, ...).  Every reason gets a stable
+integer id — the VMER feature of Table I.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import MachineConfigError
+
+__all__ = [
+    "ExitCategory",
+    "ExitReason",
+    "HYPERCALL_NAMES",
+    "EXCEPTION_NAMES",
+    "APIC_NAMES",
+    "HVM_EXIT_NAMES",
+    "ExitReasonRegistry",
+    "REGISTRY",
+]
+
+
+class ExitCategory(enum.Enum):
+    """The five PV entry-point groups of Section IV, plus HVM VMCS exits."""
+
+    COMMON_IRQ = "common_irq"
+    APIC = "apic"
+    SOFTIRQ = "softirq"
+    EXCEPTION = "exception"
+    HYPERCALL = "hypercall"
+    HVM = "hvm"
+
+
+#: The 38 hypercalls of Xen 4.1.2 (unstable ABI numbering order).
+HYPERCALL_NAMES: tuple[str, ...] = (
+    "set_trap_table", "mmu_update", "set_gdt", "stack_switch",
+    "set_callbacks", "fpu_taskswitch", "sched_op_compat", "platform_op",
+    "set_debugreg", "get_debugreg", "update_descriptor", "memory_op",
+    "multicall", "update_va_mapping", "set_timer_op", "event_channel_op_compat",
+    "xen_version", "console_io", "physdev_op_compat", "grant_table_op",
+    "vm_assist", "update_va_mapping_otherdomain", "iret", "vcpu_op",
+    "set_segment_base", "mmuext_op", "xsm_op", "nmi_op",
+    "sched_op", "callback_op", "xenoprof_op", "event_channel_op",
+    "physdev_op", "hvm_op", "sysctl", "domctl",
+    "kexec_op", "tmem_op",
+)
+assert len(HYPERCALL_NAMES) == 38
+
+#: The 19 exception handlers wired in Xen's trap table.
+EXCEPTION_NAMES: tuple[str, ...] = (
+    "divide_error", "debug", "nmi", "int3", "overflow", "bounds",
+    "invalid_op", "device_not_available", "double_fault",
+    "coprocessor_segment_overrun", "invalid_tss", "segment_not_present",
+    "stack_segment", "general_protection", "page_fault",
+    "spurious_interrupt_bug", "coprocessor_error", "alignment_check",
+    "simd_coprocessor_error",
+)
+assert len(EXCEPTION_NAMES) == 19
+
+#: The ten APIC interrupt handlers (category 2 of Section IV).
+APIC_NAMES: tuple[str, ...] = (
+    "apic_timer", "error_interrupt", "spurious_interrupt", "thermal_interrupt",
+    "pmu_apic", "call_function", "event_check", "invalidate_tlb",
+    "irq_move_cleanup", "cmci",
+)
+assert len(APIC_NAMES) == 10
+
+#: VMCS-coded exit reasons used by hardware-assisted guests.
+HVM_EXIT_NAMES: tuple[str, ...] = (
+    "hvm_cpuid", "hvm_io_instruction", "hvm_ept_violation", "hvm_msr_read",
+    "hvm_msr_write", "hvm_hlt", "hvm_interrupt_window", "hvm_external_interrupt",
+    "hvm_pause", "hvm_cr_access",
+)
+
+
+@dataclass(frozen=True)
+class ExitReason:
+    """One interceptable hypervisor entry point.
+
+    ``vmer`` is the integer fed to the classifier as the VMER feature;
+    ``handler_label`` names the entry label inside the hypervisor image;
+    ``arg_ranges`` bounds the legal values of each handler argument, which the
+    workload generator respects so fault-free runs never self-fault.
+    """
+
+    vmer: int
+    name: str
+    category: ExitCategory
+    arg_ranges: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def handler_label(self) -> str:
+        return f"handler.{self.name}"
+
+
+class ExitReasonRegistry:
+    """Immutable id <-> reason mapping for every exit reason."""
+
+    def __init__(self) -> None:
+        reasons: list[ExitReason] = []
+
+        def add(name: str, category: ExitCategory,
+                arg_ranges: tuple[tuple[int, int], ...] = ()) -> None:
+            reasons.append(ExitReason(len(reasons), name, category, arg_ranges))
+
+        # Group 1: one do_irq interface; the IRQ number is an argument.
+        add("do_irq", ExitCategory.COMMON_IRQ, ((0, 31),))
+        # Group 2: APIC handlers.
+        for name in APIC_NAMES:
+            add(name, ExitCategory.APIC, ((0, 15),))
+        # Group 3: softirq and tasklet.
+        add("do_softirq", ExitCategory.SOFTIRQ, ((0, 63),))
+        add("do_tasklet", ExitCategory.SOFTIRQ, ((0, 15),))
+        # Group 4: exceptions.
+        for name in EXCEPTION_NAMES:
+            add(name, ExitCategory.EXCEPTION, ((0, 15), (0, 255)))
+        # Group 5: hypercalls.  First arg is a batch count / port with a
+        # characteristic operating range; second a small selector.  Real
+        # guests issue requests in these bands — oversized counts are
+        # rejected by the handlers (as Xen returns -EINVAL), so values
+        # outside the band only arise from faults.
+        for name in HYPERCALL_NAMES:
+            add(name, ExitCategory.HYPERCALL, ((2, 24), (0, 7)))
+        # HVM VMCS exits.
+        for name in HVM_EXIT_NAMES:
+            add(name, ExitCategory.HVM, ((0, 31),))
+
+        self._reasons = tuple(reasons)
+        self._by_name = {r.name: r for r in reasons}
+
+    def __len__(self) -> int:
+        return len(self._reasons)
+
+    def __iter__(self):
+        return iter(self._reasons)
+
+    def by_vmer(self, vmer: int) -> ExitReason:
+        if not 0 <= vmer < len(self._reasons):
+            raise MachineConfigError(f"unknown VMER {vmer}")
+        return self._reasons[vmer]
+
+    def by_name(self, name: str) -> ExitReason:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise MachineConfigError(f"unknown exit reason {name!r}") from None
+
+    def in_category(self, category: ExitCategory) -> tuple[ExitReason, ...]:
+        return tuple(r for r in self._reasons if r.category is category)
+
+    @property
+    def pv_reasons(self) -> tuple[ExitReason, ...]:
+        """Entry points reachable from a para-virtualized guest."""
+        return tuple(r for r in self._reasons if r.category is not ExitCategory.HVM)
+
+    @property
+    def hvm_reasons(self) -> tuple[ExitReason, ...]:
+        """Exit reasons reachable from a hardware-assisted guest.
+
+        HVM guests exit via VMCS reasons and hypercalls (vmcall), and the
+        host still services interrupts while they run.
+        """
+        return tuple(
+            r
+            for r in self._reasons
+            if r.category
+            in (ExitCategory.HVM, ExitCategory.HYPERCALL, ExitCategory.COMMON_IRQ,
+                ExitCategory.APIC, ExitCategory.SOFTIRQ)
+        )
+
+
+#: Singleton registry used across the package.
+REGISTRY = ExitReasonRegistry()

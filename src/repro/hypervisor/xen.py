@@ -1,0 +1,303 @@
+"""The Xen-like hypervisor: image construction and activation execution.
+
+:class:`XenHypervisor` wires the substrate together: it builds the text image
+(every handler + the subroutine library), lays out and initializes the data
+structures, and executes *activations* — single hypervisor executions between
+a VM exit and the following VM entry, the unit of everything the paper
+measures.
+
+The execution path mirrors Fig. 4: an optional *interceptor* (Xentry) is
+called at VM exit (to arm performance counters) and again at VM entry (to run
+VM-transition detection) around the original handler execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro import rng as rng_mod
+from repro.errors import MachineConfigError
+from repro.hypervisor.domain import DomainView, VcpuView
+from repro.hypervisor.handlers.archetypes import OutputRef, emit_handler
+from repro.hypervisor.handlers.registry import Hardening, build_handler_table
+from repro.hypervisor.image import ImageBuilder, MemoryMap
+from repro.hypervisor.layout import HypervisorLayout, Slot
+from repro.hypervisor.vmexit import ExitReason, ExitReasonRegistry, REGISTRY
+from repro.machine.cpu import CPUCore, ExecutionResult
+from repro.machine.isa import Op, Program
+from repro.machine.perfcounters import CounterSample
+
+__all__ = ["Activation", "ActivationResult", "TransitionInterceptor", "XenHypervisor"]
+
+_ARG_REGISTERS = ("rdi", "rsi", "rdx", "r8", "r9")
+
+
+@dataclass(frozen=True)
+class Activation:
+    """One hypervisor activation: a VM exit with its cause and arguments.
+
+    ``seq`` sequences the activation within its run so that time (TSC) and
+    guest-supplied request data are deterministic — the property that makes
+    golden/faulty run pairs comparable.
+    """
+
+    vmer: int
+    args: tuple[int, ...] = ()
+    domain_id: int = 1
+    vcpu_id: int = 0
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.args) > len(_ARG_REGISTERS):
+            raise MachineConfigError(
+                f"at most {len(_ARG_REGISTERS)} handler args supported"
+            )
+
+
+@dataclass(frozen=True)
+class ActivationResult:
+    """Outcome of one fault-free-or-not activation that reached VM entry."""
+
+    activation: Activation
+    reason: ExitReason
+    exit_op: Op
+    instructions: int
+    path_hash: int
+    sample: CounterSample
+    tsc_end: int
+
+    @property
+    def features(self) -> tuple[int, int, int, int, int]:
+        """The Table I feature vector: (VMER, RT, BR, RM, WM)."""
+        return (
+            self.reason.vmer,
+            self.sample.instructions,
+            self.sample.branches,
+            self.sample.loads,
+            self.sample.stores,
+        )
+
+
+class TransitionInterceptor(Protocol):
+    """Xentry's hooks around an activation (Fig. 4's shim position)."""
+
+    def on_vm_exit(self, hypervisor: "XenHypervisor", activation: Activation) -> None:
+        """Called after the VM exit, before the original handler runs."""
+
+    def on_vm_entry(
+        self,
+        hypervisor: "XenHypervisor",
+        activation: Activation,
+        result: ActivationResult,
+    ) -> None:
+        """Called after the handler finished, before the guest resumes."""
+
+
+class XenHypervisor:
+    """A fully-wired simulated hypervisor platform."""
+
+    def __init__(
+        self,
+        *,
+        n_domains: int = 3,
+        vcpus_per_domain: int = 1,
+        memory_map: MemoryMap | None = None,
+        registry: ExitReasonRegistry = REGISTRY,
+        seed: int = 0,
+        max_instructions: int = 10_000,
+        hardening: Hardening | None = None,
+        n_cores: int = 1,
+    ) -> None:
+        if n_cores < 1:
+            raise MachineConfigError("need at least one core")
+        self.memory_map = memory_map or MemoryMap(n_cpus=n_cores)
+        if self.memory_map.n_cpus < n_cores:
+            raise MachineConfigError(
+                f"memory map provides {self.memory_map.n_cpus} stacks for {n_cores} cores"
+            )
+        self.registry = registry
+        self.seed = seed
+        self.max_instructions = max_instructions
+        self.hardening = hardening
+        self.layout = HypervisorLayout(
+            heap_base=self.memory_map.heap_base,
+            heap_size=self.memory_map.heap_size,
+            n_domains=n_domains,
+            vcpus_per_domain=vcpus_per_domain,
+        )
+        self.memory = self.memory_map.create_memory()
+        builder = ImageBuilder(self.layout, self.memory_map)
+        builder.emit_subroutines()
+        self.handler_table = build_handler_table(registry, hardening)
+        for reason in registry:
+            emit_handler(builder, reason, self.handler_table[reason.vmer])
+        self.builder = builder
+        self.program: Program = builder.assemble()
+        self.layout.initialize(self.memory)
+        self.memory.write_u64(
+            self.layout.globals_.word_address(1), 2_130_000  # kHz calibration
+        )
+        self._initial_state = self.memory.checkpoint()
+        #: One logical core per physical CPU (Fig. 4: Xentry instances run
+        #: per-CPU; counters are not shared between logical cores).
+        self.cores: tuple[CPUCore, ...] = tuple(
+            CPUCore(i, self.memory) for i in range(n_cores)
+        )
+        self.cpu = self.cores[0]
+        self._tsc_base = 1_000_000
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def n_domains(self) -> int:
+        return len(self.layout.domains)
+
+    def domain(self, domain_id: int) -> DomainView:
+        return DomainView(self.memory, self.layout.domains[domain_id])
+
+    def vcpu(self, domain_id: int, vcpu_id: int = 0) -> VcpuView:
+        return self.domain(domain_id).vcpu(vcpu_id)
+
+    # -- state management ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Restore the post-boot machine state (memory + all cores)."""
+        self.memory.restore(self._initial_state)
+        for core in self.cores:
+            core.regs.reset()
+            core.pmu.reset()
+            core.tracer.reset()
+            core.clear_injection()
+            core.tsc = self._tsc_base
+
+    def checkpoint(self) -> dict[int, bytes]:
+        """Capture current memory for a golden/faulty run pair."""
+        return self.memory.checkpoint()
+
+    def restore(self, snapshot: dict[int, bytes]) -> None:
+        self.memory.restore(snapshot)
+
+    # -- activation execution ----------------------------------------------------------
+
+    def prepare(self, activation: Activation, *, core_id: int = 0) -> None:
+        """Set up registers, guest request data and guest VCPU frame.
+
+        Deterministic in (seed, activation): preparing the same activation
+        twice from the same memory state yields identical runs.
+        """
+        reason = self.registry.by_vmer(activation.vmer)
+        if not 0 <= activation.domain_id < self.n_domains:
+            raise MachineConfigError(f"no domain {activation.domain_id}")
+        core = self.cores[core_id]
+        regs = core.regs
+        regs.reset()
+        for reg, value in zip(_ARG_REGISTERS, activation.args):
+            regs[reg] = value
+        regs["rbp"] = self.layout.globals_.address
+        regs["r12"] = self.builder.domain_base(activation.domain_id)
+        regs["r13"] = self.builder.vcpu_base(activation.domain_id, activation.vcpu_id)
+        regs["rsp"] = self.memory_map.stack_top_for(core_id)
+        # Deterministic TSC: advances with the activation sequence number.
+        core.tsc = self._tsc_base + activation.seq * 10_000
+        # Guest-supplied request payload (DMA-style block write).
+        fill = rng_mod.stream(self.seed, "guest_request", activation.vmer,
+                              activation.args, activation.seq)
+        req = self.layout.guest_request
+        words = fill.integers(0, 1 << 32, size=req.words, dtype="int64")
+        self.memory.write_block(req.address, words.astype("<u8").tobytes())
+        # Guest VCPU frame: the registers the guest trapped with.
+        vcpu = self.vcpu(activation.domain_id, activation.vcpu_id)
+        vcpu.set_reg(0, activation.args[0] if activation.args else 0)   # guest rax
+        vcpu.set_reg(15, 0x0000_7F00_0000_1000 + activation.seq * 16)   # guest rip
+        _ = reason  # validated above
+
+    def execute(
+        self,
+        activation: Activation,
+        *,
+        interceptor: TransitionInterceptor | None = None,
+        max_instructions: int | None = None,
+        core_id: int = 0,
+    ) -> ActivationResult:
+        """Run one activation from VM exit to VM entry on core ``core_id``.
+
+        Simulated architectural events (:class:`HardwareException`,
+        :class:`AssertionViolation`, :class:`SimulationLimitExceeded`)
+        propagate to the caller — they are what the runtime detection layer
+        consumes.
+        """
+        reason = self.registry.by_vmer(activation.vmer)
+        core = self.cores[core_id]
+        self.prepare(activation, core_id=core_id)
+        if interceptor is not None:
+            interceptor.on_vm_exit(self, activation)
+        core.tracer.reset()
+        core.pmu.arm()
+        entry = self.program.address_of(reason.handler_label)
+        exec_result: ExecutionResult = core.run(
+            self.program,
+            entry,
+            max_instructions=max_instructions or self.max_instructions,
+        )
+        sample = core.pmu.collect()
+        result = ActivationResult(
+            activation=activation,
+            reason=reason,
+            exit_op=exec_result.exit_op,
+            instructions=exec_result.instructions,
+            path_hash=exec_result.path_hash,
+            sample=sample,
+            tsc_end=exec_result.tsc_end,
+        )
+        if interceptor is not None:
+            interceptor.on_vm_entry(self, activation, result)
+        return result
+
+    # -- guest-visible outputs ------------------------------------------------------
+
+    def output_addresses(self, activation: Activation) -> list[tuple[int, Slot, OutputRef]]:
+        """Resolve the guest-visible output words of ``activation``'s handler.
+
+        Returns ``(address, slot, ref)`` triples; the outcome classifier
+        compares these words between golden and faulty runs to decide whether
+        an error propagated across VM entry (long-latency errors, Fig. 9).
+        """
+        params = self.handler_table[activation.vmer]
+        dom = self.layout.domains[activation.domain_id]
+        vcpu = dom.vcpus[activation.vcpu_id]
+        out: list[tuple[int, Slot, OutputRef]] = []
+
+        def add(slot: Slot, ref: OutputRef, words: range) -> None:
+            for w in words:
+                out.append((slot.word_address(w), slot, ref))
+
+        for ref in params.outputs:
+            if ref is OutputRef.VCPU_REG0:
+                add(vcpu.regs, ref, range(0, 1))
+            elif ref is OutputRef.VCPU_REG1:
+                add(vcpu.regs, ref, range(1, 2))
+            elif ref is OutputRef.VCPU_REG2:
+                add(vcpu.regs, ref, range(2, 3))
+            elif ref is OutputRef.VCPU_REG3:
+                add(vcpu.regs, ref, range(3, 4))
+            elif ref is OutputRef.VCPU_PENDING:
+                add(vcpu.pending, ref, range(vcpu.pending.words))
+            elif ref is OutputRef.VCPU_TRAPNO:
+                add(vcpu.trapno, ref, range(vcpu.trapno.words))
+            elif ref is OutputRef.VCPU_TIME:
+                add(vcpu.time, ref, range(vcpu.time.words))
+            elif ref is OutputRef.WALLCLOCK:
+                add(dom.wallclock, ref, range(dom.wallclock.words))
+            elif ref is OutputRef.EVTCHN_PENDING:
+                add(dom.evtchn_pending, ref, range(dom.evtchn_pending.words))
+            elif ref is OutputRef.GRANT_FRAMES:
+                add(dom.grant_frames, ref, range(dom.grant_frames.words))
+        return out
+
+    def read_outputs(self, activation: Activation) -> dict[int, int]:
+        """Current values of the activation's guest-visible output words."""
+        return {
+            addr: self.memory.read_u64(addr)
+            for addr, _, _ in self.output_addresses(activation)
+        }

@@ -1,0 +1,328 @@
+"""Two-pass assembler for the toy ISA.
+
+Handler code is authored through either a fluent builder API (used by the
+hypervisor image templates in :mod:`repro.hypervisor.handlers`) or a small
+text syntax (used in tests and examples)::
+
+    entry:
+        mov rax, 5
+        load rbx, [rbp+8]
+        add rax, rbx
+        cmp rax, 100
+        jl entry
+        assert_range rax, 0, 255, bound_check
+        vmentry
+
+Pass one records instructions and label positions; pass two resolves every
+label to an absolute byte address.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblyError
+from repro.machine.flags import CONDITION_CODES
+from repro.machine.isa import INSTRUCTION_BYTES, Imm, Instr, Mem, Op, Program, Reg
+from repro.machine.registers import ALL_REGISTERS
+
+__all__ = ["Assembler", "parse_asm"]
+
+_REGISTER_NAMES = frozenset(ALL_REGISTERS)
+
+
+def _reg(name: str) -> Reg:
+    if name not in _REGISTER_NAMES:
+        raise AssemblyError(f"unknown register {name!r}")
+    return Reg(name)
+
+
+def _operand(token: str | int | Reg | Imm) -> Reg | Imm:
+    """Coerce a builder argument into a register or immediate operand."""
+    if isinstance(token, (Reg, Imm)):
+        return token
+    if isinstance(token, int):
+        return Imm(token)
+    if token in _REGISTER_NAMES:
+        return Reg(token)
+    raise AssemblyError(f"cannot interpret operand {token!r}")
+
+
+class Assembler:
+    """Accumulates instructions and labels; :meth:`assemble` resolves them."""
+
+    def __init__(self, base: int = 0) -> None:
+        if base % INSTRUCTION_BYTES:
+            raise AssemblyError(f"base {base:#x} must be {INSTRUCTION_BYTES}-byte aligned")
+        self.base = base
+        self._instrs: list[Instr] = []
+        self._labels: dict[str, int] = {}
+
+    # -- layout ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instrs)
+
+    @property
+    def here(self) -> int:
+        """Byte address of the next instruction to be emitted."""
+        return self.base + len(self._instrs) * INSTRUCTION_BYTES
+
+    def label(self, name: str) -> str:
+        """Define ``name`` at the current position; returns the name."""
+        if name in self._labels:
+            raise AssemblyError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instrs)
+        return name
+
+    def emit(self, instr: Instr) -> None:
+        self._instrs.append(instr)
+
+    # -- data movement --------------------------------------------------------
+
+    def mov(self, dst: str, src: str | int) -> None:
+        self.emit(Instr(Op.MOV, dst=_reg(dst), src=_operand(src)))
+
+    def load(self, dst: str, base: str, disp: int = 0) -> None:
+        self.emit(Instr(Op.LOAD, dst=_reg(dst), src=Mem(_reg(base), disp)))
+
+    def store(self, base: str, disp: int, src: str | int) -> None:
+        self.emit(Instr(Op.STORE, dst=Mem(_reg(base), disp), src=_operand(src)))
+
+    def lea(self, dst: str, base: str, disp: int = 0) -> None:
+        self.emit(Instr(Op.LEA, dst=_reg(dst), src=Mem(_reg(base), disp)))
+
+    def push(self, src: str) -> None:
+        self.emit(Instr(Op.PUSH, src=_reg(src)))
+
+    def pop(self, dst: str) -> None:
+        self.emit(Instr(Op.POP, dst=_reg(dst)))
+
+    # -- ALU --------------------------------------------------------------------
+
+    def _alu(self, op: Op, dst: str, src: str | int) -> None:
+        self.emit(Instr(op, dst=_reg(dst), src=_operand(src)))
+
+    def add(self, dst: str, src: str | int) -> None:
+        self._alu(Op.ADD, dst, src)
+
+    def sub(self, dst: str, src: str | int) -> None:
+        self._alu(Op.SUB, dst, src)
+
+    def and_(self, dst: str, src: str | int) -> None:
+        self._alu(Op.AND, dst, src)
+
+    def or_(self, dst: str, src: str | int) -> None:
+        self._alu(Op.OR, dst, src)
+
+    def xor(self, dst: str, src: str | int) -> None:
+        self._alu(Op.XOR, dst, src)
+
+    def imul(self, dst: str, src: str | int) -> None:
+        self._alu(Op.IMUL, dst, src)
+
+    def div(self, dst: str, src: str) -> None:
+        self._alu(Op.DIV, dst, src)
+
+    def shl(self, dst: str, amount: int | str) -> None:
+        self._alu(Op.SHL, dst, amount)
+
+    def shr(self, dst: str, amount: int | str) -> None:
+        self._alu(Op.SHR, dst, amount)
+
+    def cmp(self, a: str, b: str | int) -> None:
+        self._alu(Op.CMP, a, b)
+
+    def test(self, a: str, b: str | int) -> None:
+        self._alu(Op.TEST, a, b)
+
+    def inc(self, dst: str) -> None:
+        self.emit(Instr(Op.INC, dst=_reg(dst)))
+
+    def dec(self, dst: str) -> None:
+        self.emit(Instr(Op.DEC, dst=_reg(dst)))
+
+    # -- control flow -----------------------------------------------------------
+
+    def jmp(self, label: str) -> None:
+        self.emit(Instr(Op.JMP, label=label))
+
+    def jcc(self, cond: str, label: str) -> None:
+        if cond not in CONDITION_CODES:
+            raise AssemblyError(f"unknown condition code {cond!r}")
+        self.emit(Instr(Op.JCC, cond=cond, label=label))
+
+    def call(self, label: str) -> None:
+        self.emit(Instr(Op.CALL, label=label))
+
+    def ret(self) -> None:
+        self.emit(Instr(Op.RET))
+
+    # -- special ------------------------------------------------------------------
+
+    def rep_movs(self) -> None:
+        self.emit(Instr(Op.REP_MOVS))
+
+    def rdtsc(self) -> None:
+        self.emit(Instr(Op.RDTSC))
+
+    def cpuid(self) -> None:
+        self.emit(Instr(Op.CPUID))
+
+    def assert_range(self, reg: str, lo: int, hi: int, assert_id: str) -> None:
+        self.emit(Instr(Op.ASSERT_RANGE, dst=_reg(reg), lo=lo, hi=hi, assert_id=assert_id))
+
+    def assert_eq(self, reg: str, value: int, assert_id: str) -> None:
+        self.emit(Instr(Op.ASSERT_EQ, dst=_reg(reg), lo=value, hi=value, assert_id=assert_id))
+
+    def assert_eq_reg(self, a: str, b: str, assert_id: str) -> None:
+        """Redundancy check: the two registers must hold the same value
+        (the Section VI duplicate-and-verify proposal)."""
+        self.emit(Instr(Op.ASSERT_EQ_REG, dst=_reg(a), src=_reg(b), assert_id=assert_id))
+
+    def nop(self) -> None:
+        self.emit(Instr(Op.NOP))
+
+    def vmentry(self) -> None:
+        self.emit(Instr(Op.VMENTRY))
+
+    def halt(self) -> None:
+        self.emit(Instr(Op.HALT))
+
+    # -- assembly -------------------------------------------------------------------
+
+    def assemble(self) -> Program:
+        """Resolve labels and produce an executable :class:`Program`."""
+        labels = {
+            name: self.base + idx * INSTRUCTION_BYTES
+            for name, idx in self._labels.items()
+        }
+        resolved: list[Instr] = []
+        for instr in self._instrs:
+            if instr.label is not None:
+                if instr.label not in labels:
+                    raise AssemblyError(f"unresolved label {instr.label!r}")
+                resolved.append(
+                    Instr(
+                        instr.op,
+                        dst=instr.dst,
+                        src=instr.src,
+                        target=labels[instr.label],
+                        cond=instr.cond,
+                        assert_id=instr.assert_id,
+                        lo=instr.lo,
+                        hi=instr.hi,
+                    )
+                )
+            else:
+                resolved.append(instr)
+        return Program(self.base, resolved, labels)
+
+
+# -- text syntax -----------------------------------------------------------------
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*):$")
+_MEM_RE = re.compile(r"^\[([a-z0-9]+)(?:\s*([+-])\s*(0[xX][0-9a-fA-F]+|\d+))?\]$")
+_JCC_RE = re.compile(r"^j(" + "|".join(CONDITION_CODES) + r")$")
+
+
+def _split_operands(rest: str) -> list[str]:
+    return [tok.strip() for tok in rest.split(",")] if rest.strip() else []
+
+
+def _parse_int(token: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"expected integer, got {token!r}") from None
+
+
+def _parse_mem(token: str) -> tuple[str, int]:
+    m = _MEM_RE.match(token)
+    if not m:
+        raise AssemblyError(f"expected memory operand like [rbp+8], got {token!r}")
+    base, sign, disp = m.group(1), m.group(2), m.group(3)
+    offset = int(disp, 0) if disp else 0
+    return base, -offset if sign == "-" else offset
+
+
+def parse_asm(text: str, base: int = 0) -> Program:
+    """Assemble text-syntax source into a :class:`Program`."""
+    asm = Assembler(base=base)
+    for raw_line in text.splitlines():
+        line = raw_line.split(";", 1)[0].strip()
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            asm.label(label_match.group(1))
+            continue
+        mnemonic, _, rest = line.partition(" ")
+        mnemonic = mnemonic.lower()
+        ops = _split_operands(rest)
+        jcc = _JCC_RE.match(mnemonic)
+        if jcc:
+            _expect(ops, 1, line)
+            asm.jcc(jcc.group(1), ops[0])
+            continue
+        _dispatch_text(asm, mnemonic, ops, line)
+    return asm.assemble()
+
+
+def _expect(ops: list[str], n: int, line: str) -> None:
+    if len(ops) != n:
+        raise AssemblyError(f"expected {n} operand(s) in {line!r}, got {len(ops)}")
+
+
+def _reg_or_imm(token: str) -> str | int:
+    return token if token in _REGISTER_NAMES else _parse_int(token)
+
+
+def _dispatch_text(asm: Assembler, mnemonic: str, ops: list[str], line: str) -> None:
+    if mnemonic == "mov":
+        _expect(ops, 2, line)
+        asm.mov(ops[0], _reg_or_imm(ops[1]))
+    elif mnemonic == "load":
+        _expect(ops, 2, line)
+        base, disp = _parse_mem(ops[1])
+        asm.load(ops[0], base, disp)
+    elif mnemonic == "store":
+        _expect(ops, 2, line)
+        base, disp = _parse_mem(ops[0])
+        asm.store(base, disp, _reg_or_imm(ops[1]))
+    elif mnemonic == "lea":
+        _expect(ops, 2, line)
+        base, disp = _parse_mem(ops[1])
+        asm.lea(ops[0], base, disp)
+    elif mnemonic in ("add", "sub", "xor", "imul", "cmp", "test"):
+        _expect(ops, 2, line)
+        getattr(asm, mnemonic)(ops[0], _reg_or_imm(ops[1]))
+    elif mnemonic in ("and", "or"):
+        _expect(ops, 2, line)
+        getattr(asm, mnemonic + "_")(ops[0], _reg_or_imm(ops[1]))
+    elif mnemonic in ("shl", "shr"):
+        _expect(ops, 2, line)
+        getattr(asm, mnemonic)(ops[0], _reg_or_imm(ops[1]))
+    elif mnemonic == "div":
+        _expect(ops, 2, line)
+        asm.div(ops[0], ops[1])
+    elif mnemonic in ("inc", "dec", "push", "pop"):
+        _expect(ops, 1, line)
+        getattr(asm, mnemonic)(ops[0])
+    elif mnemonic in ("jmp", "call"):
+        _expect(ops, 1, line)
+        getattr(asm, mnemonic)(ops[0])
+    elif mnemonic in ("ret", "rep_movs", "rdtsc", "cpuid", "nop", "vmentry", "halt"):
+        _expect(ops, 0, line)
+        getattr(asm, mnemonic)()
+    elif mnemonic == "assert_range":
+        _expect(ops, 4, line)
+        asm.assert_range(ops[0], _parse_int(ops[1]), _parse_int(ops[2]), ops[3])
+    elif mnemonic == "assert_eq":
+        _expect(ops, 3, line)
+        asm.assert_eq(ops[0], _parse_int(ops[1]), ops[2])
+    elif mnemonic == "assert_eq_reg":
+        _expect(ops, 3, line)
+        asm.assert_eq_reg(ops[0], ops[1], ops[2])
+    else:
+        raise AssemblyError(f"unknown mnemonic {mnemonic!r} in {line!r}")

@@ -1,0 +1,684 @@
+"""CPU core: fetch/decode/execute with fault-injection hooks.
+
+One :class:`CPUCore` models a logical core executing host-mode (hypervisor)
+code.  The core owns the architectural register file, a performance-counter
+bank, a tracer, and a time-stamp counter; memory is shared machine state.
+
+Fault injection is a first-class citizen: :meth:`CPUCore.schedule_register_flip`
+arms a single-bit flip to be applied immediately before a chosen *dynamic*
+instruction, after which the core tracks whether the flipped register is read
+before it is overwritten — the paper's activated/non-activated distinction
+(Section V.B: "Only soft errors occurring before reading registers can be
+activated").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import MachineConfigError, SimulationLimitExceeded
+from repro.machine.exceptions import (
+    AssertionViolation,
+    HardwareException,
+    PageFaultKind,
+    Vector,
+)
+from repro.machine.flags import condition_met, update_flags_arith, update_flags_logic
+from repro.machine.isa import (
+    INSTRUCTION_BYTES,
+    Imm,
+    Instr,
+    Mem,
+    Op,
+    Program,
+    Reg,
+)
+from repro.machine.memory import Memory, is_canonical
+from repro.machine.perfcounters import PerformanceCounterUnit
+from repro.machine.registers import MASK64, RegisterFile
+from repro.machine.tracer import Tracer
+
+__all__ = [
+    "CPUCore",
+    "ExecutionResult",
+    "InjectionReport",
+    "instr_register_accesses",
+    "DEFAULT_CPUID_TABLE",
+]
+
+_RIP = RegisterFile.index_of("rip")
+_RSP = RegisterFile.index_of("rsp")
+_RFLAGS = RegisterFile.index_of("rflags")
+_RAX = RegisterFile.index_of("rax")
+_RBX = RegisterFile.index_of("rbx")
+_RCX = RegisterFile.index_of("rcx")
+_RDX = RegisterFile.index_of("rdx")
+_RSI = RegisterFile.index_of("rsi")
+_RDI = RegisterFile.index_of("rdi")
+
+#: Deterministic CPUID leaves: leaf -> (eax, ebx, ecx, edx).  Values echo a
+#: Xeon-like identification block; what matters for the reproduction is that
+#: the hypervisor's trap-and-emulate path produces *specific* values a guest
+#: will consume (the Section II.A long-latency example).
+DEFAULT_CPUID_TABLE: dict[int, tuple[int, int, int, int]] = {
+    0x0: (0x0000000B, 0x756E6547, 0x6C65746E, 0x49656E69),  # "GenuineIntel"
+    0x1: (0x000106A5, 0x00100800, 0x009CE3BD, 0xBFEBFBFF),  # family/model/features
+    0x2: (0x55035A01, 0x00F0B2E4, 0x00000000, 0x09CA212C),
+    0x4: (0x1C004121, 0x01C0003F, 0x0000003F, 0x00000000),
+    0x80000000: (0x80000008, 0, 0, 0),
+    0x80000008: (0x00003028, 0, 0, 0),
+}
+
+
+def instr_register_accesses(instr: Instr) -> tuple[frozenset[int], frozenset[int]]:
+    """Return ``(reads, writes)`` register-index sets for ``instr``.
+
+    RIP is deliberately excluded (every instruction touches it); flips in RIP
+    are always considered activated by the injector.  The sets drive the
+    activated/non-activated classification of injected faults.
+    """
+    op = instr.op
+    reads: set[int] = set()
+    writes: set[int] = set()
+
+    def _src_reads() -> None:
+        if isinstance(instr.src, Reg):
+            reads.add(instr.src.index)
+        elif isinstance(instr.src, Mem):
+            reads.add(instr.src.base.index)
+
+    if op is Op.MOV:
+        _src_reads()
+        writes.add(instr.dst.index)  # type: ignore[union-attr]
+    elif op in (Op.LOAD, Op.LEA):
+        reads.add(instr.src.base.index)  # type: ignore[union-attr]
+        writes.add(instr.dst.index)  # type: ignore[union-attr]
+    elif op is Op.STORE:
+        reads.add(instr.dst.base.index)  # type: ignore[union-attr]
+        if isinstance(instr.src, Reg):
+            reads.add(instr.src.index)
+    elif op in (Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.IMUL, Op.DIV, Op.SHL, Op.SHR):
+        reads.add(instr.dst.index)  # type: ignore[union-attr]
+        _src_reads()
+        writes.add(instr.dst.index)  # type: ignore[union-attr]
+        writes.add(_RFLAGS)
+    elif op in (Op.CMP, Op.TEST):
+        reads.add(instr.dst.index)  # type: ignore[union-attr]
+        _src_reads()
+        writes.add(_RFLAGS)
+    elif op in (Op.INC, Op.DEC):
+        reads.add(instr.dst.index)  # type: ignore[union-attr]
+        writes.add(instr.dst.index)  # type: ignore[union-attr]
+        writes.add(_RFLAGS)
+    elif op is Op.JCC:
+        reads.add(_RFLAGS)
+    elif op is Op.CALL:
+        reads.add(_RSP)
+        writes.add(_RSP)
+    elif op is Op.RET:
+        reads.add(_RSP)
+        writes.add(_RSP)
+    elif op is Op.PUSH:
+        reads.add(_RSP)
+        reads.add(instr.src.index)  # type: ignore[union-attr]
+        writes.add(_RSP)
+    elif op is Op.POP:
+        reads.add(_RSP)
+        writes.add(_RSP)
+        writes.add(instr.dst.index)  # type: ignore[union-attr]
+    elif op is Op.REP_MOVS:
+        reads.update((_RCX, _RSI, _RDI))
+        writes.update((_RCX, _RSI, _RDI))
+    elif op is Op.RDTSC:
+        writes.update((_RAX, _RDX))
+    elif op is Op.CPUID:
+        reads.add(_RAX)
+        writes.update((_RAX, _RBX, _RCX, _RDX))
+    elif op in (Op.ASSERT_RANGE, Op.ASSERT_EQ):
+        reads.add(instr.dst.index)  # type: ignore[union-attr]
+    elif op is Op.ASSERT_EQ_REG:
+        reads.add(instr.dst.index)  # type: ignore[union-attr]
+        reads.add(instr.src.index)  # type: ignore[union-attr]
+    # JMP/NOP/VMENTRY/HALT touch nothing but RIP.
+    return frozenset(reads), frozenset(writes)
+
+
+@dataclass(frozen=True)
+class InjectionReport:
+    """What happened to a scheduled fault after the run."""
+
+    applied: bool
+    register: str
+    bit: int
+    dynamic_index: int
+    #: True when the flipped value was read before being overwritten; None
+    #: when the run ended before the register was touched again (treated as
+    #: non-activated, same as the paper's non-activated errors).
+    activated: bool | None
+    activation_index: int | None
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of one host-mode execution that ran to a terminator."""
+
+    exit_op: Op                 # VMENTRY or HALT
+    instructions: int           # dynamic instructions retired (tracer count)
+    final_rip: int
+    path_hash: int
+    tsc_end: int
+    assertion_checks: int = 0   # how many assertion predicates were evaluated
+    addresses: tuple[int, ...] = field(default_factory=tuple)
+
+
+class CPUCore:
+    """A logical core executing toy-ISA programs against shared memory."""
+
+    def __init__(
+        self,
+        core_id: int,
+        memory: Memory,
+        *,
+        tsc_start: int = 1_000_000,
+        tsc_per_instruction: int = 1,
+        cpuid_table: dict[int, tuple[int, int, int, int]] | None = None,
+        light_trace: bool = True,
+    ) -> None:
+        if core_id < 0:
+            raise MachineConfigError("core_id must be non-negative")
+        self.core_id = core_id
+        self.memory = memory
+        self.regs = RegisterFile()
+        self.pmu = PerformanceCounterUnit()
+        self.tracer = Tracer(light=light_trace)
+        self.tsc = tsc_start
+        self.tsc_per_instruction = tsc_per_instruction
+        self.cpuid_table = dict(DEFAULT_CPUID_TABLE if cpuid_table is None else cpuid_table)
+        # Injection state
+        self._inj_index: int | None = None
+        self._inj_reg: str | None = None
+        self._inj_bit = 0
+        self._inj_applied = False
+        self._watch_reg: int | None = None
+        self._activated: bool | None = None
+        self._activation_index: int | None = None
+        self._assert_checks = 0
+        exec_map: dict[Op, Callable[[Instr], int | None]] = {
+            Op.MOV: self._op_mov,
+            Op.LOAD: self._op_load,
+            Op.STORE: self._op_store,
+            Op.LEA: self._op_lea,
+            Op.ADD: self._op_add,
+            Op.SUB: self._op_sub,
+            Op.AND: self._op_and,
+            Op.OR: self._op_or,
+            Op.XOR: self._op_xor,
+            Op.IMUL: self._op_imul,
+            Op.DIV: self._op_div,
+            Op.SHL: self._op_shl,
+            Op.SHR: self._op_shr,
+            Op.CMP: self._op_cmp,
+            Op.TEST: self._op_test,
+            Op.INC: self._op_inc,
+            Op.DEC: self._op_dec,
+            Op.JMP: self._op_jmp,
+            Op.JCC: self._op_jcc,
+            Op.CALL: self._op_call,
+            Op.RET: self._op_ret,
+            Op.PUSH: self._op_push,
+            Op.POP: self._op_pop,
+            Op.REP_MOVS: self._op_rep_movs,
+            Op.RDTSC: self._op_rdtsc,
+            Op.CPUID: self._op_cpuid,
+            Op.ASSERT_RANGE: self._op_assert_range,
+            Op.ASSERT_EQ: self._op_assert_eq,
+            Op.ASSERT_EQ_REG: self._op_assert_eq_reg,
+            Op.NOP: self._op_nop,
+        }
+        # Dense dispatch table indexed by Instr.op_index (no enum hashing on
+        # the hot path).  Terminators have no executor.
+        self._exec_list: list[Callable[[Instr], int | None] | None] = [
+            exec_map.get(op) for op in Op
+        ]
+
+    # -- fault injection ------------------------------------------------------
+
+    def schedule_register_flip(self, dynamic_index: int, register: str, bit: int) -> None:
+        """Arm a single-bit flip in ``register`` before dynamic instruction
+        ``dynamic_index`` (0-based) of the next :meth:`run`."""
+        RegisterFile.index_of(register)  # validate eagerly
+        if not 0 <= bit < 64:
+            raise MachineConfigError(f"bit index {bit} outside [0, 64)")
+        if dynamic_index < 0:
+            raise MachineConfigError("dynamic_index must be non-negative")
+        self._inj_index = dynamic_index
+        self._inj_reg = register
+        self._inj_bit = bit
+        self._inj_applied = False
+        self._watch_reg = None
+        self._activated = None
+        self._activation_index = None
+
+    def clear_injection(self) -> None:
+        """Disarm any scheduled fault."""
+        self._inj_index = None
+        self._inj_reg = None
+        self._inj_applied = False
+        self._watch_reg = None
+
+    @property
+    def injection_report(self) -> InjectionReport | None:
+        """Report of the most recently scheduled fault, if any."""
+        if self._inj_reg is None:
+            return None
+        return InjectionReport(
+            applied=self._inj_applied,
+            register=self._inj_reg,
+            bit=self._inj_bit,
+            dynamic_index=self._inj_index if self._inj_index is not None else -1,
+            activated=self._activated,
+            activation_index=self._activation_index,
+        )
+
+    def _apply_injection(self) -> None:
+        assert self._inj_reg is not None
+        self.regs.flip_bit(self._inj_reg, self._inj_bit)
+        self._inj_applied = True
+        reg_index = RegisterFile.index_of(self._inj_reg)
+        if reg_index == _RIP:
+            # Control is transferred through RIP on the very next fetch:
+            # always activated, immediately.
+            self._activated = True
+            self._activation_index = self.tracer.count
+        else:
+            self._watch_reg = reg_index
+
+    def _watch(self, instr: Instr) -> None:
+        reads, writes = instr_register_accesses(instr)
+        reg = self._watch_reg
+        if reg in reads:
+            self._activated = True
+            self._activation_index = self.tracer.count
+            self._watch_reg = None
+        elif reg in writes:
+            self._activated = False
+            self._watch_reg = None
+
+    # -- execution ------------------------------------------------------------
+
+    def run(
+        self,
+        program: Program,
+        entry: int,
+        *,
+        max_instructions: int = 200_000,
+    ) -> ExecutionResult:
+        """Execute ``program`` from byte address ``entry`` to a terminator.
+
+        Raises :class:`HardwareException` / :class:`AssertionViolation` for
+        simulated architectural events and :class:`SimulationLimitExceeded`
+        when the watchdog budget is exhausted (a modeled hang).
+        """
+        regs = self.regs
+        tracer = self.tracer
+        pmu = self.pmu
+        regs.write_index(_RIP, entry)
+        self._assert_checks = 0
+        budget = max_instructions
+        # Fast-fetch bounds: addresses inside the program text are decoded by
+        # direct indexing; everything else goes through the faulting path.
+        text_base = program.base
+        text_end = program.end
+        instructions = program.instructions
+        exec_list = self._exec_list
+        injecting = self._inj_index is not None
+
+        while True:
+            if tracer.count >= budget:
+                raise SimulationLimitExceeded(budget)
+            rip = regs.read_index(_RIP)
+            if injecting and not self._inj_applied and tracer.count >= self._inj_index:
+                self._apply_injection()
+                rip = regs.read_index(_RIP)
+            offset = rip - text_base
+            if 0 <= offset < text_end - text_base and not offset & 3:
+                instr = instructions[offset >> 2]
+            else:
+                instr = self._fetch(program, rip)
+            if instr.is_terminator:
+                tracer.record(rip)
+                pmu.count_instruction()
+                self.tsc += self.tsc_per_instruction
+                return ExecutionResult(
+                    exit_op=instr.op,
+                    instructions=tracer.count,
+                    final_rip=rip,
+                    path_hash=tracer.path_hash,
+                    tsc_end=self.tsc,
+                    assertion_checks=self._assert_checks,
+                    addresses=tuple(tracer.addresses) if not tracer.light else (),
+                )
+            if self._watch_reg is not None:
+                self._watch(instr)
+            tracer.record(rip)
+            pmu.count_instruction()
+            if instr.is_branch:
+                pmu.count_branch()
+            self.tsc += self.tsc_per_instruction
+            next_rip = exec_list[instr.op_index](instr)  # type: ignore[misc]
+            regs.write_index(_RIP, next_rip if next_rip is not None else rip + INSTRUCTION_BYTES)
+
+    def _fetch(self, program: Program, rip: int) -> Instr:
+        if not is_canonical(rip):
+            raise HardwareException(
+                Vector.GENERAL_PROTECTION, rip, address=rip, detail="non-canonical rip"
+            )
+        region = self.memory.region_at(rip)
+        if region is None:
+            raise HardwareException(
+                Vector.PAGE_FAULT,
+                rip,
+                address=rip,
+                kind=PageFaultKind.FATAL_UNMAPPED,
+                detail="instruction fetch from unmapped memory",
+            )
+        if not region.executable:
+            raise HardwareException(
+                Vector.PAGE_FAULT,
+                rip,
+                address=rip,
+                kind=PageFaultKind.FATAL_PROTECTION,
+                detail=f"instruction fetch from non-executable {region.name}",
+            )
+        instr = program.instruction_at(rip)
+        if instr is None:
+            # Mapped, executable, but not a valid instruction boundary:
+            # decoding garbage -> invalid opcode.
+            raise HardwareException(
+                Vector.INVALID_OPCODE, rip, address=rip, detail="misaligned or stray fetch"
+            )
+        return instr
+
+    # -- operand helpers -------------------------------------------------------
+
+    def _value(self, operand: Reg | Imm) -> int:
+        if type(operand) is Reg:
+            return self.regs.read_index(operand.index)
+        return operand.value & MASK64
+
+    def _address(self, mem: Mem) -> int:
+        return (self.regs.read_index(mem.base.index) + mem.disp) & MASK64
+
+    # -- instruction semantics ---------------------------------------------------
+
+    def _op_mov(self, instr: Instr) -> None:
+        self.regs.write_index(instr.dst.index, self._value(instr.src))  # type: ignore[union-attr]
+
+    def _op_load(self, instr: Instr) -> None:
+        addr = self._address(instr.src)  # type: ignore[arg-type]
+        value = self.memory.read_u64(addr, rip=self.regs.read_index(_RIP))
+        self.pmu.count_load()
+        self.regs.write_index(instr.dst.index, value)  # type: ignore[union-attr]
+
+    def _op_store(self, instr: Instr) -> None:
+        addr = self._address(instr.dst)  # type: ignore[arg-type]
+        self.memory.write_u64(addr, self._value(instr.src), rip=self.regs.read_index(_RIP))
+        self.pmu.count_store()
+
+    def _op_lea(self, instr: Instr) -> None:
+        self.regs.write_index(instr.dst.index, self._address(instr.src))  # type: ignore[union-attr, arg-type]
+
+    def _arith(self, instr: Instr, *, subtract: bool) -> None:
+        a = self.regs.read_index(instr.dst.index)  # type: ignore[union-attr]
+        b = self._value(instr.src)
+        wide = a - b if subtract else a + b
+        self.regs.write_index(instr.dst.index, wide & MASK64)  # type: ignore[union-attr]
+        self.regs.write_index(
+            _RFLAGS,
+            update_flags_arith(self.regs.read_index(_RFLAGS), wide, a, b, subtraction=subtract),
+        )
+
+    def _op_add(self, instr: Instr) -> None:
+        self._arith(instr, subtract=False)
+
+    def _op_sub(self, instr: Instr) -> None:
+        self._arith(instr, subtract=True)
+
+    def _logic(self, instr: Instr, fn: Callable[[int, int], int]) -> None:
+        a = self.regs.read_index(instr.dst.index)  # type: ignore[union-attr]
+        b = self._value(instr.src)
+        result = fn(a, b) & MASK64
+        self.regs.write_index(instr.dst.index, result)  # type: ignore[union-attr]
+        self.regs.write_index(_RFLAGS, update_flags_logic(self.regs.read_index(_RFLAGS), result))
+
+    def _op_and(self, instr: Instr) -> None:
+        self._logic(instr, lambda a, b: a & b)
+
+    def _op_or(self, instr: Instr) -> None:
+        self._logic(instr, lambda a, b: a | b)
+
+    def _op_xor(self, instr: Instr) -> None:
+        self._logic(instr, lambda a, b: a ^ b)
+
+    def _op_imul(self, instr: Instr) -> None:
+        self._logic(instr, lambda a, b: a * b)
+
+    def _op_div(self, instr: Instr) -> None:
+        divisor = self._value(instr.src)
+        if divisor == 0:
+            raise HardwareException(
+                Vector.DIVIDE_ERROR, self.regs.read_index(_RIP), detail="division by zero"
+            )
+        a = self.regs.read_index(instr.dst.index)  # type: ignore[union-attr]
+        self.regs.write_index(instr.dst.index, a // divisor)  # type: ignore[union-attr]
+        self.regs.write_index(
+            _RFLAGS, update_flags_logic(self.regs.read_index(_RFLAGS), a // divisor)
+        )
+
+    def _op_shl(self, instr: Instr) -> None:
+        self._logic(instr, lambda a, b: a << (b & 63))
+
+    def _op_shr(self, instr: Instr) -> None:
+        self._logic(instr, lambda a, b: a >> (b & 63))
+
+    def _op_cmp(self, instr: Instr) -> None:
+        a = self.regs.read_index(instr.dst.index)  # type: ignore[union-attr]
+        b = self._value(instr.src)
+        self.regs.write_index(
+            _RFLAGS,
+            update_flags_arith(self.regs.read_index(_RFLAGS), a - b, a, b, subtraction=True),
+        )
+
+    def _op_test(self, instr: Instr) -> None:
+        a = self.regs.read_index(instr.dst.index)  # type: ignore[union-attr]
+        b = self._value(instr.src)
+        self.regs.write_index(_RFLAGS, update_flags_logic(self.regs.read_index(_RFLAGS), a & b))
+
+    def _op_inc(self, instr: Instr) -> None:
+        a = self.regs.read_index(instr.dst.index)  # type: ignore[union-attr]
+        self.regs.write_index(instr.dst.index, (a + 1) & MASK64)  # type: ignore[union-attr]
+        self.regs.write_index(
+            _RFLAGS,
+            update_flags_arith(self.regs.read_index(_RFLAGS), a + 1, a, 1, subtraction=False),
+        )
+
+    def _op_dec(self, instr: Instr) -> None:
+        a = self.regs.read_index(instr.dst.index)  # type: ignore[union-attr]
+        self.regs.write_index(instr.dst.index, (a - 1) & MASK64)  # type: ignore[union-attr]
+        self.regs.write_index(
+            _RFLAGS,
+            update_flags_arith(self.regs.read_index(_RFLAGS), a - 1, a, 1, subtraction=True),
+        )
+
+    def _op_jmp(self, instr: Instr) -> int:
+        return instr.target  # type: ignore[return-value]
+
+    def _op_jcc(self, instr: Instr) -> int | None:
+        if condition_met(instr.cond, self.regs.read_index(_RFLAGS)):  # type: ignore[arg-type]
+            return instr.target
+        return None
+
+    def _stack_guard(self, fn: Callable[[], int | None]) -> int | None:
+        """Run a stack access, converting fatal page faults into #SS."""
+        try:
+            return fn()
+        except HardwareException as exc:
+            if exc.vector is Vector.PAGE_FAULT and exc.kind in (
+                PageFaultKind.FATAL_UNMAPPED,
+                PageFaultKind.FATAL_PROTECTION,
+            ):
+                raise HardwareException(
+                    Vector.STACK_FAULT,
+                    exc.rip,
+                    address=exc.address,
+                    detail=f"stack access fault: {exc.detail}",
+                ) from None
+            raise
+
+    def _op_call(self, instr: Instr) -> int | None:
+        def do() -> int:
+            rsp = (self.regs.read_index(_RSP) - 8) & MASK64
+            rip = self.regs.read_index(_RIP)
+            self.memory.write_u64(rsp, rip + INSTRUCTION_BYTES, rip=rip)
+            self.pmu.count_store()
+            self.regs.write_index(_RSP, rsp)
+            return instr.target  # type: ignore[return-value]
+
+        return self._stack_guard(do)
+
+    def _op_ret(self, instr: Instr) -> int | None:
+        def do() -> int:
+            rsp = self.regs.read_index(_RSP)
+            rip = self.regs.read_index(_RIP)
+            target = self.memory.read_u64(rsp, rip=rip)
+            self.pmu.count_load()
+            self.regs.write_index(_RSP, (rsp + 8) & MASK64)
+            return target
+
+        return self._stack_guard(do)
+
+    def _op_push(self, instr: Instr) -> None:
+        def do() -> None:
+            rsp = (self.regs.read_index(_RSP) - 8) & MASK64
+            rip = self.regs.read_index(_RIP)
+            self.memory.write_u64(rsp, self.regs.read_index(instr.src.index), rip=rip)  # type: ignore[union-attr]
+            self.pmu.count_store()
+            self.regs.write_index(_RSP, rsp)
+
+        self._stack_guard(do)  # type: ignore[arg-type]
+
+    def _op_pop(self, instr: Instr) -> None:
+        def do() -> None:
+            rsp = self.regs.read_index(_RSP)
+            rip = self.regs.read_index(_RIP)
+            value = self.memory.read_u64(rsp, rip=rip)
+            self.pmu.count_load()
+            self.regs.write_index(instr.dst.index, value)  # type: ignore[union-attr]
+            self.regs.write_index(_RSP, (rsp + 8) & MASK64)
+
+        self._stack_guard(do)  # type: ignore[arg-type]
+
+    def _op_rep_movs(self, instr: Instr) -> None:
+        """Copy ``rcx`` 64-bit words from ``[rsi]`` to ``[rdi]``.
+
+        Executed in bulk for speed, but counted per-word: each copied word
+        retires one "instruction" (iteration), one load and one store, so a
+        corrupted ``rcx`` visibly stretches the dynamic footprint (Fig. 5a).
+        """
+        regs = self.regs
+        rip = regs.read_index(_RIP)
+        count = regs.read_index(_RCX)
+        copied = 0
+        while copied < count:
+            rsi = regs.read_index(_RSI)
+            rdi = regs.read_index(_RDI)
+            src_ok = self._words_until_fault(rsi, write=False)
+            dst_ok = self._words_until_fault(rdi, write=True)
+            chunk = min(count - copied, src_ok, dst_ok)
+            if chunk == 0:
+                # The next word access faults; route through the memory system
+                # so the exception carries an accurate faulting address.
+                if src_ok == 0:
+                    self.memory.read_u64(rsi, rip=rip)
+                else:
+                    self.memory.write_u64(rdi, 0, rip=rip)
+                raise AssertionError("unreachable: fault expected")  # pragma: no cover
+            for i in range(chunk):
+                value = self.memory.read_u64(rsi + 8 * i, rip=rip)
+                self.memory.write_u64(rdi + 8 * i, value, rip=rip)
+            copied += chunk
+            regs.write_index(_RSI, (rsi + 8 * chunk) & MASK64)
+            regs.write_index(_RDI, (rdi + 8 * chunk) & MASK64)
+            regs.write_index(_RCX, count - copied)
+            self.pmu.count_load(chunk)
+            self.pmu.count_store(chunk)
+            # Each copied word retires one extra "iteration instruction" on
+            # top of the rep_movs itself, so a corrupted rcx stretches both
+            # the RT counter and the dynamic path (Fig. 5a behaviour).
+            self.pmu.count_instruction(chunk)
+            self.tracer.record_bulk(rip, chunk)
+            self.tsc += self.tsc_per_instruction * chunk
+
+    def _words_until_fault(self, address: int, *, write: bool) -> int:
+        """How many consecutive 8-byte words starting at ``address`` are safe."""
+        if not is_canonical(address):
+            return 0
+        region = self.memory.region_at(address)
+        if region is None:
+            return 0
+        if (write and not region.writable) or (not write and not region.readable):
+            return 0
+        return max(0, (region.end - address) // 8)
+
+    def _op_rdtsc(self, instr: Instr) -> None:
+        self.regs.write_index(_RAX, self.tsc & 0xFFFFFFFF)
+        self.regs.write_index(_RDX, (self.tsc >> 32) & 0xFFFFFFFF)
+
+    def _op_cpuid(self, instr: Instr) -> None:
+        leaf = self.regs.read_index(_RAX)
+        eax, ebx, ecx, edx = self.cpuid_table.get(leaf & 0xFFFFFFFF, (0, 0, 0, 0))
+        self.regs.write_index(_RAX, eax)
+        self.regs.write_index(_RBX, ebx)
+        self.regs.write_index(_RCX, ecx)
+        self.regs.write_index(_RDX, edx)
+
+    def _op_assert_range(self, instr: Instr) -> None:
+        self._assert_checks += 1
+        value = self.regs.read_index(instr.dst.index)  # type: ignore[union-attr]
+        if not instr.lo <= value <= instr.hi:
+            raise AssertionViolation(
+                instr.assert_id or "<anon>",
+                self.regs.read_index(_RIP),
+                value,
+                detail=f"expected [{instr.lo}, {instr.hi}]",
+            )
+
+    def _op_assert_eq(self, instr: Instr) -> None:
+        self._assert_checks += 1
+        value = self.regs.read_index(instr.dst.index)  # type: ignore[union-attr]
+        if value != instr.lo:
+            raise AssertionViolation(
+                instr.assert_id or "<anon>",
+                self.regs.read_index(_RIP),
+                value,
+                detail=f"expected {instr.lo:#x}",
+            )
+
+    def _op_assert_eq_reg(self, instr: Instr) -> None:
+        self._assert_checks += 1
+        a = self.regs.read_index(instr.dst.index)  # type: ignore[union-attr]
+        b = self.regs.read_index(instr.src.index)  # type: ignore[union-attr]
+        if a != b:
+            raise AssertionViolation(
+                instr.assert_id or "<anon>",
+                self.regs.read_index(_RIP),
+                a,
+                detail=f"redundant copies differ: {a:#x} != {b:#x}",
+            )
+
+    def _op_nop(self, instr: Instr) -> None:
+        return None
+
+
+_BRANCH_OPS = frozenset({Op.JMP, Op.JCC, Op.CALL, Op.RET})

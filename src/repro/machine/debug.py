@@ -1,0 +1,127 @@
+"""Execution debugging: annotated traces and fault forensics.
+
+Tooling a systems project needs when an injection behaves unexpectedly:
+re-run an execution with full tracing and render a disassembled, annotated
+instruction log; or diff a golden/faulty trace pair to the first divergent
+instruction (how campaign anomalies get root-caused).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationEvent
+from repro.machine.cpu import CPUCore
+from repro.machine.isa import Program
+from repro.machine.registers import ALL_REGISTERS
+
+__all__ = ["TraceEntry", "ExecutionTrace", "trace_execution", "diff_traces"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One retired instruction with its address and rendering."""
+
+    index: int
+    address: int
+    text: str
+
+
+@dataclass(frozen=True)
+class ExecutionTrace:
+    """A fully-expanded dynamic trace plus the terminal event."""
+
+    entries: tuple[TraceEntry, ...]
+    final_registers: tuple[int, ...]
+    event: str  # "vmentry", "halt", or the exception description
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def render(self, *, limit: int = 200, labels: dict[int, str] | None = None) -> str:
+        """Human-readable listing (truncated to ``limit`` lines)."""
+        by_addr: dict[int, str] = {}
+        if labels:
+            by_addr = {addr: name for name, addr in labels.items()} if all(
+                isinstance(v, int) for v in labels.values()
+            ) else dict(labels)
+        lines: list[str] = []
+        for entry in self.entries[:limit]:
+            label = by_addr.get(entry.address)
+            prefix = f"{label}:\n" if label else ""
+            lines.append(f"{prefix}  [{entry.index:>5}] {entry.address:#010x}  {entry.text}")
+        if len(self.entries) > limit:
+            lines.append(f"  ... {len(self.entries) - limit} more instructions")
+        lines.append(f"  => {self.event}")
+        return "\n".join(lines)
+
+
+def trace_execution(
+    cpu: CPUCore,
+    program: Program,
+    entry: int,
+    *,
+    max_instructions: int = 50_000,
+) -> ExecutionTrace:
+    """Execute with full tracing enabled and return the annotated trace.
+
+    The core's tracer is temporarily switched to full (address-recording)
+    mode; the pre-existing mode is restored afterwards.
+    """
+    was_light = cpu.tracer.light
+    cpu.tracer.light = False
+    cpu.tracer.reset()
+    event = "vmentry"
+    try:
+        result = cpu.run(program, entry, max_instructions=max_instructions)
+        event = result.exit_op.value
+    except SimulationEvent as exc:
+        event = f"{type(exc).__name__}: {exc}"
+    finally:
+        addresses = tuple(cpu.tracer.addresses)
+        cpu.tracer.light = was_light
+    entries = tuple(
+        TraceEntry(
+            index=i,
+            address=addr,
+            text=str(instr) if (instr := program.instruction_at(addr)) else "<invalid>",
+        )
+        for i, addr in enumerate(addresses)
+    )
+    return ExecutionTrace(
+        entries=entries,
+        final_registers=cpu.regs.snapshot(),
+        event=event,
+    )
+
+
+def diff_traces(golden: ExecutionTrace, faulty: ExecutionTrace) -> str:
+    """Report where two traces first diverge (fault forensics)."""
+    n = min(len(golden), len(faulty))
+    for i in range(n):
+        if golden.entries[i].address != faulty.entries[i].address:
+            return "\n".join(
+                [
+                    f"divergence at dynamic instruction {i}:",
+                    f"  golden: {golden.entries[i].address:#010x}  {golden.entries[i].text}",
+                    f"  faulty: {faulty.entries[i].address:#010x}  {faulty.entries[i].text}",
+                ]
+            )
+    if len(golden) != len(faulty):
+        longer, name = (golden, "golden") if len(golden) > len(faulty) else (faulty, "faulty")
+        return (
+            f"paths agree for {n} instructions; {name} continues for "
+            f"{len(longer) - n} more (ends with {longer.event})"
+        )
+    if golden.event != faulty.event:
+        return f"identical paths, different terminal events: {golden.event} vs {faulty.event}"
+    reg_diffs = [
+        f"  {name}: {a:#x} -> {b:#x}"
+        for name, a, b in zip(
+            ALL_REGISTERS, golden.final_registers, faulty.final_registers
+        )
+        if a != b
+    ]
+    if reg_diffs:
+        return "identical paths and events; final registers differ:\n" + "\n".join(reg_diffs)
+    return "traces are identical"

@@ -1,0 +1,110 @@
+"""RFLAGS modeling.
+
+Only the five status flags that drive conditional branches in the toy ISA are
+modeled: CF, PF, ZF, SF, OF.  They live packed inside the 64-bit ``rflags``
+register at their real x86 bit positions, so a fault injected into ``rflags``
+flips branch outcomes exactly the way a real soft error would.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CF", "PF", "ZF", "SF", "OF",
+    "FLAG_BITS",
+    "update_flags_logic",
+    "update_flags_arith",
+    "condition_met",
+]
+
+CF = 1 << 0   # carry
+PF = 1 << 2   # parity (of low byte)
+ZF = 1 << 6   # zero
+SF = 1 << 7   # sign
+OF = 1 << 11  # overflow
+
+#: Name -> mask for every modeled flag.
+FLAG_BITS: dict[str, int] = {"cf": CF, "pf": PF, "zf": ZF, "sf": SF, "of": OF}
+
+_ALL = CF | PF | ZF | SF | OF
+_MASK64 = (1 << 64) - 1
+_SIGN = 1 << 63
+
+
+#: Precomputed PF contribution for every low-byte value (hot path).
+_PARITY_TABLE: tuple[int, ...] = tuple(
+    PF if bin(i).count("1") % 2 == 0 else 0 for i in range(256)
+)
+
+
+def _parity(value: int) -> bool:
+    """x86 PF: set when the low byte has an even number of set bits."""
+    return bool(_PARITY_TABLE[value & 0xFF])
+
+
+def _common(result: int) -> int:
+    flags = _PARITY_TABLE[result & 0xFF]
+    if result == 0:
+        flags |= ZF
+    if result & _SIGN:
+        flags |= SF
+    return flags
+
+
+def update_flags_logic(rflags: int, result: int) -> int:
+    """Flag update for logical ops (AND/OR/XOR/TEST): CF=OF=0, ZF/SF/PF set."""
+    return (rflags & ~_ALL) | _common(result & _MASK64)
+
+
+def update_flags_arith(
+    rflags: int, result_wide: int, a: int, b: int, *, subtraction: bool
+) -> int:
+    """Flag update for ADD/SUB/CMP/INC/DEC style arithmetic.
+
+    ``result_wide`` is the un-truncated Python integer result (``a + b`` or
+    ``a - b``) so carry/borrow can be derived; ``a`` and ``b`` are the 64-bit
+    operands as read.
+    """
+    result = result_wide & _MASK64
+    flags = _common(result)
+    if subtraction:
+        if result_wide < 0:
+            flags |= CF  # borrow
+    else:
+        if result_wide > _MASK64:
+            flags |= CF  # carry out
+    # Signed overflow: operand signs agree-for-add / differ-for-sub and the
+    # result sign differs from the first operand's sign.
+    sa, sb, sr = bool(a & _SIGN), bool(b & _SIGN), bool(result & _SIGN)
+    if subtraction:
+        if sa != sb and sr != sa:
+            flags |= OF
+    else:
+        if sa == sb and sr != sa:
+            flags |= OF
+    return (rflags & ~_ALL) | flags
+
+
+#: Condition-code evaluation table for the ISA's conditional jumps.
+_CONDITIONS = {
+    "e": lambda f: bool(f & ZF),
+    "ne": lambda f: not f & ZF,
+    "l": lambda f: bool(f & SF) != bool(f & OF),
+    "le": lambda f: bool(f & ZF) or (bool(f & SF) != bool(f & OF)),
+    "g": lambda f: (not f & ZF) and (bool(f & SF) == bool(f & OF)),
+    "ge": lambda f: bool(f & SF) == bool(f & OF),
+    "b": lambda f: bool(f & CF),
+    "ae": lambda f: not f & CF,
+    "be": lambda f: bool(f & CF) or bool(f & ZF),
+    "a": lambda f: (not f & CF) and (not f & ZF),
+    "s": lambda f: bool(f & SF),
+    "ns": lambda f: not f & SF,
+}
+
+
+def condition_met(code: str, rflags: int) -> bool:
+    """Evaluate condition code ``code`` (``"e"``, ``"ne"``, ...) on rflags."""
+    return _CONDITIONS[code](rflags)
+
+
+CONDITION_CODES: tuple[str, ...] = tuple(_CONDITIONS)
+__all__.append("CONDITION_CODES")

@@ -1,0 +1,238 @@
+"""The toy instruction set.
+
+A small x86-flavored, fixed-width (4 bytes/instruction) 64-bit ISA, rich
+enough that hypervisor handlers written in it exhibit the behaviours the paper
+studies: data-dependent branches (incorrect-control-flow targets), memory
+traffic (load/store counters), ``rep movs`` bulk copies (the Fig. 5a extra-code
+example), ``rdtsc`` (time-value delivery, Table II) and ``cpuid``
+(trap-and-emulate, Section II.A), plus embedded software assertions
+(Listing 1/2).
+
+Instructions are stored decoded; the fixed 4-byte width exists so the
+instruction pointer is a genuine byte address — a bit flip in RIP can land
+mid-instruction (#UD), on a different valid instruction (incorrect but valid
+control flow), or outside the text (#PF/#GP), all of which the paper's
+detection paths distinguish.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblyError
+from repro.machine.flags import CONDITION_CODES
+from repro.machine.registers import RegisterFile
+
+__all__ = [
+    "INSTRUCTION_BYTES",
+    "Op",
+    "Operand",
+    "Reg",
+    "Imm",
+    "Mem",
+    "Instr",
+    "OP_INDEX",
+    "Program",
+    "BRANCH_OPS",
+]
+
+INSTRUCTION_BYTES = 4
+
+
+class Op(enum.Enum):
+    """Opcodes of the toy ISA."""
+
+    MOV = "mov"          # mov dst, reg|imm
+    LOAD = "load"        # load dst, [base+disp]
+    STORE = "store"      # store [base+disp], src
+    LEA = "lea"          # lea dst, [base+disp]
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    IMUL = "imul"
+    DIV = "div"          # dst //= src ; #DE when src == 0
+    SHL = "shl"
+    SHR = "shr"
+    CMP = "cmp"
+    TEST = "test"
+    INC = "inc"
+    DEC = "dec"
+    JMP = "jmp"
+    JCC = "jcc"          # jcc <cond>, label  (assembler accepts je/jne/...)
+    CALL = "call"
+    RET = "ret"
+    PUSH = "push"
+    POP = "pop"
+    REP_MOVS = "rep_movs"  # copy rcx words from [rsi] to [rdi]
+    RDTSC = "rdtsc"      # rax <- low 32 of TSC, rdx <- high 32
+    CPUID = "cpuid"      # leaf in rax -> rax,rbx,rcx,rdx
+    ASSERT_RANGE = "assert_range"  # assert lo <= reg <= hi
+    ASSERT_EQ = "assert_eq"        # assert reg == imm
+    ASSERT_EQ_REG = "assert_eq_reg"  # assert dst == src (redundancy check)
+    NOP = "nop"
+    VMENTRY = "vmentry"  # terminator: hand control back to the guest
+    HALT = "halt"        # terminator: stop this execution (idle loop)
+
+
+#: Opcodes counted by the BR_INST_RETIRED performance counter.
+BRANCH_OPS: frozenset[Op] = frozenset({Op.JMP, Op.JCC, Op.CALL, Op.RET})
+
+
+class Operand:
+    """Marker base class for instruction operands."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Reg(Operand):
+    """A register operand, pre-resolved to its architectural index."""
+
+    name: str
+    index: int = field(compare=False, default=-1)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "index", RegisterFile.index_of(self.name))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Imm(Operand):
+    """A 64-bit immediate operand."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"{self.value:#x}" if abs(self.value) > 9 else str(self.value)
+
+
+@dataclass(frozen=True)
+class Mem(Operand):
+    """A ``[base + disp]`` memory operand."""
+
+    base: Reg
+    disp: int = 0
+
+    def __str__(self) -> str:
+        if self.disp:
+            sign = "+" if self.disp >= 0 else "-"
+            return f"[{self.base}{sign}{abs(self.disp)}]"
+        return f"[{self.base}]"
+
+
+#: Stable dense index per opcode (fast dispatch without enum hashing).
+OP_INDEX: dict[Op, int] = {op: i for i, op in enumerate(Op)}
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One decoded instruction.
+
+    ``target`` holds the byte address for control transfers (resolved by the
+    assembler), ``cond`` the condition code for :attr:`Op.JCC`, and
+    ``assert_id``/``lo``/``hi`` parameterize assertion pseudo-ops.
+
+    ``op_index``/``is_branch``/``is_terminator`` are precomputed execution
+    metadata so the CPU's hot loop avoids enum hashing.
+    """
+
+    op: Op
+    dst: Operand | None = None
+    src: Operand | None = None
+    target: int | None = None
+    cond: str | None = None
+    assert_id: str | None = None
+    lo: int = 0
+    hi: int = 0
+    label: str | None = None  # unresolved target label (pre-assembly)
+    op_index: int = field(init=False, compare=False, default=-1)
+    is_branch: bool = field(init=False, compare=False, default=False)
+    is_terminator: bool = field(init=False, compare=False, default=False)
+
+    def __post_init__(self) -> None:
+        if self.op is Op.JCC and self.cond not in CONDITION_CODES:
+            raise AssemblyError(f"unknown condition code {self.cond!r}")
+        object.__setattr__(self, "op_index", OP_INDEX[self.op])
+        object.__setattr__(self, "is_branch", self.op in BRANCH_OPS)
+        object.__setattr__(
+            self, "is_terminator", self.op is Op.VMENTRY or self.op is Op.HALT
+        )
+
+    def __str__(self) -> str:
+        parts = [self.op.value if self.op is not Op.JCC else f"j{self.cond}"]
+        ops = [str(o) for o in (self.dst, self.src) if o is not None]
+        if self.label is not None:
+            ops.append(self.label)
+        elif self.target is not None:
+            ops.append(f"{self.target:#x}")
+        if self.op in (Op.ASSERT_RANGE, Op.ASSERT_EQ):
+            ops.append(f"{self.lo}..{self.hi}" if self.op is Op.ASSERT_RANGE else f"{self.hi}")
+            ops.append(str(self.assert_id))
+        return parts[0] + (" " + ", ".join(ops) if ops else "")
+
+
+class Program:
+    """An assembled unit of code: instructions plus resolved labels.
+
+    A program occupies ``len(instructions) * INSTRUCTION_BYTES`` bytes starting
+    at :attr:`base`; :meth:`instruction_at` maps a byte address back to the
+    decoded instruction (or ``None`` for misaligned/out-of-range addresses,
+    which the CPU turns into #UD).
+    """
+
+    __slots__ = ("base", "instructions", "labels")
+
+    def __init__(self, base: int, instructions: list[Instr], labels: dict[str, int]) -> None:
+        self.base = base
+        self.instructions: tuple[Instr, ...] = tuple(instructions)
+        #: label -> absolute byte address
+        self.labels = dict(labels)
+
+    @property
+    def size(self) -> int:
+        """Size of the program text in bytes."""
+        return len(self.instructions) * INSTRUCTION_BYTES
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def address_of(self, label: str) -> int:
+        """Absolute byte address of ``label``."""
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise AssemblyError(f"unknown label {label!r}") from None
+
+    def instruction_at(self, address: int) -> Instr | None:
+        """Decode the instruction at byte address ``address``.
+
+        Returns ``None`` when the address is misaligned or outside the text —
+        the hardware analogue is fetching garbage bytes, which the CPU reports
+        as #UD.
+        """
+        offset = address - self.base
+        if offset < 0 or offset >= self.size or offset % INSTRUCTION_BYTES:
+            return None
+        return self.instructions[offset // INSTRUCTION_BYTES]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def listing(self) -> str:
+        """Human-readable disassembly with addresses and labels."""
+        by_addr: dict[int, list[str]] = {}
+        for name, addr in self.labels.items():
+            by_addr.setdefault(addr, []).append(name)
+        lines: list[str] = []
+        for i, instr in enumerate(self.instructions):
+            addr = self.base + i * INSTRUCTION_BYTES
+            for name in by_addr.get(addr, ()):
+                lines.append(f"{name}:")
+            lines.append(f"  {addr:#010x}  {instr}")
+        return "\n".join(lines)

@@ -1,0 +1,277 @@
+"""Sparse, page-granular physical memory with protection.
+
+The memory model gives fault injection its teeth: a bit flip in a pointer
+register sends a load/store to an address that is (a) still mapped — silent
+data corruption, (b) unmapped — #PF, or (c) non-canonical — #GP, which is
+precisely the spectrum of behaviours the paper's runtime detection observes.
+
+Pages are 4 KiB and materialized lazily inside mapped regions, so mapping a
+multi-gigabyte region costs nothing until it is touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MemoryConfigError
+from repro.machine.exceptions import HardwareException, PageFaultKind, Vector
+
+__all__ = ["PAGE_SIZE", "Region", "Memory", "is_canonical"]
+
+PAGE_SIZE = 4096
+_PAGE_MASK = PAGE_SIZE - 1
+_MASK64 = (1 << 64) - 1
+_CANON_HIGH = 0xFFFF_8000_0000_0000
+
+
+def is_canonical(address: int) -> bool:
+    """True when ``address`` is canonical (bits 63..47 all equal).
+
+    x86-64 raises #GP on non-canonical accesses; flips in pointer high bits
+    land here, giving the short-latency detection path of Fig. 2.
+    """
+    address &= _MASK64
+    top = address >> 47
+    return top == 0 or top == 0x1FFFF
+
+
+@dataclass(frozen=True)
+class Region:
+    """A mapped address range with protection bits.
+
+    ``name`` tags the region for diagnostics and outcome attribution (e.g.
+    ``"hypervisor_text"``, ``"hypervisor_heap"``, ``"stack_cpu0"``).
+    """
+
+    name: str
+    base: int
+    size: int
+    readable: bool = True
+    writable: bool = True
+    executable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.base & _PAGE_MASK or self.size & _PAGE_MASK:
+            raise MemoryConfigError(
+                f"region {self.name!r} must be page aligned (base={self.base:#x}, size={self.size:#x})"
+            )
+        if self.size <= 0:
+            raise MemoryConfigError(f"region {self.name!r} has non-positive size")
+        if not is_canonical(self.base) or not is_canonical(self.base + self.size - 1):
+            raise MemoryConfigError(f"region {self.name!r} spans non-canonical addresses")
+
+    @property
+    def end(self) -> int:
+        """One past the last mapped byte."""
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+
+class Memory:
+    """Sparse paged memory: 64-bit word access with protection checks.
+
+    All word accesses are 8-byte; the toy ISA is a 64-bit word machine.
+    Unaligned word access is tolerated (as on x86) but crossing into an
+    unmapped page faults, matching hardware.
+    """
+
+    __slots__ = ("_regions", "_pages", "_writes")
+
+    def __init__(self) -> None:
+        self._regions: list[Region] = []
+        self._pages: dict[int, bytearray] = {}
+        #: Count of committed stores, exposed for sanity checks in tests.
+        self._writes = 0
+
+    # -- mapping ------------------------------------------------------------
+
+    def map_region(self, region: Region) -> Region:
+        """Map a region; overlapping an existing region is a config error."""
+        for existing in self._regions:
+            if region.base < existing.end and existing.base < region.end:
+                raise MemoryConfigError(
+                    f"region {region.name!r} overlaps {existing.name!r}"
+                )
+        self._regions.append(region)
+        return region
+
+    def region_at(self, address: int) -> Region | None:
+        """Return the region containing ``address``, or None."""
+        for region in self._regions:
+            if region.contains(address):
+                return region
+        return None
+
+    @property
+    def regions(self) -> tuple[Region, ...]:
+        return tuple(self._regions)
+
+    def region(self, name: str) -> Region:
+        """Look up a mapped region by name."""
+        for region in self._regions:
+            if region.name == name:
+                return region
+        raise MemoryConfigError(f"no region named {name!r}")
+
+    # -- access -------------------------------------------------------------
+
+    def _check(self, address: int, rip: int, *, write: bool, execute: bool = False) -> Region:
+        address &= _MASK64
+        if not is_canonical(address):
+            raise HardwareException(
+                Vector.GENERAL_PROTECTION, rip, address=address,
+                detail="non-canonical address",
+            )
+        region = self.region_at(address)
+        if region is None:
+            raise HardwareException(
+                Vector.PAGE_FAULT, rip, address=address,
+                kind=PageFaultKind.FATAL_UNMAPPED, detail="unmapped address",
+            )
+        if execute and not region.executable:
+            raise HardwareException(
+                Vector.PAGE_FAULT, rip, address=address,
+                kind=PageFaultKind.FATAL_PROTECTION, detail=f"execute of {region.name}",
+            )
+        if write and not region.writable:
+            raise HardwareException(
+                Vector.PAGE_FAULT, rip, address=address,
+                kind=PageFaultKind.FATAL_PROTECTION, detail=f"write to read-only {region.name}",
+            )
+        if not write and not execute and not region.readable:
+            raise HardwareException(
+                Vector.PAGE_FAULT, rip, address=address,
+                kind=PageFaultKind.FATAL_PROTECTION, detail=f"read of {region.name}",
+            )
+        return region
+
+    def _page(self, page_base: int) -> bytearray:
+        page = self._pages.get(page_base)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_base] = page
+        return page
+
+    def read_u64(self, address: int, *, rip: int = 0) -> int:
+        """Read a 64-bit little-endian word, enforcing mapping/protection."""
+        self._check(address, rip, write=False)
+        if (address & _PAGE_MASK) > PAGE_SIZE - 8:
+            self._check(address + 7, rip, write=False)  # word crosses a page
+            return int.from_bytes(
+                bytes(self._byte(address + i) for i in range(8)), "little"
+            )
+        page = self._page(address & ~_PAGE_MASK)
+        off = address & _PAGE_MASK
+        return int.from_bytes(page[off:off + 8], "little")
+
+    def write_u64(self, address: int, value: int, *, rip: int = 0) -> None:
+        """Write a 64-bit little-endian word, enforcing mapping/protection."""
+        self._check(address, rip, write=True)
+        value &= _MASK64
+        if (address & _PAGE_MASK) > PAGE_SIZE - 8:
+            self._check(address + 7, rip, write=True)
+            for i, b in enumerate(value.to_bytes(8, "little")):
+                self._set_byte(address + i, b)
+        else:
+            page = self._page(address & ~_PAGE_MASK)
+            off = address & _PAGE_MASK
+            page[off:off + 8] = value.to_bytes(8, "little")
+        self._writes += 1
+
+    def check_execute(self, address: int, rip: int) -> Region:
+        """Verify ``address`` may be fetched as an instruction."""
+        return self._check(address, rip, write=False, execute=True)
+
+    def _byte(self, address: int) -> int:
+        page = self._page(address & ~_PAGE_MASK)
+        return page[address & _PAGE_MASK]
+
+    def _set_byte(self, address: int, value: int) -> None:
+        page = self._page(address & ~_PAGE_MASK)
+        page[address & _PAGE_MASK] = value
+
+    # -- bulk setup access (DMA-style, not counted as CPU stores) --------------
+
+    def write_block(self, address: int, data: bytes, *, rip: int = 0) -> None:
+        """Write raw bytes starting at ``address`` (setup/DMA path).
+
+        Protection is checked at both ends; the write does not count toward
+        :attr:`store_count` because it models platform-level initialization,
+        not CPU stores.
+        """
+        if not data:
+            return
+        self._check(address, rip, write=True)
+        self._check(address + len(data) - 1, rip, write=True)
+        offset = 0
+        while offset < len(data):
+            addr = address + offset
+            page = self._page(addr & ~_PAGE_MASK)
+            page_off = addr & _PAGE_MASK
+            chunk = min(len(data) - offset, PAGE_SIZE - page_off)
+            page[page_off:page_off + chunk] = data[offset:offset + chunk]
+            offset += chunk
+
+    def read_block(self, address: int, length: int, *, rip: int = 0) -> bytes:
+        """Read raw bytes (setup/diagnostic path)."""
+        if length <= 0:
+            return b""
+        self._check(address, rip, write=False)
+        self._check(address + length - 1, rip, write=False)
+        out = bytearray(length)
+        offset = 0
+        while offset < length:
+            addr = address + offset
+            page = self._page(addr & ~_PAGE_MASK)
+            page_off = addr & _PAGE_MASK
+            chunk = min(length - offset, PAGE_SIZE - page_off)
+            out[offset:offset + chunk] = page[page_off:page_off + chunk]
+            offset += chunk
+        return bytes(out)
+
+    # -- checkpointing (golden/faulty run comparison) -------------------------
+
+    def checkpoint(self) -> dict[int, bytes]:
+        """Capture the full contents of all materialized pages."""
+        return {base: bytes(page) for base, page in self._pages.items()}
+
+    def restore(self, snapshot: dict[int, bytes]) -> None:
+        """Restore page contents captured by :meth:`checkpoint`.
+
+        Pages materialized after the checkpoint are dropped (they were zero
+        then, and will be zero-filled again on demand).
+        """
+        self._pages = {base: bytearray(page) for base, page in snapshot.items()}
+
+    # -- diffing & stats (golden-run comparison) -----------------------------
+
+    @property
+    def store_count(self) -> int:
+        """Total committed 64-bit stores since construction."""
+        return self._writes
+
+    def touched_pages(self) -> tuple[int, ...]:
+        """Bases of all materialized pages (sorted)."""
+        return tuple(sorted(self._pages))
+
+    def snapshot_region(self, region: Region) -> bytes:
+        """Copy the current contents of an entire region (zero-filled holes)."""
+        out = bytearray(region.size)
+        for page_base, page in self._pages.items():
+            if region.base <= page_base < region.end:
+                off = page_base - region.base
+                out[off:off + PAGE_SIZE] = page
+        return bytes(out)
+
+    def diff_region(self, region: Region, baseline: bytes) -> list[int]:
+        """Return addresses of 8-byte words in ``region`` differing from ``baseline``."""
+        current = self.snapshot_region(region)
+        if len(baseline) != len(current):
+            raise MemoryConfigError("baseline length does not match region size")
+        diffs: list[int] = []
+        for off in range(0, len(current), 8):
+            if current[off:off + 8] != baseline[off:off + 8]:
+                diffs.append(region.base + off)
+        return diffs

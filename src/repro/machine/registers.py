@@ -1,0 +1,135 @@
+"""Architectural register file.
+
+Models the x86-64 architectural register state that the paper's fault model
+targets (Section V.B): the sixteen general-purpose registers, the instruction
+pointer, the stack pointer, and the flags register.  All values are 64-bit
+unsigned integers; arithmetic elsewhere wraps modulo 2**64.
+
+The register file is the primary fault-injection surface: a soft error is a
+single bit flip in one of these registers (:meth:`RegisterFile.flip_bit`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import MachineConfigError
+
+__all__ = [
+    "GPR_NAMES",
+    "ALL_REGISTERS",
+    "INJECTABLE_REGISTERS",
+    "MASK64",
+    "RegisterFile",
+]
+
+MASK64 = (1 << 64) - 1
+
+#: The sixteen x86-64 general-purpose registers, in conventional order.
+#: RSP is part of this file but is also tracked in INJECTABLE_REGISTERS
+#: separately because flips there have distinctive (stack-corrupting) effects.
+GPR_NAMES: tuple[str, ...] = (
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+
+#: Every architected register, including the instruction pointer and flags.
+ALL_REGISTERS: tuple[str, ...] = GPR_NAMES + ("rip", "rflags")
+
+#: Registers eligible for fault injection, matching the paper's fault model:
+#: "general purpose registers, instruction and stack pointers and flags".
+INJECTABLE_REGISTERS: tuple[str, ...] = ALL_REGISTERS
+
+_REG_INDEX = {name: i for i, name in enumerate(ALL_REGISTERS)}
+
+
+class RegisterFile:
+    """A flat array of 64-bit architectural registers.
+
+    Registers are addressed by name (``"rax"``) or by architectural index.
+    The file exposes :meth:`flip_bit` as the soft-error primitive and
+    :meth:`snapshot`/:meth:`restore` for golden-run comparison and the
+    recovery model's critical-state copy.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: list[int] = [0] * len(ALL_REGISTERS)
+
+    # -- basic access -------------------------------------------------------
+
+    @staticmethod
+    def index_of(name: str) -> int:
+        """Return the architectural index of register ``name``."""
+        try:
+            return _REG_INDEX[name]
+        except KeyError:
+            raise MachineConfigError(f"unknown register {name!r}") from None
+
+    def read(self, name: str) -> int:
+        """Read a register by name."""
+        return self._values[_REG_INDEX[name]]
+
+    def write(self, name: str, value: int) -> None:
+        """Write a register by name (value is truncated to 64 bits)."""
+        self._values[_REG_INDEX[name]] = value & MASK64
+
+    def read_index(self, index: int) -> int:
+        """Read a register by architectural index (fast path for the CPU)."""
+        return self._values[index]
+
+    def write_index(self, index: int, value: int) -> None:
+        """Write a register by architectural index."""
+        self._values[index] = value & MASK64
+
+    def __getitem__(self, name: str) -> int:
+        return self.read(name)
+
+    def __setitem__(self, name: str, value: int) -> None:
+        self.write(name, value)
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return zip(ALL_REGISTERS, self._values)
+
+    # -- fault-injection & checkpoint primitives ----------------------------
+
+    def flip_bit(self, name: str, bit: int) -> int:
+        """Flip a single bit of register ``name`` and return the new value.
+
+        This is the soft-error model of the paper (single bit flip in the
+        architectural register state).
+        """
+        if not 0 <= bit < 64:
+            raise MachineConfigError(f"bit index {bit} outside [0, 64)")
+        idx = _REG_INDEX[name]
+        self._values[idx] ^= 1 << bit
+        return self._values[idx]
+
+    def snapshot(self) -> tuple[int, ...]:
+        """Return an immutable copy of the full register state."""
+        return tuple(self._values)
+
+    def restore(self, snap: tuple[int, ...]) -> None:
+        """Restore register state captured by :meth:`snapshot`."""
+        if len(snap) != len(ALL_REGISTERS):
+            raise MachineConfigError(
+                f"snapshot has {len(snap)} entries, expected {len(ALL_REGISTERS)}"
+            )
+        self._values = [v & MASK64 for v in snap]
+
+    def reset(self) -> None:
+        """Zero every register."""
+        self._values = [0] * len(ALL_REGISTERS)
+
+    def diff(self, other: "RegisterFile") -> dict[str, tuple[int, int]]:
+        """Return ``{name: (self_value, other_value)}`` for differing registers."""
+        out: dict[str, tuple[int, int]] = {}
+        for name, a, b in zip(ALL_REGISTERS, self._values, other._values):
+            if a != b:
+                out[name] = (a, b)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        regs = ", ".join(f"{n}={v:#x}" for n, v in self if v)
+        return f"RegisterFile({regs})"

@@ -1,0 +1,39 @@
+"""From-scratch machine learning for VM-transition detection.
+
+Implements the paper's classifier stack (Section III.B): entropy/information-
+gain split selection, a plain decision tree, the random tree variant the paper
+deploys, evaluation metrics, and rule compilation into the integer-comparison
+form that runs inside the hypervisor on every VM entry.
+"""
+
+from repro.ml.dataset import CORRECT, Dataset, FEATURE_NAMES, INCORRECT
+from repro.ml.decision_tree import DecisionTreeClassifier, TreeNode
+from repro.ml.entropy import SplitCandidate, best_split, entropy, information_gain
+from repro.ml.export import CompiledRules, compile_tree
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import ConfusionMatrix, evaluate
+from repro.ml.pruning import PruningReport, cross_validate, reduced_error_prune
+from repro.ml.random_tree import RandomTreeClassifier, features_per_node
+
+__all__ = [
+    "CORRECT",
+    "CompiledRules",
+    "ConfusionMatrix",
+    "Dataset",
+    "DecisionTreeClassifier",
+    "FEATURE_NAMES",
+    "INCORRECT",
+    "RandomForestClassifier",
+    "RandomTreeClassifier",
+    "SplitCandidate",
+    "TreeNode",
+    "best_split",
+    "compile_tree",
+    "PruningReport",
+    "cross_validate",
+    "entropy",
+    "evaluate",
+    "features_per_node",
+    "information_gain",
+    "reduced_error_prune",
+]

@@ -1,0 +1,137 @@
+"""Labeled datasets of VM-transition feature vectors.
+
+A sample is the five-feature vector of Table I — (VMER, RT, BR, RM, WM) — plus
+a binary label: ``CORRECT`` (the hypervisor execution followed its fault-free
+behaviour) or ``INCORRECT`` (an activated soft error perturbed it).  The paper
+trains on 12,024 such samples and tests on 6,596 (Section III.B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+__all__ = ["FEATURE_NAMES", "CORRECT", "INCORRECT", "Dataset"]
+
+#: Feature order used throughout the package (Table I synonyms).
+FEATURE_NAMES: tuple[str, ...] = ("VMER", "RT", "BR", "RM", "WM")
+
+CORRECT = 0
+INCORRECT = 1
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An immutable design matrix of integer features with binary labels."""
+
+    X: np.ndarray  # (n_samples, n_features) int64
+    y: np.ndarray  # (n_samples,) int8, values in {CORRECT, INCORRECT}
+    feature_names: tuple[str, ...] = FEATURE_NAMES
+
+    def __post_init__(self) -> None:
+        X = np.asarray(self.X, dtype=np.int64)
+        y = np.asarray(self.y, dtype=np.int8)
+        if X.ndim != 2:
+            raise DatasetError(f"X must be 2-D, got shape {X.shape}")
+        if y.ndim != 1 or len(y) != len(X):
+            raise DatasetError(
+                f"y must be 1-D with {len(X)} entries, got shape {y.shape}"
+            )
+        if X.shape[1] != len(self.feature_names):
+            raise DatasetError(
+                f"X has {X.shape[1]} columns but {len(self.feature_names)} feature names"
+            )
+        if len(y) and not np.isin(y, (CORRECT, INCORRECT)).all():
+            raise DatasetError("labels must be 0 (correct) or 1 (incorrect)")
+        object.__setattr__(self, "X", X)
+        object.__setattr__(self, "y", y)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_samples(
+        cls,
+        samples: list[tuple[int, ...]],
+        labels: list[int],
+        feature_names: tuple[str, ...] = FEATURE_NAMES,
+    ) -> "Dataset":
+        """Build a dataset from python-level feature tuples."""
+        if len(samples) != len(labels):
+            raise DatasetError(f"{len(samples)} samples but {len(labels)} labels")
+        if not samples:
+            return cls(np.empty((0, len(feature_names)), dtype=np.int64),
+                       np.empty(0, dtype=np.int8), feature_names)
+        return cls(np.array(samples, dtype=np.int64),
+                   np.array(labels, dtype=np.int8), feature_names)
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.y)
+
+    @property
+    def n_features(self) -> int:
+        return self.X.shape[1]
+
+    def class_counts(self) -> tuple[int, int]:
+        """Return ``(n_correct, n_incorrect)``."""
+        n_incorrect = int(self.y.sum())
+        return len(self.y) - n_incorrect, n_incorrect
+
+    # -- manipulation -----------------------------------------------------------
+
+    def concat(self, other: "Dataset") -> "Dataset":
+        """Concatenate two datasets with identical schemas."""
+        if self.feature_names != other.feature_names:
+            raise DatasetError("feature schemas differ")
+        return Dataset(
+            np.vstack([self.X, other.X]),
+            np.concatenate([self.y, other.y]),
+            self.feature_names,
+        )
+
+    def subset(self, mask: np.ndarray) -> "Dataset":
+        """Row subset by boolean mask or index array."""
+        return Dataset(self.X[mask], self.y[mask], self.feature_names)
+
+    def oversampled(self, label: int, factor: int) -> "Dataset":
+        """Duplicate samples of ``label`` ``factor`` times (class weighting).
+
+        Tree induction has no sample-weight input; replicating the minority
+        class shifts the detection/false-positive trade-off the same way.
+        """
+        if factor < 1:
+            raise DatasetError("oversample factor must be >= 1")
+        if factor == 1:
+            return self
+        mask = self.y == label
+        extra_X = np.vstack([self.X[mask]] * (factor - 1)) if mask.any() else self.X[:0]
+        extra_y = np.concatenate([self.y[mask]] * (factor - 1)) if mask.any() else self.y[:0]
+        return Dataset(
+            np.vstack([self.X, extra_X]),
+            np.concatenate([self.y, extra_y]),
+            self.feature_names,
+        )
+
+    def shuffled(self, rng: np.random.Generator) -> "Dataset":
+        order = rng.permutation(len(self))
+        return self.subset(order)
+
+    def split(self, train_fraction: float, rng: np.random.Generator) -> tuple["Dataset", "Dataset"]:
+        """Random train/test split (stratification is unnecessary at our sizes)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise DatasetError("train_fraction must be in (0, 1)")
+        order = rng.permutation(len(self))
+        cut = int(round(len(self) * train_fraction))
+        return self.subset(order[:cut]), self.subset(order[cut:])
+
+    def describe(self) -> str:
+        """One-line summary matching how the paper reports its sets."""
+        n_correct, n_incorrect = self.class_counts()
+        return (
+            f"{len(self)} samples ({n_correct} correct, {n_incorrect} incorrect), "
+            f"features: {', '.join(self.feature_names)}"
+        )

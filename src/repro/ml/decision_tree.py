@@ -1,0 +1,194 @@
+"""Entropy-based binary decision tree (the paper's baseline classifier).
+
+A from-scratch implementation of top-down induction with information-gain
+splitting — the Section III.B construction: "We iterate through each feature
+to select a cut point to split the dataset … RT=200 will be selected as the
+cutting point".  The induced model is a set of integer comparisons, cheap
+enough to evaluate on every VM entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DatasetError, NotFittedError
+from repro.ml.dataset import CORRECT, Dataset, INCORRECT
+from repro.ml.entropy import SplitCandidate, best_split
+
+__all__ = ["TreeNode", "DecisionTreeClassifier"]
+
+
+@dataclass
+class TreeNode:
+    """One node of an induced tree.
+
+    Internal nodes carry ``(feature, threshold)`` with the convention
+    *value <= threshold goes left*; leaves carry the predicted label and the
+    training class counts that produced it.
+    """
+
+    feature: int = -1
+    threshold: int = 0
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    prediction: int = CORRECT
+    n_correct: int = 0
+    n_incorrect: int = 0
+    depth: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    def node_count(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + self.left.node_count() + self.right.node_count()  # type: ignore[union-attr]
+
+    def leaf_count(self) -> int:
+        if self.is_leaf:
+            return 1
+        return self.left.leaf_count() + self.right.leaf_count()  # type: ignore[union-attr]
+
+    def max_depth(self) -> int:
+        if self.is_leaf:
+            return self.depth
+        return max(self.left.max_depth(), self.right.max_depth())  # type: ignore[union-attr]
+
+
+@dataclass
+class DecisionTreeClassifier:
+    """Greedy information-gain tree inducer.
+
+    Parameters
+    ----------
+    max_depth:
+        Hard cap on tree depth; 0 means "decide at the root".
+    min_samples_leaf:
+        A split is rejected if either side would hold fewer samples.
+    min_gain:
+        A split must improve entropy by at least this much.
+    """
+
+    max_depth: int = 24
+    min_samples_leaf: int = 2
+    min_gain: float = 1e-9
+    root: TreeNode | None = field(default=None, repr=False)
+    feature_names: tuple[str, ...] = ()
+
+    # -- induction ------------------------------------------------------------
+
+    def fit(self, dataset: Dataset) -> "DecisionTreeClassifier":
+        """Induce a tree from ``dataset``; returns self for chaining."""
+        if len(dataset) == 0:
+            raise DatasetError("cannot fit on an empty dataset")
+        self.feature_names = dataset.feature_names
+        self.root = self._grow(dataset.X, dataset.y, depth=0)
+        return self
+
+    def _candidate_features(
+        self, n_features: int, depth: int
+    ) -> np.ndarray:
+        """Features considered at a node (all of them; random tree overrides)."""
+        return np.arange(n_features)
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> TreeNode:
+        n_incorrect = int(y.sum())
+        n_correct = len(y) - n_incorrect
+        leaf = TreeNode(
+            prediction=INCORRECT if n_incorrect > n_correct else CORRECT,
+            n_correct=n_correct,
+            n_incorrect=n_incorrect,
+            depth=depth,
+        )
+        if depth >= self.max_depth or n_incorrect == 0 or n_correct == 0:
+            return leaf
+        split = self._best_split(X, y, depth)
+        if split is None:
+            return leaf
+        mask = X[:, split.feature] <= split.threshold
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return leaf
+        node = TreeNode(
+            feature=split.feature,
+            threshold=split.threshold,
+            n_correct=n_correct,
+            n_incorrect=n_incorrect,
+            depth=depth,
+            prediction=leaf.prediction,
+        )
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray, depth: int) -> SplitCandidate | None:
+        best: SplitCandidate | None = None
+        for feature in self._candidate_features(X.shape[1], depth):
+            candidate = best_split(X[:, int(feature)], y, int(feature))
+            if candidate is None or candidate.gain < self.min_gain:
+                continue
+            if best is None or candidate.gain > best.gain:
+                best = candidate
+        return best
+
+    # -- inference ----------------------------------------------------------------
+
+    def predict_one(self, features: tuple[int, ...] | np.ndarray) -> int:
+        """Classify a single feature vector (returns CORRECT or INCORRECT)."""
+        node = self._require_fitted()
+        while not node.is_leaf:
+            node = node.left if features[node.feature] <= node.threshold else node.right  # type: ignore[assignment]
+        return node.prediction
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Classify a matrix of feature vectors."""
+        X = np.asarray(X)
+        return np.fromiter(
+            (self.predict_one(row) for row in X), dtype=np.int8, count=len(X)
+        )
+
+    # -- introspection ----------------------------------------------------------------
+
+    def _require_fitted(self) -> TreeNode:
+        if self.root is None:
+            raise NotFittedError(f"{type(self).__name__} used before fit()")
+        return self.root
+
+    @property
+    def n_nodes(self) -> int:
+        return self._require_fitted().node_count()
+
+    @property
+    def n_leaves(self) -> int:
+        return self._require_fitted().leaf_count()
+
+    @property
+    def depth(self) -> int:
+        return self._require_fitted().max_depth()
+
+    def rules_text(self) -> str:
+        """Render the tree as indented if/else integer-comparison rules."""
+        root = self._require_fitted()
+        names = self.feature_names or tuple(
+            f"f{i}" for i in range(root.feature + 1)
+        )
+        lines: list[str] = []
+
+        def walk(node: TreeNode, indent: int) -> None:
+            pad = "  " * indent
+            if node.is_leaf:
+                label = "INCORRECT" if node.prediction == INCORRECT else "CORRECT"
+                lines.append(
+                    f"{pad}=> {label} ({node.n_correct} correct / {node.n_incorrect} incorrect)"
+                )
+                return
+            name = names[node.feature] if node.feature < len(names) else f"f{node.feature}"
+            lines.append(f"{pad}if {name} <= {node.threshold}:")
+            walk(node.left, indent + 1)  # type: ignore[arg-type]
+            lines.append(f"{pad}else:  # {name} > {node.threshold}")
+            walk(node.right, indent + 1)  # type: ignore[arg-type]
+
+        walk(root, 0)
+        return "\n".join(lines)

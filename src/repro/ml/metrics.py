@@ -1,0 +1,87 @@
+"""Classification metrics for detector evaluation.
+
+Conventions follow the paper's framing: the *positive* class is INCORRECT
+(a detection).  A **false positive** is a correct hypervisor execution flagged
+incorrect — the event that triggers unnecessary recovery and whose rate (0.7%)
+drives the Fig. 11 overhead estimate.  A **false negative** is an incorrect
+execution the transition detector misses (the Table II "mis-classify" bucket).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.ml.dataset import CORRECT, INCORRECT
+
+__all__ = ["ConfusionMatrix", "evaluate"]
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """2x2 confusion counts with detection-oriented derived rates."""
+
+    true_negative: int   # correct predicted correct
+    false_positive: int  # correct predicted incorrect (needless recovery)
+    false_negative: int  # incorrect predicted correct (missed detection)
+    true_positive: int   # incorrect predicted incorrect (detection)
+
+    @property
+    def total(self) -> int:
+        return self.true_negative + self.false_positive + self.false_negative + self.true_positive
+
+    @property
+    def accuracy(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return (self.true_positive + self.true_negative) / self.total
+
+    @property
+    def false_positive_rate(self) -> float:
+        """FP / all-correct: the unnecessary-recovery rate of Section VI."""
+        n_correct = self.true_negative + self.false_positive
+        return self.false_positive / n_correct if n_correct else 0.0
+
+    @property
+    def detection_rate(self) -> float:
+        """TP / all-incorrect: recall on the incorrect class."""
+        n_incorrect = self.true_positive + self.false_negative
+        return self.true_positive / n_incorrect if n_incorrect else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """FN / all-incorrect: the transition detector's mis-classify rate."""
+        n_incorrect = self.true_positive + self.false_negative
+        return self.false_negative / n_incorrect if n_incorrect else 0.0
+
+    def report(self, name: str = "classifier") -> str:
+        """Multi-line textual report mirroring the paper's Section III numbers."""
+        return "\n".join(
+            [
+                f"{name}: {self.total} test samples",
+                f"  accuracy            {self.accuracy:7.2%}",
+                f"  detection rate      {self.detection_rate:7.2%}",
+                f"  false positive rate {self.false_positive_rate:7.2%}",
+                f"  miss rate           {self.miss_rate:7.2%}",
+                f"  confusion  TN={self.true_negative} FP={self.false_positive} "
+                f"FN={self.false_negative} TP={self.true_positive}",
+            ]
+        )
+
+
+def evaluate(y_true: np.ndarray, y_pred: np.ndarray) -> ConfusionMatrix:
+    """Compute the confusion matrix of predictions against ground truth."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise DatasetError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    return ConfusionMatrix(
+        true_negative=int(((y_true == CORRECT) & (y_pred == CORRECT)).sum()),
+        false_positive=int(((y_true == CORRECT) & (y_pred == INCORRECT)).sum()),
+        false_negative=int(((y_true == INCORRECT) & (y_pred == CORRECT)).sum()),
+        true_positive=int(((y_true == INCORRECT) & (y_pred == INCORRECT)).sum()),
+    )

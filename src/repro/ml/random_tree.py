@@ -1,0 +1,45 @@
+"""Random tree: decision-tree induction with per-node feature subsampling.
+
+The paper selects WEKA's RandomTree as its production classifier
+(Section III.B): "when the random tree method deciding a split, it randomly
+choses and considers ⌊log2(number of features)⌋ + 1 features at each node,
+which is three in our case", and reports it slightly outperforming the plain
+decision tree (98.6% vs 96.1%).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.dataset import Dataset
+from repro.ml.decision_tree import DecisionTreeClassifier
+
+__all__ = ["RandomTreeClassifier", "features_per_node"]
+
+
+def features_per_node(n_features: int) -> int:
+    """The paper's K = ⌊log2(F)⌋ + 1 feature-subsample size."""
+    if n_features <= 0:
+        return 0
+    return int(math.log2(n_features)) + 1
+
+
+@dataclass
+class RandomTreeClassifier(DecisionTreeClassifier):
+    """Decision tree that examines a random feature subset at every node."""
+
+    seed: int = 0
+    _rng: np.random.Generator | None = field(default=None, repr=False)
+
+    def fit(self, dataset: Dataset) -> "RandomTreeClassifier":
+        self._rng = np.random.default_rng(self.seed)
+        super().fit(dataset)
+        return self
+
+    def _candidate_features(self, n_features: int, depth: int) -> np.ndarray:
+        k = min(features_per_node(n_features), n_features)
+        assert self._rng is not None  # set by fit()
+        return self._rng.choice(n_features, size=k, replace=False)

@@ -1,0 +1,157 @@
+"""Persistence: deployable rule tables, campaign records, datasets.
+
+Three artifact kinds cross process boundaries in a real deployment of this
+system, and each gets a stable on-disk format:
+
+* **compiled rule tables** (JSON) — the artifact that would be compiled into
+  the hypervisor; training happens offline (the paper trains in WEKA from
+  Simics traces, then implements the rules in Xen);
+* **campaign records** (JSON lines) — one fault-injection trial per line, so
+  multi-hour campaigns can be analyzed incrementally and merged;
+* **datasets** (``.npz``) — labeled feature matrices for re-training.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.faults.outcomes import (
+    DetectionTechnique,
+    FailureClass,
+    FaultSpec,
+    TrialRecord,
+    UndetectedKind,
+)
+from repro.ml.dataset import Dataset
+from repro.ml.export import CompiledRules
+
+__all__ = [
+    "save_rules",
+    "load_rules",
+    "save_records",
+    "load_records",
+    "save_dataset",
+    "load_dataset",
+]
+
+_RULES_FORMAT = "xentry-rules-v1"
+_RECORDS_FORMAT = "xentry-records-v1"
+
+
+# -- compiled rules -----------------------------------------------------------
+
+
+def save_rules(rules: CompiledRules, path: str | Path) -> None:
+    """Serialize a compiled rule table to JSON."""
+    payload = {
+        "format": _RULES_FORMAT,
+        "feature_names": list(rules.feature_names),
+        "feature": rules.feature.tolist(),
+        "threshold": rules.threshold.tolist(),
+        "left": rules.left.tolist(),
+        "right": rules.right.tolist(),
+        "prediction": rules.prediction.tolist(),
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_rules(path: str | Path) -> CompiledRules:
+    """Load a rule table saved by :func:`save_rules`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != _RULES_FORMAT:
+        raise DatasetError(f"{path}: not a {_RULES_FORMAT} file")
+    return CompiledRules(
+        feature=np.array(payload["feature"], dtype=np.int16),
+        threshold=np.array(payload["threshold"], dtype=np.int64),
+        left=np.array(payload["left"], dtype=np.int32),
+        right=np.array(payload["right"], dtype=np.int32),
+        prediction=np.array(payload["prediction"], dtype=np.int8),
+        feature_names=tuple(payload["feature_names"]),
+    )
+
+
+# -- campaign records -----------------------------------------------------------
+
+
+def _record_to_dict(record: TrialRecord) -> dict:
+    return {
+        "benchmark": record.benchmark,
+        "vmer": record.vmer,
+        "register": record.fault.register,
+        "bit": record.fault.bit,
+        "index": record.fault.dynamic_index,
+        "activated": record.activated,
+        "failure": record.failure_class.value,
+        "detected_by": record.detected_by.value,
+        "latency": record.detection_latency,
+        "undetected_kind": record.undetected_kind.value if record.undetected_kind else None,
+        "detail": record.detail,
+    }
+
+
+def _record_from_dict(data: dict) -> TrialRecord:
+    return TrialRecord(
+        benchmark=data["benchmark"],
+        vmer=data["vmer"],
+        fault=FaultSpec(data["register"], data["bit"], data["index"]),
+        activated=data["activated"],
+        failure_class=FailureClass(data["failure"]),
+        detected_by=DetectionTechnique(data["detected_by"]),
+        detection_latency=data["latency"],
+        undetected_kind=(
+            UndetectedKind(data["undetected_kind"]) if data["undetected_kind"] else None
+        ),
+        detail=data.get("detail", ""),
+    )
+
+
+def save_records(records, path: str | Path) -> int:
+    """Write trial records as JSON lines (header line first); returns count."""
+    records = list(records)
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"format": _RECORDS_FORMAT, "count": len(records)}) + "\n")
+        for record in records:
+            fh.write(json.dumps(_record_to_dict(record)) + "\n")
+    return len(records)
+
+
+def load_records(path: str | Path) -> tuple[TrialRecord, ...]:
+    """Read trial records saved by :func:`save_records`."""
+    with open(path) as fh:
+        header = json.loads(fh.readline())
+        if header.get("format") != _RECORDS_FORMAT:
+            raise DatasetError(f"{path}: not a {_RECORDS_FORMAT} file")
+        records = tuple(_record_from_dict(json.loads(line)) for line in fh if line.strip())
+    if header.get("count") is not None and header["count"] != len(records):
+        raise DatasetError(
+            f"{path}: header says {header['count']} records, found {len(records)} "
+            "(truncated file?)"
+        )
+    return records
+
+
+# -- datasets ----------------------------------------------------------------------
+
+
+def save_dataset(dataset: Dataset, path: str | Path) -> None:
+    """Save a labeled dataset as ``.npz``."""
+    np.savez_compressed(
+        path,
+        X=dataset.X,
+        y=dataset.y,
+        feature_names=np.array(dataset.feature_names),
+    )
+
+
+def load_dataset(path: str | Path) -> Dataset:
+    """Load a dataset saved by :func:`save_dataset`."""
+    data = np.load(path, allow_pickle=False)
+    return Dataset(
+        data["X"],
+        data["y"],
+        tuple(str(n) for n in data["feature_names"]),
+    )

@@ -1,0 +1,5 @@
+"""Full-system wiring: hypervisor + workloads + Xentry in one platform."""
+
+from repro.system.platform import PlatformConfig, VirtualPlatform
+
+__all__ = ["PlatformConfig", "VirtualPlatform"]

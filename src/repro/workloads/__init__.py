@@ -1,0 +1,30 @@
+"""Benchmark workload models: activation rates and exit-reason mixes.
+
+The paper's six benchmarks (SPEC2006 mcf/bzip2, PARSEC freqmine/canneal/x264,
+Postmark) are modeled by the hypervisor activity they induce — activation-rate
+distributions calibrated to Fig. 3 and per-class exit-reason mixes.
+"""
+
+from repro.workloads.base import (
+    RateDistribution,
+    VirtMode,
+    WorkloadClass,
+    WorkloadProfile,
+)
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.guestapp import AppOutcome, AppRun, GuestApplication
+from repro.workloads.suite import BENCHMARK_NAMES, BENCHMARKS, get_profile
+
+__all__ = [
+    "AppOutcome",
+    "AppRun",
+    "BENCHMARKS",
+    "BENCHMARK_NAMES",
+    "RateDistribution",
+    "VirtMode",
+    "WorkloadClass",
+    "GuestApplication",
+    "WorkloadGenerator",
+    "WorkloadProfile",
+    "get_profile",
+]

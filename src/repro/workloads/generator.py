@@ -1,0 +1,110 @@
+"""Deterministic activation-stream generation.
+
+Turns a :class:`~repro.workloads.base.WorkloadProfile` into the two things the
+experiments consume:
+
+* per-second activation *rates* (Fig. 3, the overhead models), and
+* concrete :class:`~repro.hypervisor.xen.Activation` sequences with reasons
+  drawn from the profile's mix and arguments drawn inside each reason's legal
+  ranges (fault-injection campaigns, training-set collection).
+
+Everything is seeded through :mod:`repro.rng`, so a campaign is reproducible
+from its root seed alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.errors import CampaignConfigError
+from repro.hypervisor.vmexit import ExitReason, ExitReasonRegistry, REGISTRY
+from repro.hypervisor.xen import Activation
+from repro.workloads.base import VirtMode, WorkloadProfile
+
+__all__ = ["WorkloadGenerator"]
+
+
+class WorkloadGenerator:
+    """Seeded activation stream for one (benchmark, virt-mode) pair."""
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        mode: VirtMode,
+        *,
+        seed: int = 0,
+        n_domains: int = 3,
+        registry: ExitReasonRegistry = REGISTRY,
+    ) -> None:
+        if n_domains < 2:
+            raise CampaignConfigError("need Dom0 plus at least one guest domain")
+        self.profile = profile
+        self.mode = mode
+        self.seed = seed
+        self.n_domains = n_domains
+        self.registry = registry
+        pool = registry.pv_reasons if mode is VirtMode.PV else registry.hvm_reasons
+        self._reasons: tuple[ExitReason, ...] = pool
+        weights = np.array(
+            [profile.reason_mix.get(r.name, profile.background_weight) for r in pool],
+            dtype=np.float64,
+        )
+        total = weights.sum()
+        if total <= 0:
+            raise CampaignConfigError(
+                f"profile {profile.name!r} has no positive weight in {mode.value} mode"
+            )
+        self._weights = weights / total
+
+    # -- rates (Fig. 3) --------------------------------------------------------
+
+    def rate_per_second(self, n_seconds: int) -> np.ndarray:
+        """Per-second activation rates over an ``n_seconds`` measurement."""
+        rng = rng_mod.stream(self.seed, "rates", self.profile.name, self.mode.value)
+        return self.profile.rate(self.mode).sample(rng, n_seconds)
+
+    def mean_rate(self, n_seconds: int = 300) -> float:
+        """Mean activations/second over a standard measurement window."""
+        return float(self.rate_per_second(n_seconds).mean())
+
+    # -- activation streams ------------------------------------------------------
+
+    def reason_probability(self, name: str) -> float:
+        """Probability that one activation is the named reason."""
+        for reason, w in zip(self._reasons, self._weights):
+            if reason.name == name:
+                return float(w)
+        return 0.0
+
+    def activations(self, n: int, *, start_seq: int = 0, stream: str = "activations") -> list[Activation]:
+        """Generate ``n`` concrete activations.
+
+        Arguments are drawn uniformly inside each reason's ``arg_ranges`` so
+        fault-free executions never violate handler preconditions; the target
+        domain is a guest VM, with Dom0 handling a share of I/O-class work
+        (backend drivers live there).
+        """
+        rng = rng_mod.stream(self.seed, stream, self.profile.name, self.mode.value, start_seq)
+        idx = rng.choice(len(self._reasons), size=n, p=self._weights)
+        out: list[Activation] = []
+        dom0_share = 0.15 if self.profile.klass.value == "io" else 0.06
+        for i in range(n):
+            reason = self._reasons[int(idx[i])]
+            args = tuple(
+                int(rng.integers(lo, hi + 1)) for lo, hi in reason.arg_ranges
+            )
+            if rng.random() < dom0_share:
+                domain = 0
+            else:
+                domain = int(rng.integers(1, self.n_domains))
+            out.append(
+                Activation(
+                    vmer=reason.vmer,
+                    args=args,
+                    domain_id=domain,
+                    vcpu_id=0,
+                    seq=start_seq + i,
+                )
+            )
+        return out

@@ -1,0 +1,128 @@
+"""Executable guest-application model.
+
+The campaign classifies fault consequences from golden-run divergence rules
+(:mod:`repro.faults.propagation`).  This module provides the *executable*
+counterpart: a small application model that actually consumes what the
+hypervisor delivered — register values, time, trap numbers, grant frames —
+and exhibits the paper's observable outcomes:
+
+* dereferencing a corrupted pointer-like value → **segmentation fault**
+  (APP crash: "applications exit abnormally such as segmentation faults");
+* a corrupted trap/interrupt number above the architectural limit → the
+  guest kernel panics (one-VM failure);
+* time running backwards → the application misbehaves without crashing;
+* any other corrupted input → the run completes but "the result produced by
+  the application is different from the one produced by the correct
+  execution" (APP SDC).
+
+Used by tests to validate the rule-based classifier against observable
+behaviour, and by examples to make consequences concrete.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.hypervisor.domain import DomainView
+
+__all__ = ["AppOutcome", "AppRun", "GuestApplication"]
+
+_MASK64 = (1 << 64) - 1
+_FNV = 0x100000001B3
+
+
+class AppOutcome(enum.Enum):
+    """Observable result of one application step."""
+
+    OK = "ok"
+    SEGFAULT = "segfault"            # APP crash
+    KERNEL_PANIC = "kernel_panic"    # one-VM failure (bad trap delivery)
+    MISBEHAVED = "misbehaved"        # wrong-but-running (time anomaly)
+
+
+@dataclass(frozen=True)
+class AppRun:
+    """Outcome + the application's result digest for SDC comparison."""
+
+    outcome: AppOutcome
+    digest: int
+    detail: str = ""
+
+    def is_sdc_against(self, golden: "AppRun") -> bool:
+        """Silent data corruption: both runs finish OK but results differ."""
+        return (
+            self.outcome is AppOutcome.OK
+            and golden.outcome is AppOutcome.OK
+            and self.digest != golden.digest
+        )
+
+
+@dataclass
+class GuestApplication:
+    """A guest workload step that consumes hypervisor-delivered values.
+
+    The application owns a virtual address window (``heap_base`` ..
+    ``heap_base + heap_words*8``); any hypervisor-delivered value it treats
+    as a pointer must fall inside it, as a real application's would fall
+    inside its mapped address space.
+    """
+
+    heap_base: int = 0x0000_5000_0000_0000
+    heap_words: int = 4096
+    last_time: int = field(default=0)
+
+    @property
+    def heap_end(self) -> int:
+        return self.heap_base + self.heap_words * 8
+
+    def _pointer_ok(self, value: int) -> bool:
+        return self.heap_base <= value < self.heap_end
+
+    def step(self, domain: DomainView, vcpu_id: int = 0) -> AppRun:
+        """Consume the current guest-visible state and run one app step."""
+        vcpu = domain.vcpu(vcpu_id)
+        digest = 0xCBF29CE484222325
+
+        def fold(value: int) -> None:
+            nonlocal digest
+            digest = ((digest ^ (value & _MASK64)) * _FNV) & _MASK64
+
+        # 1. Trap delivery: the guest kernel dispatches through its IDT —
+        #    vectors are architecturally bounded.
+        trapno = vcpu.trapno
+        if trapno > 255:
+            return AppRun(AppOutcome.KERNEL_PANIC, 0,
+                          f"IDT dispatch with vector {trapno:#x}")
+        fold(trapno)
+
+        # 2. Register results (cpuid outputs, query answers): values the app
+        #    computes with.  cpuid-style results are architecturally 32-bit;
+        #    anything wider is consumed as a *pointer* by the runtime (e.g. a
+        #    returned buffer address) and gets dereferenced.
+        for slot_index in range(4):
+            value = vcpu.reg(slot_index)
+            if value >> 32:
+                if not self._pointer_ok(value):
+                    return AppRun(AppOutcome.SEGFAULT, 0,
+                                  f"dereference of {value:#x}")
+                fold(value - self.heap_base)
+            else:
+                fold(value)
+
+        # 3. Time: applications tolerate skew but not time running backwards.
+        now = vcpu.system_time
+        if now < self.last_time:
+            self.last_time = now
+            return AppRun(AppOutcome.MISBEHAVED, digest,
+                          "clock went backwards")
+        self.last_time = now
+        fold(now)
+
+        # 4. Shared grant frames: bulk-transfer payloads feed the result.
+        for w in range(domain.layout.grant_frames.words):
+            fold(domain.memory.read_u64(domain.layout.grant_frames.word_address(w)))
+
+        # 5. Event state steers the application's next action.
+        fold(1 if vcpu.pending else 0)
+        return AppRun(AppOutcome.OK, digest)

@@ -1,0 +1,52 @@
+"""Xentry — the paper's contribution: hypervisor-level soft error detection.
+
+Two techniques (Section III): **VM transition detection** — a trained tree
+classifier over performance-counter features applied at every VM entry — and
+**runtime detection** — fatal-hardware-exception parsing plus planted software
+assertions.  Plus the Section VI recovery-cost model and the interception-shim
+cost accounting used by the overhead studies.
+"""
+
+from repro.xentry.features import FEATURE_NAMES, FeatureVector
+from repro.xentry.framework import ProtectedOutcome, ProtectionVerdict, Xentry
+from repro.xentry.interception import DetectionCostModel, ShimInterceptor
+from repro.xentry.recovery import (
+    PAPER_COPY_NS,
+    PAPER_FALSE_POSITIVE_RATE,
+    RecoveryCostModel,
+    RecoveryOverheadStudy,
+    estimate_recovery_overhead,
+)
+from repro.xentry.recovery_exec import RecoveryManager, RecoveryOutcome
+from repro.xentry.runtime import DetectionEvent, RuntimeDetector
+from repro.xentry.training import (
+    TrainedModel,
+    TrainingConfig,
+    collect_dataset,
+    train_and_evaluate,
+)
+from repro.xentry.transition import VMTransitionDetector
+
+__all__ = [
+    "DetectionCostModel",
+    "DetectionEvent",
+    "FEATURE_NAMES",
+    "FeatureVector",
+    "PAPER_COPY_NS",
+    "PAPER_FALSE_POSITIVE_RATE",
+    "ProtectedOutcome",
+    "ProtectionVerdict",
+    "RecoveryCostModel",
+    "RecoveryManager",
+    "RecoveryOutcome",
+    "RecoveryOverheadStudy",
+    "RuntimeDetector",
+    "ShimInterceptor",
+    "TrainedModel",
+    "TrainingConfig",
+    "VMTransitionDetector",
+    "Xentry",
+    "collect_dataset",
+    "estimate_recovery_overhead",
+    "train_and_evaluate",
+]

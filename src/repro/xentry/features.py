@@ -1,0 +1,55 @@
+"""Feature collection for VM transition detection (Table I).
+
+Five features characterize one hypervisor execution: the VM exit reason and
+four performance-counter deltas collected between VM exit and VM entry —
+retired instructions, retired branches, memory loads and memory stores.
+"Note that these selected features do not explicitly represent control flow,
+but they implicitly capture the patterns of control flow from instruction
+patterns and memory access patterns."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hypervisor.xen import ActivationResult
+from repro.machine.perfcounters import CounterSample
+from repro.ml.dataset import FEATURE_NAMES
+
+__all__ = ["FEATURE_NAMES", "FeatureVector"]
+
+
+@dataclass(frozen=True)
+class FeatureVector:
+    """One (VMER, RT, BR, RM, WM) sample."""
+
+    vmer: int
+    instructions: int
+    branches: int
+    loads: int
+    stores: int
+
+    def as_tuple(self) -> tuple[int, int, int, int, int]:
+        return (self.vmer, self.instructions, self.branches, self.loads, self.stores)
+
+    @classmethod
+    def from_sample(cls, vmer: int, sample: CounterSample) -> "FeatureVector":
+        """Build from a raw counter collection window."""
+        return cls(
+            vmer=vmer,
+            instructions=sample.instructions,
+            branches=sample.branches,
+            loads=sample.loads,
+            stores=sample.stores,
+        )
+
+    @classmethod
+    def from_result(cls, result: ActivationResult) -> "FeatureVector":
+        """Build from a finished activation."""
+        return cls(*result.features)
+
+    def __str__(self) -> str:
+        return (
+            f"VMER={self.vmer} RT={self.instructions} BR={self.branches} "
+            f"RM={self.loads} WM={self.stores}"
+        )

@@ -1,0 +1,118 @@
+"""The Xentry framework: both detection techniques wired around the hypervisor.
+
+This is the deployment-facing facade of Fig. 4: Xentry "intercepts all VM
+exits to prepare for data collection by instructing performance counters, and
+then allows original hypervisor execution to continue.  It enables VM
+transition detection at every VM entry."  Runtime detection (fatal-exception
+parsing + assertion monitoring) is always on while the system runs.
+
+:meth:`Xentry.protect` executes one activation under full protection and
+reports what happened — the API a recovery layer (e.g. ReHype-style
+re-initialization) would consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SimulationLimitExceeded
+from repro.faults.outcomes import DetectionTechnique
+from repro.hypervisor.xen import Activation, ActivationResult, XenHypervisor
+from repro.machine.exceptions import AssertionViolation, HardwareException
+from repro.xentry.features import FeatureVector
+from repro.xentry.runtime import DetectionEvent, RuntimeDetector
+from repro.xentry.transition import VMTransitionDetector
+
+__all__ = ["ProtectionVerdict", "ProtectedOutcome", "Xentry"]
+
+
+class ProtectionVerdict(enum.Enum):
+    """What Xentry concluded about one activation."""
+
+    CLEAN = "clean"                  # VM entry permitted
+    DETECTED = "detected"            # a technique flagged the execution
+    HUNG = "hung"                    # watchdog budget exhausted
+
+
+@dataclass(frozen=True)
+class ProtectedOutcome:
+    """Result of executing one activation under Xentry protection."""
+
+    verdict: ProtectionVerdict
+    detection: DetectionEvent | None
+    result: ActivationResult | None     # None when execution died early
+    features: FeatureVector | None
+
+    @property
+    def vm_entry_permitted(self) -> bool:
+        """True when the guest may resume (no detection before VM entry)."""
+        return self.verdict is ProtectionVerdict.CLEAN
+
+
+class Xentry:
+    """The sentry: intercepts every VM transition of one hypervisor.
+
+    ``transition_detector`` is optional — without it Xentry degrades to
+    runtime detection only, the configuration measured separately in Fig. 7.
+    """
+
+    def __init__(
+        self,
+        hypervisor: XenHypervisor,
+        *,
+        transition_detector: VMTransitionDetector | None = None,
+    ) -> None:
+        self.hv = hypervisor
+        self.runtime = RuntimeDetector()
+        self.transition = transition_detector
+        self.activations_protected = 0
+        self.detections: list[DetectionEvent] = []
+
+    def protect(self, activation: Activation) -> ProtectedOutcome:
+        """Execute ``activation`` with both detection techniques armed."""
+        self.activations_protected += 1
+        try:
+            result = self.hv.execute(activation)
+        except HardwareException as exc:
+            event = self.runtime.on_hardware_exception(
+                exc, vmer=activation.vmer, at_instruction=self.hv.cpu.tracer.count
+            )
+            if event is None:
+                # Benign exception: on real hardware the handler services it
+                # and execution continues; our simulation conservatively ends
+                # the activation, so report it clean but without features.
+                return ProtectedOutcome(ProtectionVerdict.CLEAN, None, None, None)
+            self.detections.append(event)
+            return ProtectedOutcome(ProtectionVerdict.DETECTED, event, None, None)
+        except AssertionViolation as violation:
+            event = self.runtime.on_assertion_violation(
+                violation, vmer=activation.vmer,
+                at_instruction=self.hv.cpu.tracer.count,
+            )
+            self.detections.append(event)
+            return ProtectedOutcome(ProtectionVerdict.DETECTED, event, None, None)
+        except SimulationLimitExceeded:
+            return ProtectedOutcome(ProtectionVerdict.HUNG, None, None, None)
+
+        features = FeatureVector.from_result(result)
+        if self.transition is not None and self.transition.flags_incorrect(
+            features.as_tuple()
+        ):
+            event = DetectionEvent(
+                technique=DetectionTechnique.VM_TRANSITION,
+                vmer=activation.vmer,
+                detail=f"transition classifier flagged [{features}]",
+                at_instruction=result.instructions,
+            )
+            self.detections.append(event)
+            return ProtectedOutcome(ProtectionVerdict.DETECTED, event, result, features)
+        return ProtectedOutcome(ProtectionVerdict.CLEAN, None, result, features)
+
+    # -- statistics -------------------------------------------------------------
+
+    def detection_counts(self) -> dict[DetectionTechnique, int]:
+        counts = {t: 0 for t in DetectionTechnique if t is not DetectionTechnique.UNDETECTED}
+        for event in self.detections:
+            counts[event.technique] += 1
+        return counts

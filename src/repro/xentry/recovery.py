@@ -1,0 +1,115 @@
+"""Recovery cost model with false positives (Section VI / Fig. 11).
+
+The paper assumes a light-weight recovery scheme: critical hypervisor data
+(VCPU and domain structures) and the VM exit reason are copied at *every* VM
+exit (measured at ~1,900 ns on a Xeon E5506 @ 2.13 GHz); on a positive
+detection — correct or false — the copies are restored and the hypervisor
+execution re-executes, "essentially doubling the original execution time".
+With the classifier's 0.7% false-positive rate, the estimated overhead is
+2.7% on average, 6.3% for postmark and ~1.6% for mcf/bzip2, with a max-min
+spread below 0.03% across 100 repetitions per application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.errors import CampaignConfigError
+from repro.workloads.base import VirtMode, WorkloadProfile
+
+__all__ = ["RecoveryCostModel", "RecoveryOverheadStudy", "estimate_recovery_overhead"]
+
+#: The paper's measured critical-state copy time (Xeon E5506, 2.13 GHz).
+PAPER_COPY_NS = 1_900.0
+#: The classifier false-positive rate measured in Section III.
+PAPER_FALSE_POSITIVE_RATE = 0.007
+
+
+@dataclass(frozen=True)
+class RecoveryCostModel:
+    """Cost parameters of the copy-at-exit / re-execute-on-detect scheme."""
+
+    copy_ns: float = PAPER_COPY_NS
+    false_positive_rate: float = PAPER_FALSE_POSITIVE_RATE
+    #: Mean original handler-execution time; restored-and-re-executed work on
+    #: a false positive costs one restore (≈ copy) plus one re-execution.
+    handler_ns: float = 250.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.false_positive_rate <= 1.0:
+            raise CampaignConfigError("false_positive_rate must be in [0, 1]")
+        if self.copy_ns < 0 or self.handler_ns < 0:
+            raise CampaignConfigError("costs must be non-negative")
+
+    def per_second_overhead_ns(self, rate: float, false_positives: float) -> float:
+        """Added nanoseconds per second of execution.
+
+        ``rate``: activations per second; ``false_positives``: number of
+        positive detections among them this second.
+        """
+        return rate * self.copy_ns + false_positives * (self.copy_ns + self.handler_ns)
+
+
+@dataclass(frozen=True)
+class RecoveryOverheadStudy:
+    """Per-application recovery overheads over repeated runs."""
+
+    benchmark: str
+    overheads: np.ndarray  # fraction of runtime, one entry per repetition
+
+    @property
+    def mean(self) -> float:
+        return float(self.overheads.mean())
+
+    @property
+    def max(self) -> float:
+        return float(self.overheads.max())
+
+    @property
+    def min(self) -> float:
+        return float(self.overheads.min())
+
+    @property
+    def spread(self) -> float:
+        """Max - min across repetitions (paper: < 0.03%)."""
+        return self.max - self.min
+
+
+def estimate_recovery_overhead(
+    profile: WorkloadProfile,
+    *,
+    mode: VirtMode = VirtMode.PV,
+    model: RecoveryCostModel | None = None,
+    repetitions: int = 100,
+    run_seconds: int = 60,
+    seed: int = 0,
+) -> RecoveryOverheadStudy:
+    """Reproduce the Fig. 11 methodology for one application.
+
+    A hypervisor-activation trace is collected once per application (we use
+    the profile's rate distribution); false-positive activations are then
+    drawn randomly per repetition — "This is repeated by 100 times for each
+    application" — and the added copy/re-execution time is normalized by the
+    run duration.
+    """
+    model = model or RecoveryCostModel()
+    trace_rng = rng_mod.stream(seed, "recovery-trace", profile.name, mode.value)
+    # One fixed trace per application (the paper collects the trace once).
+    per_second = profile.rate(mode).sample(trace_rng, run_seconds)
+    total_activations = per_second.sum()
+    fp_rng = rng_mod.stream(seed, "recovery-fp", profile.name, mode.value)
+    overheads = np.empty(repetitions, dtype=np.float64)
+    for i in range(repetitions):
+        # Randomly select hypervisor executions as false positives.
+        false_positives = fp_rng.binomial(
+            int(total_activations), model.false_positive_rate
+        )
+        added_ns = (
+            total_activations * model.copy_ns
+            + false_positives * (model.copy_ns + model.handler_ns)
+        )
+        overheads[i] = added_ns / (run_seconds * 1e9)
+    return RecoveryOverheadStudy(benchmark=profile.name, overheads=overheads)

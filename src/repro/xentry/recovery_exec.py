@@ -1,0 +1,117 @@
+"""A working implementation of the Section VI recovery scheme.
+
+The paper *assumes* a light-weight recovery mechanism and estimates its cost:
+"the recovery techniques will preserve the critical hypervisor data (e.g.
+VCPU and domain information) and the VM exit reason by making a redundant
+copy at every VM exit.  If there is a positive detection (correct or false),
+these critical data and the VM exit reason will be restored and the
+hypervisor execution is re-initiated."
+
+:class:`RecoveryManager` implements exactly that on the simulated platform:
+
+* at every VM exit it snapshots the critical state (all domain/VCPU
+  structures plus the hypervisor control slots — the data the paper measured
+  at ~1,900 ns to copy);
+* on any positive detection it restores the snapshot and re-executes the
+  activation once;
+* a *false* positive therefore converges to the original fault-free result
+  (re-execution is deterministic), and a *true* positive whose fault was
+  transient (one bit flip, not re-injected) produces the correct execution —
+  the fault never reaches the guest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationLimitExceeded
+from repro.hypervisor.xen import Activation, ActivationResult
+from repro.machine.exceptions import AssertionViolation, HardwareException
+from repro.xentry.framework import ProtectionVerdict, Xentry
+
+__all__ = ["RecoveryOutcome", "RecoveryManager"]
+
+
+@dataclass(frozen=True)
+class RecoveryOutcome:
+    """What happened to one activation under protect-and-recover."""
+
+    detected: bool
+    recovered: bool
+    #: Result of the execution the guest actually observes (the re-executed
+    #: one when recovery ran); None when even re-execution failed.
+    result: ActivationResult | None
+    detail: str = ""
+
+
+@dataclass
+class RecoveryManager:
+    """Copy-at-exit / restore-and-re-execute recovery around Xentry."""
+
+    xentry: Xentry
+    max_reexecutions: int = 1
+    exits_protected: int = 0
+    recoveries: int = 0
+    unrecoverable: int = 0
+    _critical_slots: tuple = field(init=False, repr=False, default=())
+
+    def __post_init__(self) -> None:
+        layout = self.xentry.hv.layout
+        # "Critical hypervisor data (e.g. VCPU and domain information) and
+        # the VM exit reason" — plus bookkeeping, so that re-execution is
+        # bit-identical to a fault-free first attempt.  (Scratch buffers are
+        # cheap; what matters for correctness is that nothing the handler
+        # reads can differ between the attempts.)
+        self._critical_slots = tuple(layout.all_slots.values())
+
+    # -- the copy the paper prices at ~1,900 ns --------------------------------
+
+    def snapshot_critical(self) -> dict[int, int]:
+        """Copy every critical word (the per-VM-exit redundant copy)."""
+        memory = self.xentry.hv.memory
+        snapshot: dict[int, int] = {}
+        for slot in self._critical_slots:
+            for w in range(slot.words):
+                addr = slot.word_address(w)
+                snapshot[addr] = memory.read_u64(addr)
+        return snapshot
+
+    def restore_critical(self, snapshot: dict[int, int]) -> None:
+        memory = self.xentry.hv.memory
+        for addr, value in snapshot.items():
+            memory.write_u64(addr, value)
+
+    # -- protect + recover ------------------------------------------------------
+
+    def protect(self, activation: Activation) -> RecoveryOutcome:
+        """Execute one activation; on any positive detection, restore the
+        critical copy and re-execute."""
+        self.exits_protected += 1
+        snapshot = self.snapshot_critical()
+        outcome = self.xentry.protect(activation)
+        if outcome.verdict is ProtectionVerdict.CLEAN:
+            return RecoveryOutcome(
+                detected=False, recovered=False, result=outcome.result
+            )
+        # Positive detection (runtime or transition, correct or false):
+        # restore and re-initiate the hypervisor execution.
+        detail = outcome.detection.detail if outcome.detection else "hang"
+        for _attempt in range(self.max_reexecutions):
+            self.restore_critical(snapshot)
+            # The transient fault is not re-injected (soft errors do not
+            # repeat); a still-armed injection would model a permanent fault.
+            self.xentry.hv.cpu.clear_injection()
+            try:
+                result = self.xentry.hv.execute(activation)
+            except (HardwareException, AssertionViolation, SimulationLimitExceeded):
+                continue  # corrupted beyond this scheme's reach
+            self.recoveries += 1
+            return RecoveryOutcome(
+                detected=True, recovered=True, result=result,
+                detail=f"recovered after: {detail}",
+            )
+        self.unrecoverable += 1
+        return RecoveryOutcome(
+            detected=True, recovered=False, result=None,
+            detail=f"re-execution failed after: {detail}",
+        )

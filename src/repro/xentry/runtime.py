@@ -1,0 +1,82 @@
+"""Runtime detection: fatal hardware exceptions and software assertions.
+
+Section III.A: runtime detection "utilizes fatal hardware exceptions to
+monitor fatal system corruptions, and utilizes software assertions to monitor
+data corruptions".  Exceptions must be *parsed* first — "some exceptions are
+legal in correct executions" — which is what
+:func:`repro.machine.exceptions.classify_exception` implements; this module
+wraps that parsing into detection events and keeps running statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.outcomes import DetectionTechnique
+from repro.machine.exceptions import (
+    AssertionViolation,
+    HardwareException,
+    classify_exception,
+)
+
+__all__ = ["DetectionEvent", "RuntimeDetector"]
+
+
+@dataclass(frozen=True)
+class DetectionEvent:
+    """One positive detection raised by any Xentry technique."""
+
+    technique: DetectionTechnique
+    vmer: int
+    detail: str
+    #: Dynamic instruction count at detection (since VM exit); latency from
+    #: activation is only known in campaigns where the injection is visible.
+    at_instruction: int = 0
+
+
+@dataclass
+class RuntimeDetector:
+    """Parses architectural events into detections, with statistics."""
+
+    events: list[DetectionEvent] = field(default_factory=list)
+    exceptions_seen: int = 0
+    exceptions_benign: int = 0
+    assertions_failed: int = 0
+
+    def on_hardware_exception(
+        self, exc: HardwareException, *, vmer: int, at_instruction: int = 0
+    ) -> DetectionEvent | None:
+        """Parse a hardware exception; fatal ones become detections."""
+        self.exceptions_seen += 1
+        verdict = classify_exception(exc)
+        if not verdict.fatal:
+            self.exceptions_benign += 1
+            return None
+        event = DetectionEvent(
+            technique=DetectionTechnique.HW_EXCEPTION,
+            vmer=vmer,
+            detail=f"{exc.vector.name}: {verdict.reason}",
+            at_instruction=at_instruction,
+        )
+        self.events.append(event)
+        return event
+
+    def on_assertion_violation(
+        self, violation: AssertionViolation, *, vmer: int, at_instruction: int = 0
+    ) -> DetectionEvent:
+        """A failed assertion is always a detection: error-free executions
+        never trigger the planted predicates."""
+        self.assertions_failed += 1
+        event = DetectionEvent(
+            technique=DetectionTechnique.SW_ASSERTION,
+            vmer=vmer,
+            detail=f"assertion {violation.assertion_id!r} "
+                   f"(observed {violation.observed:#x})",
+            at_instruction=at_instruction,
+        )
+        self.events.append(event)
+        return event
+
+    @property
+    def detections(self) -> int:
+        return len(self.events)

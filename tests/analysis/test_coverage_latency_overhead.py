@@ -1,0 +1,150 @@
+"""Coverage aggregation, latency studies, and the overhead model."""
+
+import pytest
+
+from repro.analysis import (
+    LatencyStudy,
+    PerfOverheadModel,
+    coverage_by_benchmark,
+    coverage_by_technique,
+    long_latency_breakdown,
+    undetected_breakdown,
+)
+from repro.errors import CampaignConfigError
+from repro.faults.outcomes import (
+    DetectionTechnique,
+    FailureClass,
+    FaultSpec,
+    TrialRecord,
+    UndetectedKind,
+)
+from repro.workloads import BENCHMARKS, get_profile
+
+
+def record(
+    benchmark="mcf",
+    failure=FailureClass.HYPERVISOR_CRASH,
+    technique=DetectionTechnique.HW_EXCEPTION,
+    latency=5,
+    kind=None,
+) -> TrialRecord:
+    return TrialRecord(
+        benchmark=benchmark,
+        vmer=0,
+        fault=FaultSpec("rax", 1, 1),
+        activated=True,
+        failure_class=failure,
+        detected_by=technique,
+        detection_latency=latency,
+        undetected_kind=kind,
+    )
+
+
+SAMPLE = (
+    record(),
+    record(technique=DetectionTechnique.SW_ASSERTION, latency=10),
+    record(failure=FailureClass.APP_SDC, technique=DetectionTechnique.VM_TRANSITION, latency=300),
+    record(failure=FailureClass.APP_SDC, technique=DetectionTechnique.UNDETECTED,
+           latency=None, kind=UndetectedKind.TIME_VALUES),
+    record(failure=FailureClass.BENIGN, technique=DetectionTechnique.UNDETECTED, latency=None),
+    record(benchmark="postmark", failure=FailureClass.ONE_VM_FAILURE,
+           technique=DetectionTechnique.UNDETECTED, latency=None,
+           kind=UndetectedKind.MIS_CLASSIFY),
+    record(failure=FailureClass.LATENT, technique=DetectionTechnique.UNDETECTED, latency=None),
+)
+
+
+class TestCoverage:
+    def test_denominator_is_manifested_only(self):
+        cov = coverage_by_technique(SAMPLE)
+        assert cov.total == 5  # benign and latent excluded
+
+    def test_shares_sum_to_one(self):
+        cov = coverage_by_technique(SAMPLE)
+        total = sum(
+            cov.share(t) for t in DetectionTechnique
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_coverage_value(self):
+        cov = coverage_by_technique(SAMPLE)
+        assert cov.coverage == pytest.approx(3 / 5)
+
+    def test_by_benchmark_includes_avg(self):
+        groups = coverage_by_benchmark(SAMPLE)
+        assert set(groups) == {"mcf", "postmark", "AVG"}
+        assert groups["AVG"].total == 5
+        assert groups["postmark"].total == 1
+
+    def test_empty_coverage(self):
+        cov = coverage_by_technique(())
+        assert cov.coverage == 0.0 and cov.row("x")
+
+
+class TestLongLatency:
+    def test_breakdown_counts(self):
+        breakdown = long_latency_breakdown(SAMPLE)
+        assert breakdown[FailureClass.APP_SDC] == (1, 2)
+        assert breakdown[FailureClass.ONE_VM_FAILURE] == (0, 1)
+        assert breakdown[FailureClass.APP_CRASH] == (0, 0)
+
+
+class TestUndetected:
+    def test_breakdown_shares(self):
+        shares = undetected_breakdown(SAMPLE)
+        assert shares[UndetectedKind.TIME_VALUES] == pytest.approx(0.5)
+        assert shares[UndetectedKind.MIS_CLASSIFY] == pytest.approx(0.5)
+        assert shares[UndetectedKind.STACK_VALUES] == 0.0
+
+    def test_no_undetected_raises(self):
+        with pytest.raises(CampaignConfigError):
+            undetected_breakdown((record(),))
+
+
+class TestLatencyStudy:
+    def test_per_technique_cdfs(self):
+        study = LatencyStudy.from_records(SAMPLE)
+        assert study.fraction_within(DetectionTechnique.HW_EXCEPTION, 5) == 1.0
+        assert study.fraction_within(DetectionTechnique.VM_TRANSITION, 100) == 0.0
+        assert study.fraction_within(DetectionTechnique.VM_TRANSITION, 700) == 1.0
+
+    def test_table_renders(self):
+        text = LatencyStudy.from_records(SAMPLE).table([100, 700])
+        assert "hw_exception" in text and "700" in text
+
+    def test_no_detections_raises(self):
+        undetected = (record(technique=DetectionTechnique.UNDETECTED, latency=None),)
+        with pytest.raises(CampaignConfigError):
+            LatencyStudy.from_records(undetected)
+
+
+class TestOverheadModel:
+    def test_fig7_ordering_postmark_worst_bzip2_best(self):
+        model = PerfOverheadModel()
+        studies = {p.name: model.study(p, seed=4) for p in BENCHMARKS}
+        assert studies["postmark"].mean_full == max(s.mean_full for s in studies.values())
+        assert studies["bzip2"].mean_full == min(s.mean_full for s in studies.values())
+
+    def test_runtime_only_is_nearly_free(self):
+        model = PerfOverheadModel()
+        study = model.study(get_profile("postmark"), seed=4)
+        assert study.mean_runtime_only < 0.1 * study.mean_full
+        assert study.mean_runtime_only < 0.005
+
+    def test_magnitudes_in_paper_band(self):
+        """Average around a few percent, maxima near 10% for the worst case."""
+        model = PerfOverheadModel()
+        studies = [model.study(p, seed=4) for p in BENCHMARKS]
+        average = sum(s.mean_full for s in studies) / len(studies)
+        assert 0.005 < average < 0.08
+        assert max(s.max_full for s in studies) < 0.30
+
+    def test_deterministic(self):
+        model = PerfOverheadModel()
+        a = model.study(get_profile("x264"), seed=7)
+        b = model.study(get_profile("x264"), seed=7)
+        assert (a.runtime_plus_transition == b.runtime_plus_transition).all()
+
+    def test_validation(self):
+        with pytest.raises(CampaignConfigError):
+            PerfOverheadModel(runs=0)

@@ -1,0 +1,130 @@
+"""Event-channel control plane: allocation, binding, routed delivery."""
+
+import pytest
+
+from repro.errors import CampaignConfigError
+from repro.hypervisor import XenHypervisor
+from repro.hypervisor.events import ChannelState, EventChannelManager
+
+
+@pytest.fixture()
+def manager() -> EventChannelManager:
+    return EventChannelManager(XenHypervisor(seed=81))
+
+
+class TestAllocation:
+    def test_ports_allocate_lowest_first(self, manager):
+        a = manager.alloc_unbound(1)
+        b = manager.alloc_unbound(1)
+        assert (a.port, b.port) == (0, 1)
+        assert a.state is ChannelState.UNBOUND
+
+    def test_domains_have_independent_port_spaces(self, manager):
+        a = manager.alloc_unbound(1)
+        b = manager.alloc_unbound(2)
+        assert a.port == b.port == 0
+
+    def test_exhaustion_raises(self, manager):
+        for _ in range(256):
+            manager.alloc_unbound(1)
+        with pytest.raises(CampaignConfigError):
+            manager.alloc_unbound(1)
+
+    def test_unknown_domain_rejected(self, manager):
+        with pytest.raises(CampaignConfigError):
+            manager.alloc_unbound(99)
+
+
+class TestInterdomain:
+    def test_bind_creates_symmetric_pair(self, manager):
+        local = manager.alloc_unbound(1)
+        remote = manager.bind_interdomain(local, 2)
+        assert local.state is remote.state is ChannelState.INTERDOMAIN
+        assert (local.remote_domain, local.remote_port) == (2, remote.port)
+        assert (remote.remote_domain, remote.remote_port) == (1, local.port)
+
+    def test_binding_a_bound_port_rejected(self, manager):
+        local = manager.alloc_unbound(1)
+        manager.bind_interdomain(local, 2)
+        with pytest.raises(CampaignConfigError):
+            manager.bind_interdomain(local, 0)
+
+    def test_notify_signals_the_peer_not_self(self, manager):
+        local = manager.alloc_unbound(1)
+        remote = manager.bind_interdomain(local, 2)
+        manager.notify(local)
+        assert manager.is_pending(remote)
+        assert not manager.is_pending(local)
+        assert local.notifications == 1
+
+    def test_notify_marks_peer_vcpu(self, manager):
+        local = manager.alloc_unbound(1)
+        manager.bind_interdomain(local, 2)
+        manager.notify(local)
+        assert manager.hv.vcpu(2).pending
+
+    def test_close_unbinds_the_peer(self, manager):
+        local = manager.alloc_unbound(1)
+        remote = manager.bind_interdomain(local, 2)
+        manager.close(local)
+        assert local.state is ChannelState.FREE
+        assert remote.state is ChannelState.UNBOUND
+        assert remote.remote_domain is None
+
+    def test_closed_port_is_reusable(self, manager):
+        local = manager.alloc_unbound(1)
+        manager.close(local)
+        again = manager.alloc_unbound(1)
+        assert again.port == local.port
+
+
+class TestVirqAndPirq:
+    def test_virq_delivery_sets_the_bound_port(self, manager):
+        channel = manager.bind_virq(1, virq=0)  # VIRQ_TIMER
+        manager.raise_virq(1, 0)
+        assert manager.is_pending(channel)
+
+    def test_double_virq_binding_rejected(self, manager):
+        manager.bind_virq(1, virq=3)
+        with pytest.raises(CampaignConfigError):
+            manager.bind_virq(1, virq=3)
+
+    def test_unbound_virq_delivery_rejected(self, manager):
+        with pytest.raises(CampaignConfigError):
+            manager.raise_virq(1, 7)
+
+    def test_pirq_routes_to_owning_guest(self, manager):
+        channel = manager.bind_pirq(2, pirq=14)  # the disk line
+        manager.raise_pirq(14)
+        assert manager.is_pending(channel)
+        assert manager.hv.vcpu(2).pending
+
+    def test_pirq_line_is_exclusive(self, manager):
+        manager.bind_pirq(1, pirq=10)
+        with pytest.raises(CampaignConfigError):
+            manager.bind_pirq(2, pirq=10)
+
+    def test_notify_on_free_channel_rejected(self, manager):
+        channel = manager.alloc_unbound(1)
+        manager.close(channel)
+        with pytest.raises(CampaignConfigError):
+            manager.notify(channel)
+
+
+class TestIntrospection:
+    def test_channels_of_lists_live_ports_only(self, manager):
+        a = manager.alloc_unbound(1)
+        manager.bind_virq(1, virq=2)
+        manager.close(a)
+        live = manager.channels_of(1)
+        assert len(live) == 1
+        assert live[0].state is ChannelState.VIRQ
+
+    def test_delivery_goes_through_real_handler_code(self, manager):
+        """Signalling is executed hypervisor code, not bookkeeping: the
+        activation result carries a genuine dynamic footprint."""
+        local = manager.alloc_unbound(1)
+        manager.bind_interdomain(local, 2)
+        result = manager.notify(local)
+        assert result.instructions > 10
+        assert result.sample.stores > 0

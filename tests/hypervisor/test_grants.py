@@ -1,0 +1,113 @@
+"""Grant-table control plane: issuance, refcounting, transfer, copies."""
+
+import pytest
+
+from repro.errors import CampaignConfigError
+from repro.hypervisor import XenHypervisor
+from repro.hypervisor.grants import GrantFlags, GrantTableManager
+
+
+@pytest.fixture()
+def gt() -> GrantTableManager:
+    return GrantTableManager(XenHypervisor(seed=83))
+
+
+class TestIssuance:
+    def test_refs_count_up_per_granter(self, gt):
+        a = gt.grant_access(1, 2, frame=0x100, flags=GrantFlags.READ)
+        b = gt.grant_access(1, 2, frame=0x101, flags=GrantFlags.READ)
+        c = gt.grant_access(2, 1, frame=0x200, flags=GrantFlags.READ)
+        assert (a.ref, b.ref, c.ref) == (0, 1, 0)
+
+    def test_self_grant_rejected(self, gt):
+        with pytest.raises(CampaignConfigError):
+            gt.grant_access(1, 1, frame=1, flags=GrantFlags.READ)
+
+    def test_flagless_grant_rejected(self, gt):
+        with pytest.raises(CampaignConfigError):
+            gt.grant_access(1, 2, frame=1, flags=GrantFlags.NONE)
+
+    def test_unknown_domains_rejected(self, gt):
+        with pytest.raises(CampaignConfigError):
+            gt.grant_access(9, 1, frame=1, flags=GrantFlags.READ)
+
+
+class TestMapUnmap:
+    def test_map_refcounts(self, gt):
+        entry = gt.grant_access(1, 2, frame=5, flags=GrantFlags.READ | GrantFlags.WRITE)
+        gt.map_grant(2, 1, entry.ref)
+        gt.map_grant(2, 1, entry.ref)
+        assert entry.mappings == 2 and entry.busy
+        gt.unmap_grant(2, 1, entry.ref)
+        assert entry.mappings == 1
+
+    def test_only_the_grantee_may_map(self, gt):
+        entry = gt.grant_access(1, 2, frame=5, flags=GrantFlags.READ)
+        with pytest.raises(CampaignConfigError):
+            gt.map_grant(0, 1, entry.ref)
+
+    def test_unmap_requires_mapping(self, gt):
+        entry = gt.grant_access(1, 2, frame=5, flags=GrantFlags.READ)
+        with pytest.raises(CampaignConfigError):
+            gt.unmap_grant(2, 1, entry.ref)
+
+    def test_revocation_refused_while_mapped(self, gt):
+        """The classic grant-table hazard: ending access under a live map."""
+        entry = gt.grant_access(1, 2, frame=5, flags=GrantFlags.READ)
+        gt.map_grant(2, 1, entry.ref)
+        with pytest.raises(CampaignConfigError, match="mapping"):
+            gt.end_access(1, entry.ref)
+        gt.unmap_grant(2, 1, entry.ref)
+        gt.end_access(1, entry.ref)
+        with pytest.raises(CampaignConfigError):
+            gt.entry(1, entry.ref)
+
+
+class TestTransfer:
+    def test_transfer_requires_the_flag(self, gt):
+        entry = gt.grant_access(1, 2, frame=5, flags=GrantFlags.READ)
+        with pytest.raises(CampaignConfigError):
+            gt.transfer(entry)
+
+    def test_transfer_consumes_the_grant(self, gt):
+        entry = gt.grant_access(1, 2, frame=5, flags=GrantFlags.TRANSFER)
+        gt.transfer(entry)
+        assert entry.transferred
+        with pytest.raises(CampaignConfigError):
+            gt.map_grant(2, 1, entry.ref)
+
+    def test_mapped_frame_cannot_transfer(self, gt):
+        entry = gt.grant_access(
+            1, 2, frame=5, flags=GrantFlags.READ | GrantFlags.TRANSFER
+        )
+        gt.map_grant(2, 1, entry.ref)
+        with pytest.raises(CampaignConfigError):
+            gt.transfer(entry)
+
+
+class TestCopies:
+    def test_copy_lands_in_guest_visible_window(self, gt):
+        entry = gt.grant_access(1, 2, frame=5, flags=GrantFlags.WRITE)
+        before = gt.window_words(1)
+        result = gt.copy_through(entry, words=12)
+        after = gt.window_words(1)
+        assert result.instructions > 20
+        assert after != before  # payload observable to the guest side
+
+    def test_copy_respects_batch_limits(self, gt):
+        entry = gt.grant_access(1, 2, frame=5, flags=GrantFlags.WRITE)
+        with pytest.raises(CampaignConfigError):
+            gt.copy_through(entry, words=0)
+        with pytest.raises(CampaignConfigError):
+            gt.copy_through(entry, words=500)
+
+    def test_transfer_only_grant_cannot_copy(self, gt):
+        entry = gt.grant_access(1, 2, frame=5, flags=GrantFlags.TRANSFER)
+        with pytest.raises(CampaignConfigError):
+            gt.copy_through(entry, words=4)
+
+    def test_grants_of_inventory(self, gt):
+        gt.grant_access(1, 2, frame=1, flags=GrantFlags.READ)
+        gt.grant_access(1, 0, frame=2, flags=GrantFlags.READ)
+        assert len(gt.grants_of(1)) == 2
+        assert gt.grants_of(2) == ()

@@ -1,0 +1,99 @@
+"""Property-based tests over the hypervisor substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultSpec, capture_golden, run_trial
+from repro.hypervisor import Activation, REGISTRY, XenHypervisor
+from repro.machine.registers import INJECTABLE_REGISTERS
+
+_HV = XenHypervisor(seed=99)
+
+vmers = st.integers(min_value=0, max_value=len(REGISTRY) - 1)
+
+
+@st.composite
+def activations(draw):
+    vmer = draw(vmers)
+    reason = REGISTRY.by_vmer(vmer)
+    args = tuple(
+        draw(st.integers(min_value=lo, max_value=hi))
+        for lo, hi in reason.arg_ranges
+    )
+    return Activation(
+        vmer=vmer,
+        args=args,
+        domain_id=draw(st.integers(0, 2)),
+        seq=draw(st.integers(0, 500)),
+    )
+
+
+class TestExecutionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(activation=activations())
+    def test_any_legal_activation_executes_cleanly(self, activation):
+        """Fault-free executions never raise for in-range arguments."""
+        _HV.reset()
+        result = _HV.execute(activation)
+        assert result.instructions > 0
+        assert result.sample.instructions == result.instructions
+
+    @settings(max_examples=30, deadline=None)
+    @given(activation=activations())
+    def test_execution_is_deterministic(self, activation):
+        _HV.reset()
+        snap = _HV.checkpoint()
+        first = _HV.execute(activation)
+        _HV.restore(snap)
+        second = _HV.execute(activation)
+        assert first.path_hash == second.path_hash
+        assert first.sample == second.sample
+
+    @settings(max_examples=30, deadline=None)
+    @given(activation=activations())
+    def test_features_are_internally_consistent(self, activation):
+        """RT bounds every other counter; VMER matches the request."""
+        _HV.reset()
+        result = _HV.execute(activation)
+        vmer, rt, br, rm, wm = result.features
+        assert vmer == activation.vmer
+        assert br < rt and rm < rt and wm < rt
+
+
+class TestInjectionProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        activation=activations(),
+        register=st.sampled_from(INJECTABLE_REGISTERS),
+        bit=st.integers(0, 63),
+        data=st.data(),
+    )
+    def test_any_single_trial_completes_and_is_classified(
+        self, activation, register, bit, data
+    ):
+        """run_trial never raises: every fault lands in the taxonomy."""
+        _HV.reset()
+        golden = capture_golden(_HV, activation)
+        index = data.draw(
+            st.integers(0, max(0, golden.result.instructions - 1))
+        )
+        record = run_trial(
+            _HV, activation, FaultSpec(register, bit, index), golden=golden
+        )
+        assert record.failure_class is not None
+        assert record.detected_by is not None
+        if record.detected:
+            assert record.detection_latency is not None and record.detection_latency >= 0
+        if not record.manifested:
+            assert record.undetected_kind is None
+
+    @settings(max_examples=25, deadline=None)
+    @given(activation=activations(), bit=st.integers(0, 63), data=st.data())
+    def test_trials_are_repeatable(self, activation, bit, data):
+        _HV.reset()
+        golden = capture_golden(_HV, activation)
+        index = data.draw(st.integers(0, max(0, golden.result.instructions - 1)))
+        fault = FaultSpec("rbx", bit, index)
+        assert run_trial(_HV, activation, fault, golden=golden) == run_trial(
+            _HV, activation, fault, golden=golden
+        )

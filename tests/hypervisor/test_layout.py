@@ -1,0 +1,112 @@
+"""Hypervisor data layout: allocation, tagging, initialization."""
+
+import pytest
+
+from repro.errors import MemoryConfigError
+from repro.hypervisor import GLOBAL_OWNER, HypervisorLayout, MemoryMap, ValueKind
+from repro.hypervisor.layout import DataAllocator, VCPU_MODE_RUNNING
+
+
+def make_layout(n_domains=3, vcpus=1) -> HypervisorLayout:
+    mm = MemoryMap()
+    return HypervisorLayout(
+        heap_base=mm.heap_base, heap_size=mm.heap_size,
+        n_domains=n_domains, vcpus_per_domain=vcpus,
+    )
+
+
+class TestAllocator:
+    def test_slots_are_disjoint_and_ordered(self):
+        alloc = DataAllocator(0x1000, 0x1000)
+        a = alloc.alloc("a", 4, GLOBAL_OWNER, ValueKind.CONTROL)
+        b = alloc.alloc("b", 4, GLOBAL_OWNER, ValueKind.CONTROL)
+        assert a.end == b.address
+
+    def test_duplicate_name_rejected(self):
+        alloc = DataAllocator(0x1000, 0x1000)
+        alloc.alloc("x", 1, 0, ValueKind.SCRATCH)
+        with pytest.raises(MemoryConfigError):
+            alloc.alloc("x", 1, 0, ValueKind.SCRATCH)
+
+    def test_exhaustion_rejected(self):
+        alloc = DataAllocator(0x1000, 64)
+        with pytest.raises(MemoryConfigError):
+            alloc.alloc("big", 9, 0, ValueKind.SCRATCH)
+
+    def test_word_address_bounds(self):
+        alloc = DataAllocator(0x1000, 0x1000)
+        slot = alloc.alloc("s", 4, 0, ValueKind.SCRATCH)
+        assert slot.word_address(3) == slot.address + 24
+        with pytest.raises(MemoryConfigError):
+            slot.word_address(4)
+
+
+class TestLayout:
+    def test_every_slot_unique_and_inside_heap(self):
+        layout = make_layout()
+        mm = MemoryMap()
+        seen: list[tuple[int, int]] = []
+        for slot in layout.all_slots.values():
+            assert mm.heap_base <= slot.address < slot.end <= mm.heap_base + mm.heap_size
+            for lo, hi in seen:
+                assert slot.end <= lo or slot.address >= hi  # disjoint
+            seen.append((slot.address, slot.end))
+
+    def test_domain_blocks_have_identical_strides(self):
+        layout = make_layout(n_domains=4)
+        d = layout.domains
+        stride = d[1].info.address - d[0].info.address
+        for i in range(2, 4):
+            assert d[i].info.address - d[i - 1].info.address == stride
+            assert (
+                d[i].evtchn_pending.address - d[i].info.address
+                == d[0].evtchn_pending.address - d[0].info.address
+            )
+
+    def test_ownership_tags(self):
+        layout = make_layout()
+        assert layout.runqueue.owner == GLOBAL_OWNER
+        assert layout.domains[1].wallclock.owner == 1
+        assert layout.domains[2].vcpus[0].regs.owner == 2
+
+    def test_kind_tags_follow_paper_taxonomy(self):
+        layout = make_layout()
+        dom = layout.domains[1]
+        assert dom.wallclock.kind is ValueKind.TIME
+        assert dom.vcpus[0].time.kind is ValueKind.TIME
+        assert dom.vcpus[0].regs.kind is ValueKind.APP_DATA
+        assert dom.vcpus[0].pending.kind is ValueKind.VCPU_STATE
+        assert layout.runqueue.kind is ValueKind.CONTROL
+        assert dom.vcpus[0].stack_save.kind is ValueKind.POINTER
+
+    def test_slot_at_lookup(self):
+        layout = make_layout()
+        slot = layout.slot_at(layout.runqueue.address + 8)
+        assert slot is not None and slot.name == "runqueue"
+        assert layout.slot_at(layout.heap_base + layout.heap_size - 8) is None
+
+    def test_slot_by_name(self):
+        layout = make_layout()
+        assert layout.slot("dom1.wallclock") is layout.domains[1].wallclock
+        with pytest.raises(MemoryConfigError):
+            layout.slot("nonexistent")
+
+    def test_needs_at_least_dom0(self):
+        with pytest.raises(MemoryConfigError):
+            make_layout(n_domains=0)
+        with pytest.raises(MemoryConfigError):
+            make_layout(vcpus=0)
+
+    def test_initialize_writes_consistent_state(self):
+        layout = make_layout()
+        mm = MemoryMap()
+        mem = mm.create_memory()
+        layout.initialize(mem)
+        for d, dom in enumerate(layout.domains):
+            assert mem.read_u64(dom.info.word_address(0)) == d
+            assert mem.read_u64(dom.info.word_address(1)) == 1  # live
+            assert mem.read_u64(dom.vcpus[0].mode.address) == VCPU_MODE_RUNNING
+        # IRQ descriptors wired, fixup chain terminated.
+        assert mem.read_u64(layout.irq_descs.word_address(5)) == 0x105
+        last = layout.fixup_table.words // 2 - 1
+        assert mem.read_u64(layout.fixup_table.word_address(2 * last + 1)) == (1 << 64) - 1

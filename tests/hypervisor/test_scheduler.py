@@ -1,0 +1,142 @@
+"""Credit-scheduler semantics: priorities, fairness, work stealing."""
+
+import pytest
+
+from repro.errors import CampaignConfigError
+from repro.hypervisor.scheduler import CreditScheduler, Priority, SchedVcpu
+
+
+class TestRegistration:
+    def test_vcpus_start_with_credits(self):
+        sched = CreditScheduler(n_cpus=2)
+        vcpu = sched.add_vcpu(1)
+        assert vcpu.credits > 0
+        assert vcpu.priority is Priority.UNDER
+
+    def test_duplicate_rejected(self):
+        sched = CreditScheduler()
+        sched.add_vcpu(1, 0)
+        with pytest.raises(CampaignConfigError):
+            sched.add_vcpu(1, 0)
+
+    def test_validation(self):
+        with pytest.raises(CampaignConfigError):
+            CreditScheduler(n_cpus=0)
+        with pytest.raises(CampaignConfigError):
+            SchedVcpu(1, 0, weight=0)
+        with pytest.raises(CampaignConfigError):
+            CreditScheduler().vcpu(9, 9)
+
+
+class TestPriorities:
+    def test_exhausted_credits_drop_to_over(self):
+        sched = CreditScheduler()
+        vcpu = sched.add_vcpu(1)
+        vcpu.credits = 0
+        assert vcpu.priority is Priority.OVER
+
+    def test_blocked_vcpu_is_idle_priority(self):
+        sched = CreditScheduler()
+        sched.add_vcpu(1)
+        sched.block(1)
+        assert sched.vcpu(1).priority is Priority.IDLE
+
+    def test_under_runs_before_over(self):
+        sched = CreditScheduler()
+        hungry = sched.add_vcpu(1, cpu=0)
+        hungry.credits = 0                 # OVER
+        fresh = sched.add_vcpu(2, cpu=0)   # UNDER
+        assert sched.schedule(0) is fresh
+
+    def test_blocked_vcpus_never_scheduled(self):
+        sched = CreditScheduler()
+        sched.add_vcpu(1, cpu=0)
+        sched.block(1)
+        assert sched.schedule(0) is None
+
+    def test_wake_makes_schedulable_again(self):
+        sched = CreditScheduler()
+        sched.add_vcpu(1, cpu=0)
+        sched.block(1)
+        sched.schedule(0)
+        sched.wake(1)
+        assert sched.schedule(0) is sched.vcpu(1)
+
+
+class TestAccounting:
+    def test_tick_debits_running_vcpu(self):
+        sched = CreditScheduler()
+        vcpu = sched.add_vcpu(1, cpu=0)
+        before = vcpu.credits
+        sched.schedule(0)
+        sched.tick(0)
+        assert vcpu.credits == before - 100
+        assert vcpu.total_ticks == 1
+
+    def test_replenish_is_weight_proportional(self):
+        sched = CreditScheduler(n_cpus=1)
+        light = sched.add_vcpu(1, weight=128)
+        heavy = sched.add_vcpu(2, weight=512)
+        light.credits = heavy.credits = 0
+        sched.replenish()
+        assert heavy.credits > light.credits
+
+    def test_credits_are_capped(self):
+        sched = CreditScheduler()
+        vcpu = sched.add_vcpu(1)
+        for _ in range(10):
+            sched.replenish()
+        assert vcpu.credits <= 2 * 300  # bounded accumulation
+
+
+class TestFairness:
+    def test_equal_weights_share_equally(self):
+        sched = CreditScheduler(n_cpus=2)
+        for d in range(4):
+            sched.add_vcpu(d)
+        ticks = sched.run_epochs(600)
+        values = list(ticks.values())
+        assert max(values) - min(values) <= 0.15 * max(values)
+
+    def test_cpu_time_tracks_weights(self):
+        """The credit scheduler's defining property: CPU share ~ weight."""
+        sched = CreditScheduler(n_cpus=1)
+        sched.add_vcpu(1, weight=256)
+        sched.add_vcpu(2, weight=768)  # 3x the weight
+        ticks = sched.run_epochs(1200)
+        ratio = ticks[(2, 0)] / max(1, ticks[(1, 0)])
+        assert 1.8 < ratio < 4.5
+
+    def test_single_runnable_vcpu_gets_everything(self):
+        sched = CreditScheduler(n_cpus=1)
+        sched.add_vcpu(1)
+        sched.add_vcpu(2)
+        sched.block(2)
+        ticks = sched.run_epochs(100)
+        assert ticks[(1, 0)] == 100
+        assert ticks[(2, 0)] == 0
+
+
+class TestWorkStealing:
+    def test_idle_cpu_steals_runnable_work(self):
+        sched = CreditScheduler(n_cpus=2)
+        sched.add_vcpu(1, cpu=0)
+        sched.add_vcpu(2, cpu=0)   # both homed on CPU 0
+        first = sched.schedule(0)
+        stolen = sched.schedule(1)  # CPU 1 has an empty queue -> steals
+        assert first is not None and stolen is not None
+        assert first is not stolen
+
+    def test_no_double_running(self):
+        """A VCPU can never run on two CPUs at once."""
+        sched = CreditScheduler(n_cpus=3)
+        sched.add_vcpu(1, cpu=0)
+        running = [sched.schedule(cpu) for cpu in range(3)]
+        assert sum(1 for v in running if v is not None) == 1
+
+    def test_both_cpus_busy_when_work_abounds(self):
+        sched = CreditScheduler(n_cpus=2)
+        for d in range(4):
+            sched.add_vcpu(d, cpu=0)
+        assert sched.schedule(0) is not None
+        assert sched.schedule(1) is not None

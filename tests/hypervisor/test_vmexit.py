@@ -1,0 +1,72 @@
+"""Exit-reason taxonomy: the Section IV inventory."""
+
+import pytest
+
+from repro.errors import MachineConfigError
+from repro.hypervisor import (
+    APIC_NAMES,
+    EXCEPTION_NAMES,
+    ExitCategory,
+    HVM_EXIT_NAMES,
+    HYPERCALL_NAMES,
+    REGISTRY,
+)
+
+
+class TestInventory:
+    def test_38_hypercalls(self):
+        assert len(HYPERCALL_NAMES) == 38
+        assert len(REGISTRY.in_category(ExitCategory.HYPERCALL)) == 38
+
+    def test_19_exception_handlers(self):
+        assert len(EXCEPTION_NAMES) == 19
+        assert len(REGISTRY.in_category(ExitCategory.EXCEPTION)) == 19
+
+    def test_10_apic_handlers(self):
+        assert len(APIC_NAMES) == 10
+        assert len(REGISTRY.in_category(ExitCategory.APIC)) == 10
+
+    def test_softirq_and_tasklet(self):
+        names = {r.name for r in REGISTRY.in_category(ExitCategory.SOFTIRQ)}
+        assert names == {"do_softirq", "do_tasklet"}
+
+    def test_one_do_irq_interface(self):
+        assert [r.name for r in REGISTRY.in_category(ExitCategory.COMMON_IRQ)] == ["do_irq"]
+
+    def test_total_reason_count(self):
+        assert len(REGISTRY) == 38 + 19 + 10 + 1 + 2 + len(HVM_EXIT_NAMES)
+
+    def test_known_xen_hypercalls_present(self):
+        for name in ("mmu_update", "event_channel_op", "sched_op", "grant_table_op", "iret"):
+            assert name in HYPERCALL_NAMES
+
+
+class TestRegistry:
+    def test_vmer_ids_are_dense_and_stable(self):
+        for i, reason in enumerate(REGISTRY):
+            assert reason.vmer == i
+            assert REGISTRY.by_vmer(i) is reason
+
+    def test_lookup_by_name(self):
+        reason = REGISTRY.by_name("event_channel_op")
+        assert reason.category is ExitCategory.HYPERCALL
+        assert reason.handler_label == "handler.event_channel_op"
+
+    def test_unknown_lookups_raise(self):
+        with pytest.raises(MachineConfigError):
+            REGISTRY.by_name("not_a_reason")
+        with pytest.raises(MachineConfigError):
+            REGISTRY.by_vmer(10_000)
+
+    def test_pv_reasons_exclude_hvm(self):
+        assert all(r.category is not ExitCategory.HVM for r in REGISTRY.pv_reasons)
+        assert len(REGISTRY.pv_reasons) == 70
+
+    def test_hvm_reasons_include_vmcs_and_hypercalls(self):
+        cats = {r.category for r in REGISTRY.hvm_reasons}
+        assert ExitCategory.HVM in cats and ExitCategory.HYPERCALL in cats
+        assert ExitCategory.EXCEPTION not in cats  # PV-only trap path
+
+    def test_arg_ranges_present_for_parameterized_reasons(self):
+        assert REGISTRY.by_name("do_irq").arg_ranges == ((0, 31),)
+        assert len(REGISTRY.by_name("mmu_update").arg_ranges) == 2

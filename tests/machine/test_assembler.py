@@ -1,0 +1,135 @@
+"""Assembler: builder API, text syntax, label resolution, listings."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.machine import Assembler, INSTRUCTION_BYTES, Op, parse_asm
+
+
+class TestBuilder:
+    def test_labels_resolve_to_byte_addresses(self):
+        asm = Assembler(base=0x1000)
+        asm.label("start")
+        asm.nop()
+        asm.label("second")
+        asm.nop()
+        prog = asm.assemble()
+        assert prog.address_of("start") == 0x1000
+        assert prog.address_of("second") == 0x1000 + INSTRUCTION_BYTES
+
+    def test_forward_reference_resolves(self):
+        asm = Assembler()
+        asm.jmp("end")
+        asm.nop()
+        asm.label("end")
+        asm.vmentry()
+        prog = asm.assemble()
+        assert prog.instructions[0].target == 2 * INSTRUCTION_BYTES
+
+    def test_unresolved_label_raises(self):
+        asm = Assembler()
+        asm.jmp("nowhere")
+        with pytest.raises(AssemblyError, match="nowhere"):
+            asm.assemble()
+
+    def test_duplicate_label_raises(self):
+        asm = Assembler()
+        asm.label("x")
+        with pytest.raises(AssemblyError, match="duplicate"):
+            asm.label("x")
+
+    def test_misaligned_base_rejected(self):
+        with pytest.raises(AssemblyError):
+            Assembler(base=0x1001)
+
+    def test_here_tracks_position(self):
+        asm = Assembler(base=0x2000)
+        assert asm.here == 0x2000
+        asm.nop()
+        assert asm.here == 0x2000 + INSTRUCTION_BYTES
+
+    def test_invalid_condition_code_rejected(self):
+        asm = Assembler()
+        with pytest.raises(AssemblyError):
+            asm.jcc("zz", "somewhere")
+
+    def test_unknown_register_rejected(self):
+        asm = Assembler()
+        with pytest.raises(AssemblyError):
+            asm.mov("eax", 1)
+
+
+class TestTextSyntax:
+    def test_full_program_parses(self):
+        prog = parse_asm(
+            """
+            ; a comment-only line
+            entry:
+                mov rax, 0x10
+                load rbx, [rbp+8]
+                store [rbp-8], rbx
+                add rax, rbx
+                cmp rax, 100
+                jl entry
+                call helper
+                vmentry
+            helper:
+                assert_range rax, 0, 0xff, bound
+                ret
+            """
+        )
+        assert prog.instructions[0].op is Op.MOV
+        assert prog.instructions[2].dst.disp == -8
+        assert prog.address_of("helper") == 8 * INSTRUCTION_BYTES
+
+    def test_parse_all_jcc_spellings(self):
+        for cond in ("e", "ne", "l", "le", "g", "ge", "b", "ae", "be", "a", "s", "ns"):
+            prog = parse_asm(f"t:\n j{cond} t")
+            assert prog.instructions[0].cond == cond
+
+    def test_hex_and_decimal_immediates(self):
+        prog = parse_asm("mov rax, 0x20\nmov rbx, 32")
+        assert prog.instructions[0].src.value == prog.instructions[1].src.value
+
+    def test_bad_mnemonic_raises(self):
+        with pytest.raises(AssemblyError, match="frobnicate"):
+            parse_asm("frobnicate rax")
+
+    def test_wrong_operand_count_raises(self):
+        with pytest.raises(AssemblyError):
+            parse_asm("mov rax")
+
+    def test_bad_memory_operand_raises(self):
+        with pytest.raises(AssemblyError):
+            parse_asm("load rax, rbp+8")
+
+    def test_assert_directives(self):
+        prog = parse_asm("assert_range rax, 0, 31, trapno\nassert_eq rbx, 1, idle")
+        a, b = prog.instructions
+        assert (a.lo, a.hi, a.assert_id) == (0, 31, "trapno")
+        assert (b.lo, b.assert_id) == (1, "idle")
+
+
+class TestProgram:
+    def test_instruction_at_maps_addresses(self):
+        prog = parse_asm("nop\nnop\nvmentry", base=0x1000)
+        assert prog.instruction_at(0x1000).op is Op.NOP
+        assert prog.instruction_at(0x1008).op is Op.VMENTRY
+
+    def test_instruction_at_misaligned_is_none(self):
+        prog = parse_asm("nop\nnop", base=0x1000)
+        assert prog.instruction_at(0x1002) is None
+
+    def test_instruction_at_out_of_range_is_none(self):
+        prog = parse_asm("nop", base=0x1000)
+        assert prog.instruction_at(0x0FFC) is None
+        assert prog.instruction_at(0x1004) is None
+
+    def test_size_and_end(self):
+        prog = parse_asm("nop\nnop\nnop", base=0x1000)
+        assert prog.size == 12 and prog.end == 0x100C and len(prog) == 3
+
+    def test_listing_contains_labels_and_addresses(self):
+        prog = parse_asm("main:\n mov rax, 1\n vmentry", base=0x1000)
+        listing = prog.listing()
+        assert "main:" in listing and "0x00001000" in listing and "vmentry" in listing

@@ -1,0 +1,86 @@
+"""Exception-vector taxonomy and the fatal/benign parser."""
+
+import pytest
+
+from repro.machine import (
+    FATAL_VECTORS,
+    HardwareException,
+    PageFaultKind,
+    Vector,
+    classify_exception,
+)
+
+
+class TestVectors:
+    def test_real_x86_vector_numbers(self):
+        assert Vector.DIVIDE_ERROR == 0
+        assert Vector.INVALID_OPCODE == 6
+        assert Vector.DOUBLE_FAULT == 8
+        assert Vector.GENERAL_PROTECTION == 13
+        assert Vector.PAGE_FAULT == 14
+        assert Vector.MACHINE_CHECK == 18
+
+    def test_fatal_set_contents(self):
+        assert Vector.INVALID_OPCODE in FATAL_VECTORS
+        assert Vector.DOUBLE_FAULT in FATAL_VECTORS
+        assert Vector.PAGE_FAULT not in FATAL_VECTORS  # needs sub-parsing
+        assert Vector.GENERAL_PROTECTION not in FATAL_VECTORS
+
+
+class TestParser:
+    """Section III.A: 'hardware exceptions should be parsed first to filter
+    out non-fatal ones'."""
+
+    def test_always_fatal_vectors(self):
+        for vector in FATAL_VECTORS:
+            verdict = classify_exception(HardwareException(vector, rip=0x10))
+            assert verdict.fatal, vector
+
+    @pytest.mark.parametrize("kind", [PageFaultKind.MINOR, PageFaultKind.MAJOR])
+    def test_paging_activity_is_benign(self, kind):
+        exc = HardwareException(Vector.PAGE_FAULT, rip=0x10, address=0x2000, kind=kind)
+        verdict = classify_exception(exc)
+        assert not verdict.fatal
+        assert "page fault" in verdict.reason
+
+    @pytest.mark.parametrize(
+        "kind", [PageFaultKind.FATAL_UNMAPPED, PageFaultKind.FATAL_PROTECTION]
+    )
+    def test_bad_mappings_are_fatal(self, kind):
+        exc = HardwareException(Vector.PAGE_FAULT, rip=0x10, address=0x2000, kind=kind)
+        assert classify_exception(exc).fatal
+
+    def test_guest_induced_gp_is_benign(self):
+        """Trap-and-emulate: a guest cpuid arrives as #GP with no fault
+        address — legal in correct executions."""
+        exc = HardwareException(Vector.GENERAL_PROTECTION, rip=0x10)
+        verdict = classify_exception(exc)
+        assert not verdict.fatal
+        assert "trap-and-emulate" in verdict.reason
+
+    def test_host_gp_with_address_is_fatal(self):
+        exc = HardwareException(
+            Vector.GENERAL_PROTECTION, rip=0x10, address=0x8000_0000_0000_0000
+        )
+        assert classify_exception(exc).fatal
+
+    @pytest.mark.parametrize(
+        "vector", [Vector.DEBUG, Vector.BREAKPOINT, Vector.OVERFLOW]
+    )
+    def test_debug_traps_are_benign(self, vector):
+        assert not classify_exception(HardwareException(vector, rip=0)).fatal
+
+    @pytest.mark.parametrize(
+        "vector", [Vector.BOUND_RANGE, Vector.FP_ERROR, Vector.ALIGNMENT_CHECK,
+                   Vector.SIMD_ERROR]
+    )
+    def test_unexpected_host_vectors_default_to_fatal(self, vector):
+        assert classify_exception(HardwareException(vector, rip=0)).fatal
+
+    def test_exception_message_carries_context(self):
+        exc = HardwareException(
+            Vector.PAGE_FAULT, rip=0x1234, address=0x9000,
+            kind=PageFaultKind.FATAL_UNMAPPED, detail="unmapped address",
+        )
+        assert "PAGE_FAULT" in str(exc) and "0x1234" in str(exc)
+        assert exc.address == 0x9000

@@ -1,0 +1,109 @@
+"""RFLAGS semantics: status-flag updates and condition evaluation."""
+
+import pytest
+
+from repro.machine.flags import (
+    CF,
+    CONDITION_CODES,
+    OF,
+    PF,
+    SF,
+    ZF,
+    condition_met,
+    update_flags_arith,
+    update_flags_logic,
+)
+
+MASK64 = (1 << 64) - 1
+
+
+class TestLogicFlags:
+    def test_zero_result_sets_zf(self):
+        assert update_flags_logic(0, 0) & ZF
+
+    def test_nonzero_clears_zf(self):
+        assert not update_flags_logic(ZF, 5) & ZF
+
+    def test_sign_bit_sets_sf(self):
+        assert update_flags_logic(0, 1 << 63) & SF
+
+    def test_logic_clears_cf_and_of(self):
+        assert update_flags_logic(CF | OF, 1) & (CF | OF) == 0
+
+    def test_parity_even_bits_in_low_byte(self):
+        assert update_flags_logic(0, 0b11) & PF          # two bits: even
+        assert not update_flags_logic(0, 0b111) & PF     # three bits: odd
+
+    def test_parity_only_looks_at_low_byte(self):
+        assert update_flags_logic(0, 0x100) & PF  # low byte zero -> even
+
+
+class TestArithFlags:
+    def test_unsigned_carry_on_add_overflow(self):
+        a = MASK64
+        flags = update_flags_arith(0, a + 1, a, 1, subtraction=False)
+        assert flags & CF and flags & ZF
+
+    def test_borrow_on_subtract_below_zero(self):
+        flags = update_flags_arith(0, 3 - 5, 3, 5, subtraction=True)
+        assert flags & CF
+
+    def test_signed_overflow_positive_plus_positive(self):
+        a = (1 << 63) - 1  # INT64_MAX
+        flags = update_flags_arith(0, a + 1, a, 1, subtraction=False)
+        assert flags & OF and flags & SF
+
+    def test_no_signed_overflow_mixed_signs_add(self):
+        a, b = (1 << 63), 1  # negative + positive can't overflow
+        flags = update_flags_arith(0, a + b, a, b, subtraction=False)
+        assert not flags & OF
+
+    def test_signed_overflow_subtract(self):
+        a, b = (1 << 63), 1  # INT64_MIN - 1 overflows
+        flags = update_flags_arith(0, a - b, a, b, subtraction=True)
+        assert flags & OF
+
+    def test_equal_compare_sets_zf_only_sign_flags(self):
+        flags = update_flags_arith(0, 7 - 7, 7, 7, subtraction=True)
+        assert flags & ZF and not flags & CF and not flags & SF
+
+
+class TestConditions:
+    @pytest.mark.parametrize("cond", CONDITION_CODES)
+    def test_every_condition_evaluates(self, cond):
+        assert condition_met(cond, 0) in (True, False)
+
+    def test_je_jne_are_complements(self):
+        for flags in (0, ZF, SF, ZF | SF):
+            assert condition_met("e", flags) != condition_met("ne", flags)
+
+    def test_signed_less_uses_sf_xor_of(self):
+        assert condition_met("l", SF)
+        assert condition_met("l", OF)
+        assert not condition_met("l", SF | OF)
+        assert not condition_met("l", 0)
+
+    def test_unsigned_below_uses_cf(self):
+        assert condition_met("b", CF)
+        assert not condition_met("b", 0)
+
+    def test_le_is_l_or_e(self):
+        assert condition_met("le", ZF)
+        assert condition_met("le", SF)
+        assert not condition_met("le", 0)
+
+    def test_ge_complements_l(self):
+        for flags in (0, SF, OF, SF | OF, ZF):
+            assert condition_met("ge", flags) != condition_met("l", flags)
+
+    def test_compare_then_condition_signed(self):
+        # 3 < 5 signed
+        flags = update_flags_arith(0, 3 - 5, 3, 5, subtraction=True)
+        assert condition_met("l", flags) and not condition_met("g", flags)
+
+    def test_compare_then_condition_unsigned_wraparound(self):
+        # -1 (as unsigned max) is above 5 unsigned but below signed
+        a = MASK64
+        flags = update_flags_arith(0, a - 5, a, 5, subtraction=True)
+        assert condition_met("a", flags)
+        assert condition_met("l", flags)

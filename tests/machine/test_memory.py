@@ -1,0 +1,158 @@
+"""Memory model: mapping, protection, faults, diffing."""
+
+import pytest
+
+from repro.errors import MemoryConfigError
+from repro.machine import (
+    HardwareException,
+    Memory,
+    PAGE_SIZE,
+    PageFaultKind,
+    Region,
+    Vector,
+    is_canonical,
+)
+
+
+def make_memory() -> Memory:
+    mem = Memory()
+    mem.map_region(Region("heap", 0x10000, 2 * PAGE_SIZE))
+    mem.map_region(Region("rodata", 0x20000, PAGE_SIZE, writable=False))
+    mem.map_region(Region("text", 0x30000, PAGE_SIZE, writable=False, executable=True))
+    return mem
+
+
+class TestMapping:
+    def test_overlapping_regions_rejected(self):
+        mem = Memory()
+        mem.map_region(Region("a", 0x1000, PAGE_SIZE))
+        with pytest.raises(MemoryConfigError):
+            mem.map_region(Region("b", 0x1000, PAGE_SIZE))
+
+    def test_adjacent_regions_allowed(self):
+        mem = Memory()
+        mem.map_region(Region("a", 0x1000, PAGE_SIZE))
+        mem.map_region(Region("b", 0x1000 + PAGE_SIZE, PAGE_SIZE))
+        assert len(mem.regions) == 2
+
+    def test_unaligned_region_rejected(self):
+        with pytest.raises(MemoryConfigError):
+            Region("bad", 0x1004, PAGE_SIZE)
+        with pytest.raises(MemoryConfigError):
+            Region("bad", 0x1000, 100)
+
+    def test_non_canonical_region_rejected(self):
+        with pytest.raises(MemoryConfigError):
+            Region("bad", 0x0000_9000_0000_0000, PAGE_SIZE)
+
+    def test_region_at_lookup(self):
+        mem = make_memory()
+        assert mem.region_at(0x10008).name == "heap"
+        assert mem.region_at(0x10000 + 2 * PAGE_SIZE) is None
+
+
+class TestAccess:
+    def test_write_read_roundtrip(self):
+        mem = make_memory()
+        mem.write_u64(0x10010, 0x1122334455667788)
+        assert mem.read_u64(0x10010) == 0x1122334455667788
+
+    def test_unwritten_memory_reads_zero(self):
+        assert make_memory().read_u64(0x10FF0) == 0
+
+    def test_value_truncated_to_64_bits(self):
+        mem = make_memory()
+        mem.write_u64(0x10000, (1 << 64) | 9)
+        assert mem.read_u64(0x10000) == 9
+
+    def test_unaligned_word_within_page(self):
+        mem = make_memory()
+        mem.write_u64(0x10003, 0xAABB)
+        assert mem.read_u64(0x10003) == 0xAABB
+
+    def test_word_crossing_page_boundary(self):
+        mem = make_memory()
+        addr = 0x10000 + PAGE_SIZE - 4  # straddles the two heap pages
+        mem.write_u64(addr, 0xCAFEBABE12345678)
+        assert mem.read_u64(addr) == 0xCAFEBABE12345678
+
+    def test_store_count_increments(self):
+        mem = make_memory()
+        before = mem.store_count
+        mem.write_u64(0x10000, 1)
+        assert mem.store_count == before + 1
+
+
+class TestFaults:
+    def test_unmapped_read_raises_fatal_page_fault(self):
+        with pytest.raises(HardwareException) as info:
+            make_memory().read_u64(0x50000, rip=0x1234)
+        exc = info.value
+        assert exc.vector is Vector.PAGE_FAULT
+        assert exc.kind is PageFaultKind.FATAL_UNMAPPED
+        assert exc.address == 0x50000 and exc.rip == 0x1234
+
+    def test_write_to_readonly_raises_protection_fault(self):
+        with pytest.raises(HardwareException) as info:
+            make_memory().write_u64(0x20000, 1)
+        assert info.value.kind is PageFaultKind.FATAL_PROTECTION
+
+    def test_read_of_readonly_is_fine(self):
+        assert make_memory().read_u64(0x20000) == 0
+
+    def test_non_canonical_raises_gp(self):
+        with pytest.raises(HardwareException) as info:
+            make_memory().read_u64(0x0000_9000_0000_0000)
+        assert info.value.vector is Vector.GENERAL_PROTECTION
+
+    def test_execute_check_requires_x(self):
+        mem = make_memory()
+        mem.check_execute(0x30000, rip=0x30000)  # text is executable
+        with pytest.raises(HardwareException) as info:
+            mem.check_execute(0x10000, rip=0x10000)
+        assert info.value.kind is PageFaultKind.FATAL_PROTECTION
+
+    def test_word_crossing_into_unmapped_faults(self):
+        mem = make_memory()
+        addr = 0x20000 + PAGE_SIZE - 4  # rodata's last word straddles out
+        with pytest.raises(HardwareException):
+            mem.read_u64(addr)
+
+
+class TestCanonical:
+    @pytest.mark.parametrize(
+        "address,expected",
+        [
+            (0, True),
+            (0x0000_7FFF_FFFF_FFFF, True),
+            (0x0000_8000_0000_0000, False),
+            (0xFFFF_8000_0000_0000, True),
+            (0xFFFF_FFFF_FFFF_FFFF, True),
+            (0x8000_0000_0000_0000, False),
+            (0x0001_0000_0000_0000, False),
+        ],
+    )
+    def test_canonicality(self, address, expected):
+        assert is_canonical(address) is expected
+
+
+class TestDiffing:
+    def test_snapshot_and_diff_region(self):
+        mem = make_memory()
+        heap = mem.regions[0]
+        mem.write_u64(0x10000, 1)
+        baseline = mem.snapshot_region(heap)
+        mem.write_u64(0x10008, 42)
+        mem.write_u64(0x10000, 1)  # unchanged value -> not a diff
+        assert mem.diff_region(heap, baseline) == [0x10008]
+
+    def test_diff_requires_matching_baseline(self):
+        mem = make_memory()
+        with pytest.raises(MemoryConfigError):
+            mem.diff_region(mem.regions[0], b"short")
+
+    def test_touched_pages_tracks_materialization(self):
+        mem = make_memory()
+        assert mem.touched_pages() == ()
+        mem.write_u64(0x10000, 1)
+        assert 0x10000 in mem.touched_pages()

@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) for machine-layer invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import (
+    ALL_REGISTERS,
+    CPUCore,
+    MASK64,
+    Memory,
+    PAGE_SIZE,
+    Region,
+    RegisterFile,
+    Tracer,
+    parse_asm,
+)
+from repro.machine.flags import condition_met, update_flags_arith
+
+registers = st.sampled_from(ALL_REGISTERS)
+bits = st.integers(min_value=0, max_value=63)
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+class TestRegisterProperties:
+    @given(reg=registers, bit=bits, value=u64)
+    def test_flip_is_involution(self, reg, bit, value):
+        regs = RegisterFile()
+        regs[reg] = value
+        regs.flip_bit(reg, bit)
+        regs.flip_bit(reg, bit)
+        assert regs[reg] == value
+
+    @given(reg=registers, bit=bits, value=u64)
+    def test_flip_changes_exactly_one_bit(self, reg, bit, value):
+        regs = RegisterFile()
+        regs[reg] = value
+        flipped = regs.flip_bit(reg, bit)
+        assert (flipped ^ value) == (1 << bit)
+
+    @given(values=st.lists(u64, min_size=18, max_size=18))
+    def test_snapshot_restore_roundtrip(self, values):
+        regs = RegisterFile()
+        for name, v in zip(ALL_REGISTERS, values):
+            regs[name] = v
+        snap = regs.snapshot()
+        for name in ALL_REGISTERS:
+            regs[name] = 0
+        regs.restore(snap)
+        assert list(dict(regs).values()) == values
+
+
+class TestFlagProperties:
+    @given(a=u64, b=u64)
+    def test_compare_total_order_signed(self, a, b):
+        """Exactly one of <, ==, > holds under signed comparison."""
+        flags = update_flags_arith(0, a - b, a, b, subtraction=True)
+        lt = condition_met("l", flags)
+        eq = condition_met("e", flags)
+        gt = condition_met("g", flags)
+        assert [lt, eq, gt].count(True) == 1
+        # Cross-check against Python's signed interpretation.
+        sa = a - (1 << 64) if a >> 63 else a
+        sb = b - (1 << 64) if b >> 63 else b
+        assert lt == (sa < sb) and eq == (sa == sb) and gt == (sa > sb)
+
+    @given(a=u64, b=u64)
+    def test_compare_total_order_unsigned(self, a, b):
+        flags = update_flags_arith(0, a - b, a, b, subtraction=True)
+        assert condition_met("b", flags) == (a < b)
+        assert condition_met("ae", flags) == (a >= b)
+        assert condition_met("a", flags) == (a > b)
+        assert condition_met("be", flags) == (a <= b)
+
+
+class TestMemoryProperties:
+    @given(
+        offset=st.integers(min_value=0, max_value=PAGE_SIZE * 2 - 8),
+        value=u64,
+    )
+    def test_write_read_roundtrip_any_offset(self, offset, value):
+        mem = Memory()
+        mem.map_region(Region("heap", 0x10000, 2 * PAGE_SIZE))
+        mem.write_u64(0x10000 + offset, value)
+        assert mem.read_u64(0x10000 + offset) == value
+
+    @given(
+        writes=st.lists(
+            st.tuples(st.integers(0, PAGE_SIZE // 8 - 1), u64), min_size=1, max_size=32
+        )
+    )
+    def test_last_write_wins(self, writes):
+        mem = Memory()
+        mem.map_region(Region("heap", 0x10000, PAGE_SIZE))
+        final = {}
+        for slot, value in writes:
+            mem.write_u64(0x10000 + slot * 8, value)
+            final[slot] = value
+        for slot, value in final.items():
+            assert mem.read_u64(0x10000 + slot * 8) == value
+
+
+class TestTracerProperties:
+    @given(addresses=st.lists(u64, min_size=0, max_size=64))
+    def test_identical_streams_hash_identically(self, addresses):
+        a, b = Tracer(), Tracer()
+        for addr in addresses:
+            a.record(addr)
+            b.record(addr)
+        assert a.same_path(b)
+
+    # Realistic instruction addresses: 4-byte aligned, below 2**32.  (For
+    # fully adversarial 64-bit inputs FNV-1a has algebraic collisions — e.g.
+    # xoring bit 63 commutes with multiplying by an odd prime — but no code
+    # address pattern reaches them.)
+    @given(
+        addresses=st.lists(
+            st.integers(0, (1 << 30) - 1).map(lambda i: i * 4),
+            min_size=2,
+            max_size=32,
+            unique=True,
+        )
+    )
+    def test_order_sensitivity(self, addresses):
+        a, b = Tracer(), Tracer()
+        for addr in addresses:
+            a.record(addr)
+        for addr in reversed(addresses):
+            b.record(addr)
+        assert not a.same_path(b)
+
+    @given(address=u64, n=st.integers(min_value=1, max_value=100))
+    def test_bulk_counts_match(self, address, n):
+        t = Tracer()
+        t.record_bulk(address, n)
+        assert t.count == n
+
+    @given(address=u64, n1=st.integers(1, 50), n2=st.integers(1, 50))
+    def test_bulk_distinguishes_repeat_counts(self, address, n1, n2):
+        a, b = Tracer(), Tracer()
+        a.record_bulk(address, n1)
+        b.record_bulk(address, n2)
+        assert a.same_path(b) == (n1 == n2)
+
+
+class TestExecutionDeterminism:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        init=st.integers(min_value=0, max_value=50),
+        step=st.integers(min_value=1, max_value=5),
+    )
+    def test_same_program_same_inputs_same_path(self, init, step):
+        source = f"""
+        entry:
+            mov rax, {init}
+            mov rbx, 0
+        loop:
+            add rbx, {step}
+            dec rax
+            cmp rax, 0
+            jg loop
+            vmentry
+        """
+        results = []
+        for _ in range(2):
+            mem = Memory()
+            mem.map_region(Region("text", 0x10000, PAGE_SIZE, writable=False, executable=True))
+            prog = parse_asm(source, base=0x10000)
+            cpu = CPUCore(0, mem)
+            res = cpu.run(prog, prog.address_of("entry"))
+            results.append((res.instructions, res.path_hash, cpu.regs["rbx"]))
+        assert results[0] == results[1]

@@ -1,0 +1,86 @@
+"""Register-file behaviour: access, masking, flips, snapshots."""
+
+import pytest
+
+from repro.errors import MachineConfigError
+from repro.machine import ALL_REGISTERS, GPR_NAMES, MASK64, RegisterFile
+
+
+class TestBasicAccess:
+    def test_registers_start_at_zero(self):
+        regs = RegisterFile()
+        assert all(value == 0 for _, value in regs)
+
+    def test_write_then_read_roundtrip(self):
+        regs = RegisterFile()
+        regs["rax"] = 0xDEADBEEF
+        assert regs["rax"] == 0xDEADBEEF
+
+    def test_write_truncates_to_64_bits(self):
+        regs = RegisterFile()
+        regs["rbx"] = (1 << 64) + 5
+        assert regs["rbx"] == 5
+
+    def test_negative_write_wraps(self):
+        regs = RegisterFile()
+        regs["rcx"] = -1
+        assert regs["rcx"] == MASK64
+
+    def test_index_access_matches_name_access(self):
+        regs = RegisterFile()
+        regs["r11"] = 77
+        assert regs.read_index(RegisterFile.index_of("r11")) == 77
+
+    def test_unknown_register_name_rejected(self):
+        with pytest.raises(MachineConfigError):
+            RegisterFile.index_of("eax")  # 32-bit aliases are not modeled
+
+    def test_register_roster(self):
+        assert len(GPR_NAMES) == 16
+        assert "rip" in ALL_REGISTERS and "rflags" in ALL_REGISTERS
+        assert len(ALL_REGISTERS) == 18
+
+
+class TestFaultPrimitive:
+    def test_flip_bit_sets_then_clears(self):
+        regs = RegisterFile()
+        assert regs.flip_bit("rdx", 7) == 1 << 7
+        assert regs.flip_bit("rdx", 7) == 0
+
+    def test_flip_high_bit(self):
+        regs = RegisterFile()
+        regs.flip_bit("rsi", 63)
+        assert regs["rsi"] == 1 << 63
+
+    def test_flip_bit_out_of_range_rejected(self):
+        regs = RegisterFile()
+        with pytest.raises(MachineConfigError):
+            regs.flip_bit("rax", 64)
+        with pytest.raises(MachineConfigError):
+            regs.flip_bit("rax", -1)
+
+
+class TestSnapshotRestore:
+    def test_snapshot_restore_roundtrip(self):
+        regs = RegisterFile()
+        regs["rax"], regs["rip"] = 1, 0x4000
+        snap = regs.snapshot()
+        regs["rax"] = 999
+        regs.restore(snap)
+        assert regs["rax"] == 1 and regs["rip"] == 0x4000
+
+    def test_restore_rejects_wrong_length(self):
+        with pytest.raises(MachineConfigError):
+            RegisterFile().restore((1, 2, 3))
+
+    def test_diff_reports_only_changed(self):
+        a, b = RegisterFile(), RegisterFile()
+        a["rax"], b["rax"] = 1, 2
+        a["rbx"] = b["rbx"] = 42
+        assert a.diff(b) == {"rax": (1, 2)}
+
+    def test_reset_zeroes_everything(self):
+        regs = RegisterFile()
+        regs["r15"] = 9
+        regs.reset()
+        assert regs["r15"] == 0

@@ -1,0 +1,124 @@
+"""Entropy and information-gain: paper's worked example plus invariants."""
+
+import numpy as np
+import pytest
+
+from repro.ml import best_split, entropy, information_gain
+
+
+class TestEntropy:
+    def test_pure_set_has_zero_entropy(self):
+        assert entropy(np.zeros(10, dtype=np.int8)) == 0.0
+        assert entropy(np.ones(10, dtype=np.int8)) == 0.0
+
+    def test_balanced_set_has_one_bit(self):
+        labels = np.array([0, 1] * 50, dtype=np.int8)
+        assert entropy(labels) == pytest.approx(1.0)
+
+    def test_empty_set_has_zero_entropy(self):
+        assert entropy(np.array([], dtype=np.int8)) == 0.0
+
+    def test_symmetry_in_class_swap(self):
+        a = np.array([0] * 3 + [1] * 7, dtype=np.int8)
+        b = np.array([0] * 7 + [1] * 3, dtype=np.int8)
+        assert entropy(a) == pytest.approx(entropy(b))
+
+    def test_paper_example_dataset_entropy(self):
+        """Section III.B: 10 correct + 5 incorrect.
+
+        The paper prints 0.276 (a typo — natural-log value is ~0.6365/2.303;
+        the true base-2 entropy of (10/15, 5/15) is 0.918).  We verify the
+        mathematically correct value for the paper's class mix.
+        """
+        labels = np.array([0] * 10 + [1] * 5, dtype=np.int8)
+        expected = -(10 / 15) * np.log2(10 / 15) - (5 / 15) * np.log2(5 / 15)
+        assert entropy(labels) == pytest.approx(expected)
+        assert entropy(labels) == pytest.approx(0.9183, abs=1e-4)
+
+
+class TestInformationGain:
+    def test_perfect_split_recovers_full_entropy(self):
+        labels = np.array([0] * 5 + [1] * 5, dtype=np.int8)
+        mask = np.array([True] * 5 + [False] * 5)
+        assert information_gain(labels, mask) == pytest.approx(entropy(labels))
+
+    def test_useless_split_has_zero_gain(self):
+        labels = np.array([0, 1, 0, 1], dtype=np.int8)
+        mask = np.array([True, True, False, False])
+        assert information_gain(labels, mask) == pytest.approx(0.0)
+
+    def test_gain_never_negative(self):
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            labels = rng.integers(0, 2, size=30).astype(np.int8)
+            mask = rng.integers(0, 2, size=30).astype(bool)
+            assert information_gain(labels, mask) >= -1e-12
+
+    def test_paper_rt_cut_point_example(self):
+        """Section III.B worked example: cutting RT at 200 beats cutting at 100.
+
+        RT=100: left has 5 correct + 2 incorrect, right 5 correct + 3 incorrect.
+        RT=200: left has all 10 correct, right all 5 incorrect (perfect).
+        """
+        # RT values realizing those partitions: 5 correct below 100, 5 correct
+        # in (100, 200], 5 incorrect above 200... except RT<=100 must carve
+        # out 5 correct + 2 incorrect, so two incorrect sit below 100.
+        rt = np.array([50, 55, 60, 65, 70, 150, 155, 160, 165, 170, 80, 90, 250, 260, 270],
+                      dtype=np.int64)
+        labels = np.array([0] * 10 + [1] * 5, dtype=np.int8)
+        gain_100 = information_gain(labels, rt <= 100)
+        gain_200 = information_gain(labels, rt <= 200)
+        assert gain_200 > gain_100
+        # And with the paper's clean RT=200 partition (10 correct | 5 incorrect):
+        rt = np.array([50] * 5 + [150] * 5 + [250, 260, 270, 280, 290], dtype=np.int64)
+        gain_100 = information_gain(labels, rt <= 100)
+        gain_200 = information_gain(labels, rt <= 200)
+        assert gain_200 > gain_100
+        assert gain_200 == pytest.approx(entropy(labels))  # perfect separation
+
+
+class TestBestSplit:
+    def test_finds_perfect_threshold(self):
+        values = np.array([1, 2, 3, 10, 11, 12], dtype=np.int64)
+        labels = np.array([0, 0, 0, 1, 1, 1], dtype=np.int8)
+        split = best_split(values, labels, feature=2)
+        assert split is not None
+        assert split.threshold == 3
+        assert split.feature == 2
+        assert split.gain == pytest.approx(1.0)
+        assert (split.n_left, split.n_right) == (3, 3)
+
+    def test_constant_column_yields_none(self):
+        values = np.full(8, 42, dtype=np.int64)
+        labels = np.array([0, 1] * 4, dtype=np.int8)
+        assert best_split(values, labels, 0) is None
+
+    def test_pure_labels_yield_none(self):
+        values = np.arange(8, dtype=np.int64)
+        labels = np.zeros(8, dtype=np.int8)
+        assert best_split(values, labels, 0) is None
+
+    def test_single_sample_yields_none(self):
+        assert best_split(np.array([1]), np.array([1], dtype=np.int8), 0) is None
+
+    def test_threshold_lies_on_existing_value(self):
+        """Integer thresholds must equal an observed value (compilable rules)."""
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 1000, size=200).astype(np.int64)
+        labels = (values > 437).astype(np.int8)
+        split = best_split(values, labels, 0)
+        assert split is not None
+        assert split.threshold in values
+
+    def test_matches_bruteforce_gain(self):
+        rng = np.random.default_rng(11)
+        values = rng.integers(0, 30, size=60).astype(np.int64)
+        labels = rng.integers(0, 2, size=60).astype(np.int8)
+        split = best_split(values, labels, 0)
+        brute_best = max(
+            information_gain(labels, values <= t) for t in np.unique(values)[:-1]
+        )
+        if split is None:
+            assert brute_best <= 1e-12
+        else:
+            assert split.gain == pytest.approx(brute_best)

@@ -1,0 +1,59 @@
+"""Random forest ensemble (extension beyond the paper's single tree)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CampaignConfigError, NotFittedError
+from repro.ml import Dataset, RandomForestClassifier, RandomTreeClassifier, evaluate
+
+from tests.ml.test_trees import separable_dataset
+
+
+class TestForest:
+    def test_fits_and_predicts(self):
+        ds = separable_dataset(400, seed=2)
+        forest = RandomForestClassifier(n_trees=7, seed=1).fit(ds)
+        assert (forest.predict(ds.X) == ds.y).mean() > 0.95
+
+    def test_generalizes_at_least_as_well_as_single_tree(self):
+        train, test = separable_dataset(800, seed=3).split(0.7, np.random.default_rng(0))
+        tree_acc = evaluate(
+            test.y, RandomTreeClassifier(seed=1).fit(train).predict(test.X)
+        ).accuracy
+        forest_acc = evaluate(
+            test.y, RandomForestClassifier(n_trees=9, seed=1).fit(train).predict(test.X)
+        ).accuracy
+        assert forest_acc >= tree_acc - 0.02
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            RandomForestClassifier().predict_one((1, 2, 3, 4, 5))
+
+    def test_config_validation(self):
+        with pytest.raises(CampaignConfigError):
+            RandomForestClassifier(n_trees=0)
+        with pytest.raises(CampaignConfigError):
+            RandomForestClassifier().fit(Dataset.from_samples([], []))
+
+    def test_deterministic_given_seed(self):
+        ds = separable_dataset(300, seed=5)
+        a = RandomForestClassifier(n_trees=5, seed=9).fit(ds)
+        b = RandomForestClassifier(n_trees=5, seed=9).fit(ds)
+        assert (a.predict(ds.X) == b.predict(ds.X)).all()
+
+    def test_detector_protocol(self):
+        ds = separable_dataset(300, seed=6)
+        forest = RandomForestClassifier(n_trees=5, seed=2).fit(ds)
+        flags = [forest.flags_incorrect(tuple(r)) for r in ds.X[:50]]
+        assert any(flags) or not ds.y[:50].any()
+
+    def test_deployment_cost_scales_with_ensemble(self):
+        ds = separable_dataset(300, seed=7)
+        small = RandomForestClassifier(n_trees=3, seed=2).fit(ds)
+        big = RandomForestClassifier(n_trees=12, seed=2).fit(ds)
+        assert big.deployment_comparisons > small.deployment_comparisons
+        # The single tree the paper deploys is an order of magnitude cheaper.
+        single = RandomTreeClassifier(seed=2).fit(ds)
+        from repro.ml import compile_tree
+
+        assert compile_tree(single).max_depth < big.deployment_comparisons

@@ -1,0 +1,92 @@
+"""Property-based tests for the ML stack."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    Dataset,
+    DecisionTreeClassifier,
+    best_split,
+    compile_tree,
+    entropy,
+    evaluate,
+    information_gain,
+)
+
+labels_strategy = st.lists(st.integers(0, 1), min_size=2, max_size=80).map(
+    lambda xs: np.array(xs, dtype=np.int8)
+)
+
+
+class TestEntropyProperties:
+    @given(labels=labels_strategy)
+    def test_entropy_bounded_zero_one(self, labels):
+        assert 0.0 <= entropy(labels) <= 1.0 + 1e-12
+
+    @given(labels=labels_strategy, mask_bits=st.lists(st.booleans(), min_size=2, max_size=80))
+    def test_gain_nonnegative_and_bounded(self, labels, mask_bits):
+        mask = np.array((mask_bits * 40)[: len(labels)], dtype=bool)
+        gain = information_gain(labels, mask)
+        assert -1e-9 <= gain <= entropy(labels) + 1e-9
+
+    @given(
+        data=st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 1)), min_size=2, max_size=100
+        )
+    )
+    def test_best_split_gain_is_achievable(self, data):
+        values = np.array([d[0] for d in data], dtype=np.int64)
+        labels = np.array([d[1] for d in data], dtype=np.int8)
+        split = best_split(values, labels, 0)
+        if split is not None:
+            realized = information_gain(labels, values <= split.threshold)
+            assert abs(realized - split.gain) < 1e-9
+            assert split.n_left + split.n_right == len(values)
+
+
+@st.composite
+def small_dataset(draw):
+    n = draw(st.integers(min_value=4, max_value=60))
+    X = np.array(
+        draw(
+            st.lists(
+                st.tuples(*([st.integers(0, 200)] * 5)), min_size=n, max_size=n
+            )
+        ),
+        dtype=np.int64,
+    )
+    y = np.array(draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)), dtype=np.int8)
+    return Dataset(X, y)
+
+
+class TestTreeProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(ds=small_dataset())
+    def test_compiled_rules_always_agree_with_tree(self, ds):
+        tree = DecisionTreeClassifier(max_depth=8).fit(ds)
+        rules = compile_tree(tree)
+        assert (rules.predict(ds.X) == tree.predict(ds.X)).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(ds=small_dataset())
+    def test_training_accuracy_at_least_majority(self, ds):
+        """A fitted tree can never do worse in-sample than the majority class."""
+        tree = DecisionTreeClassifier().fit(ds)
+        cm = evaluate(ds.y, tree.predict(ds.X))
+        majority = max(ds.y.sum(), len(ds) - ds.y.sum()) / len(ds)
+        assert cm.accuracy >= majority - 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(ds=small_dataset(), depth=st.integers(0, 6))
+    def test_depth_cap_is_respected(self, ds, depth):
+        tree = DecisionTreeClassifier(max_depth=depth).fit(ds)
+        assert tree.depth <= depth
+        assert compile_tree(tree).max_depth <= depth
+
+    @settings(max_examples=25, deadline=None)
+    @given(ds=small_dataset())
+    def test_confusion_matrix_totals(self, ds):
+        tree = DecisionTreeClassifier(max_depth=4).fit(ds)
+        cm = evaluate(ds.y, tree.predict(ds.X))
+        assert cm.total == len(ds)

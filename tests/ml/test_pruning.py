@@ -1,0 +1,94 @@
+"""Reduced-error pruning and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CampaignConfigError, NotFittedError
+from repro.ml import Dataset, DecisionTreeClassifier, RandomTreeClassifier, compile_tree, evaluate
+from repro.ml.pruning import cross_validate, reduced_error_prune
+
+from tests.ml.test_trees import separable_dataset
+
+
+def noisy_dataset(n=600, seed=0) -> Dataset:
+    """Separable structure plus label noise: exactly what overfits a tree."""
+    ds = separable_dataset(n, seed)
+    rng = np.random.default_rng(seed + 1)
+    y = ds.y.copy()
+    flip = rng.random(n) < 0.08
+    y[flip] = 1 - y[flip]
+    return Dataset(ds.X, y)
+
+
+class TestReducedErrorPruning:
+    def test_pruning_shrinks_an_overfit_tree(self):
+        data = noisy_dataset()
+        train, prune_set = data.split(0.6, np.random.default_rng(1))
+        tree = DecisionTreeClassifier(max_depth=32, min_samples_leaf=1).fit(train)
+        pruned, report = reduced_error_prune(tree, prune_set)
+        assert report.nodes_removed > 0
+        assert pruned.n_nodes < tree.n_nodes
+        assert report.accuracy_after >= report.accuracy_before
+
+    def test_pruning_does_not_hurt_heldout_accuracy(self):
+        data = noisy_dataset(900, seed=4)
+        rng = np.random.default_rng(2)
+        train, rest = data.split(0.5, rng)
+        prune_set, test = rest.split(0.5, rng)
+        tree = DecisionTreeClassifier(max_depth=32, min_samples_leaf=1).fit(train)
+        pruned, _ = reduced_error_prune(tree, prune_set)
+        acc_before = evaluate(test.y, tree.predict(test.X)).accuracy
+        acc_after = evaluate(test.y, pruned.predict(test.X)).accuracy
+        assert acc_after >= acc_before - 0.03
+
+    def test_original_classifier_untouched(self):
+        data = noisy_dataset()
+        train, prune_set = data.split(0.6, np.random.default_rng(3))
+        tree = DecisionTreeClassifier(max_depth=32, min_samples_leaf=1).fit(train)
+        nodes_before = tree.n_nodes
+        reduced_error_prune(tree, prune_set)
+        assert tree.n_nodes == nodes_before
+
+    def test_pruned_tree_is_cheaper_to_deploy(self):
+        """The operational payoff: fewer worst-case comparisons per VM entry."""
+        data = noisy_dataset(800, seed=7)
+        train, prune_set = data.split(0.6, np.random.default_rng(5))
+        tree = RandomTreeClassifier(max_depth=32, min_samples_leaf=1, seed=2).fit(train)
+        pruned, _ = reduced_error_prune(tree, prune_set)
+        assert compile_tree(pruned).max_depth <= compile_tree(tree).max_depth
+        assert compile_tree(pruned).n_nodes < compile_tree(tree).n_nodes
+
+    def test_requires_fitted_tree_and_data(self):
+        with pytest.raises(NotFittedError):
+            reduced_error_prune(DecisionTreeClassifier(), separable_dataset(10))
+        tree = DecisionTreeClassifier().fit(separable_dataset(50))
+        with pytest.raises(CampaignConfigError):
+            reduced_error_prune(tree, Dataset.from_samples([], []))
+
+
+class TestCrossValidation:
+    def test_k_folds_produce_k_matrices(self):
+        data = separable_dataset(300, seed=9)
+        matrices = cross_validate(
+            lambda: DecisionTreeClassifier(max_depth=16), data, k=5, seed=1
+        )
+        assert len(matrices) == 5
+        assert sum(m.total for m in matrices) == len(data)
+
+    def test_separable_data_validates_well(self):
+        data = separable_dataset(400, seed=10)
+        matrices = cross_validate(lambda: RandomTreeClassifier(seed=3), data, k=4)
+        assert np.mean([m.accuracy for m in matrices]) > 0.9
+
+    def test_deterministic_given_seed(self):
+        data = separable_dataset(200, seed=11)
+        a = cross_validate(lambda: DecisionTreeClassifier(), data, k=3, seed=7)
+        b = cross_validate(lambda: DecisionTreeClassifier(), data, k=3, seed=7)
+        assert [m.accuracy for m in a] == [m.accuracy for m in b]
+
+    def test_validation_of_arguments(self):
+        data = separable_dataset(20)
+        with pytest.raises(CampaignConfigError):
+            cross_validate(lambda: DecisionTreeClassifier(), data, k=1)
+        with pytest.raises(CampaignConfigError):
+            cross_validate(lambda: DecisionTreeClassifier(), data, k=50)

@@ -1,0 +1,230 @@
+"""Decision tree, random tree, compiled rules, and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError, NotFittedError
+from repro.ml import (
+    CORRECT,
+    Dataset,
+    DecisionTreeClassifier,
+    INCORRECT,
+    RandomTreeClassifier,
+    compile_tree,
+    evaluate,
+    features_per_node,
+)
+
+
+def separable_dataset(n=200, seed=0) -> Dataset:
+    """Synthetic transition-detection-shaped data: 5 integer features where
+    class INCORRECT means 'RT stretched or shrunk away from its per-VMER norm'."""
+    rng = np.random.default_rng(seed)
+    vmer = rng.integers(0, 8, size=n)
+    base_rt = 100 + vmer * 50
+    correct = rng.random(n) < 0.75
+    rt = np.where(correct, base_rt + rng.integers(-10, 10, n), base_rt + rng.integers(80, 200, n))
+    br = rt // 5 + rng.integers(0, 3, n)
+    rm = rt // 4 + rng.integers(0, 3, n)
+    wm = rt // 6 + rng.integers(0, 3, n)
+    X = np.column_stack([vmer, rt, br, rm, wm]).astype(np.int64)
+    y = (~correct).astype(np.int8)
+    return Dataset(X, y)
+
+
+class TestDataset:
+    def test_class_counts(self):
+        ds = Dataset.from_samples([(1, 2, 3, 4, 5), (2, 3, 4, 5, 6)], [0, 1])
+        assert ds.class_counts() == (1, 1)
+
+    def test_shape_validation(self):
+        with pytest.raises(DatasetError):
+            Dataset(np.zeros((3, 2)), np.zeros(3))  # 2 cols vs 5 names
+        with pytest.raises(DatasetError):
+            Dataset(np.zeros((3, 5)), np.zeros(4))
+        with pytest.raises(DatasetError):
+            Dataset(np.zeros((2, 5)), np.array([0, 7]))
+
+    def test_split_partitions_all_rows(self):
+        ds = separable_dataset(100)
+        train, test = ds.split(0.7, np.random.default_rng(0))
+        assert len(train) + len(test) == 100
+        assert len(train) == 70
+
+    def test_concat(self):
+        a, b = separable_dataset(10, 1), separable_dataset(20, 2)
+        assert len(a.concat(b)) == 30
+
+    def test_concat_schema_mismatch(self):
+        a = separable_dataset(4)
+        b = Dataset(a.X, a.y, feature_names=("a", "b", "c", "d", "e"))
+        with pytest.raises(DatasetError):
+            a.concat(b)
+
+    def test_describe_mentions_counts(self):
+        text = separable_dataset(50).describe()
+        assert "50 samples" in text and "VMER" in text
+
+    def test_empty_from_samples(self):
+        ds = Dataset.from_samples([], [])
+        assert len(ds) == 0
+
+
+class TestDecisionTree:
+    def test_fits_separable_data_perfectly_in_sample(self):
+        ds = separable_dataset()
+        tree = DecisionTreeClassifier().fit(ds)
+        assert (tree.predict(ds.X) == ds.y).mean() > 0.98
+
+    def test_generalizes_to_held_out(self):
+        train, test = separable_dataset(600).split(0.7, np.random.default_rng(1))
+        tree = DecisionTreeClassifier().fit(train)
+        cm = evaluate(test.y, tree.predict(test.X))
+        assert cm.accuracy > 0.9
+
+    def test_max_depth_zero_predicts_majority(self):
+        ds = separable_dataset()
+        tree = DecisionTreeClassifier(max_depth=0).fit(ds)
+        majority = INCORRECT if ds.y.sum() * 2 > len(ds) else CORRECT
+        assert set(tree.predict(ds.X)) == {majority}
+        assert tree.n_nodes == 1
+
+    def test_depth_respects_cap(self):
+        tree = DecisionTreeClassifier(max_depth=3).fit(separable_dataset())
+        assert tree.depth <= 3
+
+    def test_min_samples_leaf_limits_fragmentation(self):
+        big_leaf = DecisionTreeClassifier(min_samples_leaf=40).fit(separable_dataset())
+        small_leaf = DecisionTreeClassifier(min_samples_leaf=1).fit(separable_dataset())
+        assert big_leaf.n_leaves <= small_leaf.n_leaves
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict_one((1, 2, 3, 4, 5))
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            DecisionTreeClassifier().fit(Dataset.from_samples([], []))
+
+    def test_pure_dataset_yields_single_leaf(self):
+        ds = Dataset.from_samples([(i, 0, 0, 0, 0) for i in range(10)], [0] * 10)
+        tree = DecisionTreeClassifier().fit(ds)
+        assert tree.n_nodes == 1
+        assert tree.predict_one((99, 0, 0, 0, 0)) == CORRECT
+
+    def test_rules_text_names_features(self):
+        tree = DecisionTreeClassifier().fit(separable_dataset())
+        text = tree.rules_text()
+        assert "if " in text and "=>" in text
+        assert any(name in text for name in ("VMER", "RT", "BR", "RM", "WM"))
+
+    def test_node_leaf_counts_consistent(self):
+        tree = DecisionTreeClassifier().fit(separable_dataset())
+        # A binary tree with L leaves has 2L - 1 nodes.
+        assert tree.n_nodes == 2 * tree.n_leaves - 1
+
+
+class TestRandomTree:
+    def test_feature_subsample_size_matches_paper(self):
+        assert features_per_node(5) == 3  # "which is three in our case"
+        assert features_per_node(1) == 1
+        assert features_per_node(8) == 4
+        assert features_per_node(0) == 0
+
+    def test_fits_and_generalizes(self):
+        train, test = separable_dataset(600).split(0.7, np.random.default_rng(2))
+        tree = RandomTreeClassifier(seed=5).fit(train)
+        cm = evaluate(test.y, tree.predict(test.X))
+        assert cm.accuracy > 0.85
+
+    def test_same_seed_reproduces_tree(self):
+        ds = separable_dataset()
+        a = RandomTreeClassifier(seed=9).fit(ds)
+        b = RandomTreeClassifier(seed=9).fit(ds)
+        assert (a.predict(ds.X) == b.predict(ds.X)).all()
+        assert a.n_nodes == b.n_nodes
+
+    def test_different_seeds_may_differ_structurally(self):
+        ds = separable_dataset(seed=4)
+        trees = {RandomTreeClassifier(seed=s).fit(ds).n_nodes for s in range(6)}
+        assert len(trees) > 1  # randomization does change structure
+
+
+class TestCompiledRules:
+    def test_compiled_matches_tree_predictions(self):
+        ds = separable_dataset()
+        tree = DecisionTreeClassifier().fit(ds)
+        rules = compile_tree(tree)
+        assert (rules.predict(ds.X) == tree.predict(ds.X)).all()
+
+    def test_compiled_random_tree_matches_too(self):
+        ds = separable_dataset(seed=8)
+        tree = RandomTreeClassifier(seed=1).fit(ds)
+        rules = compile_tree(tree)
+        assert (rules.predict(ds.X) == tree.predict(ds.X)).all()
+
+    def test_traversal_depth_bounded_by_max_depth(self):
+        ds = separable_dataset()
+        tree = DecisionTreeClassifier(max_depth=6).fit(ds)
+        rules = compile_tree(tree)
+        assert rules.max_depth <= 6
+        for row in ds.X[:50]:
+            _, comparisons = rules.classify(row)
+            assert comparisons <= rules.max_depth
+
+    def test_mean_traversal_depth_positive(self):
+        rules = compile_tree(DecisionTreeClassifier().fit(separable_dataset()))
+        assert 0 < rules.mean_traversal_depth(separable_dataset().X) <= rules.max_depth
+
+    def test_single_leaf_tree_classifies_in_zero_comparisons(self):
+        ds = Dataset.from_samples([(1, 1, 1, 1, 1)] * 4, [0] * 4)
+        rules = compile_tree(DecisionTreeClassifier().fit(ds))
+        label, comparisons = rules.classify((9, 9, 9, 9, 9))
+        assert label == CORRECT and comparisons == 0
+        assert rules.max_depth == 0
+
+    def test_unfitted_tree_rejected(self):
+        with pytest.raises(NotFittedError):
+            compile_tree(DecisionTreeClassifier())
+
+    def test_flags_incorrect_predicate(self):
+        ds = separable_dataset()
+        rules = compile_tree(DecisionTreeClassifier().fit(ds))
+        flagged = [rules.flags_incorrect(row) for row in ds.X]
+        assert any(flagged) and not all(flagged)
+
+
+class TestMetrics:
+    def test_perfect_predictions(self):
+        y = np.array([0, 0, 1, 1], dtype=np.int8)
+        cm = evaluate(y, y)
+        assert cm.accuracy == 1.0
+        assert cm.false_positive_rate == 0.0
+        assert cm.detection_rate == 1.0
+
+    def test_all_wrong(self):
+        y = np.array([0, 1], dtype=np.int8)
+        cm = evaluate(y, 1 - y)
+        assert cm.accuracy == 0.0
+        assert cm.false_positive_rate == 1.0
+        assert cm.miss_rate == 1.0
+
+    def test_fp_direction_is_correct_flagged_incorrect(self):
+        y_true = np.array([0, 0, 0, 0], dtype=np.int8)
+        y_pred = np.array([0, 1, 0, 0], dtype=np.int8)
+        cm = evaluate(y_true, y_pred)
+        assert cm.false_positive == 1
+        assert cm.false_positive_rate == pytest.approx(0.25)
+
+    def test_report_text(self):
+        y = np.array([0, 1, 1, 0], dtype=np.int8)
+        text = evaluate(y, y).report("random tree")
+        assert "random tree" in text and "accuracy" in text
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            evaluate(np.zeros(3), np.zeros(4))
+
+    def test_degenerate_empty(self):
+        cm = evaluate(np.array([]), np.array([]))
+        assert cm.accuracy == 0.0 and cm.total == 0

@@ -1,0 +1,74 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_every_subcommand_parses(self):
+        parser = build_parser()
+        for argv in (
+            ["info"],
+            ["rates", "--mode", "pv", "--seconds", "10"],
+            ["train", "--scale", "0.05"],
+            ["campaign", "--injections", "100"],
+            ["overhead"],
+            ["recovery", "--seed", "9"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+
+class TestExecution:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "exit reasons" in out and "hypercall" in out and "38" in out
+
+    def test_rates(self, capsys):
+        assert main(["rates", "--mode", "pv", "--seconds", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "postmark" in out and "median" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "bzip2" in out and "average full overhead" in out
+
+    def test_recovery(self, capsys):
+        assert main(["recovery"]) == 0
+        out = capsys.readouterr().out
+        assert "1900 ns" in out or "1,900" in out
+
+    def test_campaign_smoke(self, capsys):
+        """A miniature campaign end to end through the CLI."""
+        assert main(["campaign", "--injections", "120", "--scale", "0.03",
+                     "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 8" in out and "Table II" in out
+
+    def test_campaign_save_and_reanalyze(self, capsys, tmp_path):
+        path = str(tmp_path / "records.jsonl")
+        assert main(["campaign", "--injections", "80", "--scale", "0.03",
+                     "--seed", "2", "--output", path]) == 0
+        first = capsys.readouterr().out
+        assert "records written" in first
+        assert main(["campaign", "--records-from", path]) == 0
+        second = capsys.readouterr().out
+        assert "Fig. 8" in second
+        # Re-analysis reproduces the same coverage rows.
+        assert first.split("Fig. 8")[1] == second.split("Fig. 8")[1]
+
+    def test_train_saves_deployable_rules(self, capsys, tmp_path):
+        path = str(tmp_path / "rules.json")
+        assert main(["train", "--scale", "0.03", "--seed", "2",
+                     "--save-rules", path]) == 0
+        from repro.persist import load_rules
+
+        rules = load_rules(path)
+        assert rules.n_nodes >= 1

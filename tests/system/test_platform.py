@@ -1,0 +1,73 @@
+"""VirtualPlatform wiring."""
+
+import pytest
+
+from repro.errors import CampaignConfigError
+from repro.hypervisor import ActivationResult
+from repro.system import PlatformConfig, VirtualPlatform
+from repro.workloads import VirtMode
+from repro.xentry import ProtectedOutcome
+
+
+class TestVirtualPlatform:
+    def test_boots_with_defaults(self):
+        platform = VirtualPlatform()
+        assert platform.hypervisor.n_domains == 3
+        assert platform.xentry is None
+
+    def test_config_validation(self):
+        with pytest.raises(CampaignConfigError):
+            PlatformConfig(n_domains=1)
+
+    def test_unprotected_workload_returns_activation_results(self):
+        platform = VirtualPlatform(PlatformConfig(seed=6))
+        results = platform.run_workload("mcf", n_activations=30)
+        assert len(results) == 30
+        assert all(isinstance(r, ActivationResult) for r in results)
+
+    def test_protected_workload_returns_outcomes(self):
+        platform = VirtualPlatform(PlatformConfig(seed=6))
+        platform.deploy_xentry()
+        results = platform.run_workload("postmark", n_activations=30)
+        assert all(isinstance(r, ProtectedOutcome) for r in results)
+        # Fault-free workload: everything clean.
+        assert all(r.vm_entry_permitted for r in results)
+
+    def test_activation_rates_shape(self):
+        platform = VirtualPlatform(PlatformConfig(seed=6))
+        rates = platform.activation_rates("freqmine", seconds=50)
+        assert rates.shape == (50,)
+        assert (rates > 0).all()
+
+    def test_pv_rates_higher_than_hvm(self):
+        platform = VirtualPlatform(PlatformConfig(seed=6))
+        pv = platform.activation_rates("x264", mode=VirtMode.PV, seconds=200).mean()
+        hvm = platform.activation_rates("x264", mode=VirtMode.HVM, seconds=200).mean()
+        assert pv > hvm
+
+    def test_mean_handler_instructions(self):
+        platform = VirtualPlatform(PlatformConfig(seed=6))
+        mean = platform.mean_handler_instructions("mcf", n_activations=60)
+        assert 10 < mean < 5_000
+
+
+class TestSmpPlatform:
+    def test_smp_workload_spreads_across_cores(self):
+        platform = VirtualPlatform(PlatformConfig(n_cores=4, seed=9))
+        per_core = platform.run_workload_smp("postmark", n_activations=200)
+        busy = [cpu for cpu, results in per_core.items() if results]
+        assert len(busy) >= 2
+        assert sum(len(r) for r in per_core.values()) == 200
+
+    def test_scheduler_accounts_cpu_time(self):
+        platform = VirtualPlatform(PlatformConfig(n_cores=2, seed=9))
+        platform.run_workload_smp("mcf", n_activations=120)
+        total_ticks = sum(v.total_ticks for v in platform.scheduler.vcpus)
+        assert total_ticks == 120
+
+    def test_single_core_smp_equals_plain_run(self):
+        a = VirtualPlatform(PlatformConfig(n_cores=1, seed=9))
+        per_core = a.run_workload_smp("mcf", n_activations=40)
+        b = VirtualPlatform(PlatformConfig(n_cores=1, seed=9))
+        plain = b.run_workload(benchmark="mcf", n_activations=40)
+        assert [r.features for r in per_core[0]] == [r.features for r in plain]

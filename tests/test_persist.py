@@ -1,0 +1,96 @@
+"""Persistence round-trips for rules, records and datasets."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.faults import CampaignConfig, FaultInjectionCampaign
+from repro.ml import Dataset, DecisionTreeClassifier, compile_tree
+from repro.persist import (
+    load_dataset,
+    load_records,
+    load_rules,
+    save_dataset,
+    save_records,
+    save_rules,
+)
+from repro.xentry import VMTransitionDetector
+
+from tests.ml.test_trees import separable_dataset
+
+
+class TestRules:
+    def test_roundtrip_preserves_predictions(self, tmp_path):
+        ds = separable_dataset(300, seed=1)
+        rules = compile_tree(DecisionTreeClassifier().fit(ds))
+        path = tmp_path / "rules.json"
+        save_rules(rules, path)
+        loaded = load_rules(path)
+        assert (loaded.predict(ds.X) == rules.predict(ds.X)).all()
+        assert loaded.max_depth == rules.max_depth
+        assert loaded.feature_names == rules.feature_names
+
+    def test_loaded_rules_deploy_as_detector(self, tmp_path):
+        ds = separable_dataset(200, seed=2)
+        path = tmp_path / "rules.json"
+        save_rules(compile_tree(DecisionTreeClassifier().fit(ds)), path)
+        detector = VMTransitionDetector(rules=load_rules(path))
+        assert detector.flags_incorrect(tuple(ds.X[0])) in (True, False)
+
+    def test_format_guard(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(DatasetError):
+            load_rules(path)
+
+
+class TestRecords:
+    @pytest.fixture(scope="class")
+    def records(self):
+        cfg = CampaignConfig(benchmarks=("mcf",), n_injections=80, seed=6)
+        return FaultInjectionCampaign(cfg).run().records
+
+    def test_roundtrip_is_identity(self, tmp_path, records):
+        path = tmp_path / "records.jsonl"
+        count = save_records(records, path)
+        assert count == len(records)
+        assert load_records(path) == records
+
+    def test_truncation_detected(self, tmp_path, records):
+        path = tmp_path / "records.jsonl"
+        save_records(records, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-3]) + "\n")
+        with pytest.raises(DatasetError, match="truncated"):
+            load_records(path)
+
+    def test_records_are_analyzable_after_reload(self, tmp_path, records):
+        from repro.analysis import coverage_by_technique
+
+        path = tmp_path / "records.jsonl"
+        save_records(records, path)
+        reloaded = load_records(path)
+        assert (
+            coverage_by_technique(reloaded).coverage
+            == coverage_by_technique(records).coverage
+        )
+
+
+class TestDatasets:
+    def test_roundtrip(self, tmp_path):
+        ds = separable_dataset(150, seed=3)
+        path = tmp_path / "data.npz"
+        save_dataset(ds, path)
+        loaded = load_dataset(path)
+        assert (loaded.X == ds.X).all()
+        assert (loaded.y == ds.y).all()
+        assert loaded.feature_names == ds.feature_names
+
+    def test_loaded_dataset_trains(self, tmp_path):
+        ds = separable_dataset(150, seed=4)
+        path = tmp_path / "data.npz"
+        save_dataset(ds, path)
+        tree = DecisionTreeClassifier().fit(load_dataset(path))
+        assert tree.n_nodes >= 1

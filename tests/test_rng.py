@@ -1,0 +1,62 @@
+"""Deterministic random-stream plumbing."""
+
+import numpy as np
+
+from repro import rng
+
+
+class TestDeriveSeed:
+    def test_same_path_same_seed(self):
+        assert rng.derive_seed(5, "a", 1) == rng.derive_seed(5, "a", 1)
+
+    def test_different_roots_differ(self):
+        assert rng.derive_seed(5, "a") != rng.derive_seed(6, "a")
+
+    def test_different_paths_differ(self):
+        assert rng.derive_seed(5, "a") != rng.derive_seed(5, "b")
+        assert rng.derive_seed(5, "a", "b") != rng.derive_seed(5, "ab")
+
+    def test_path_segments_are_order_sensitive(self):
+        assert rng.derive_seed(5, "x", "y") != rng.derive_seed(5, "y", "x")
+
+    def test_non_string_components_accepted(self):
+        assert rng.derive_seed(5, 1, (2, 3)) == rng.derive_seed(5, 1, (2, 3))
+
+    def test_seed_fits_in_64_bits(self):
+        assert 0 <= rng.derive_seed(123456789, "long", "path") < 2**64
+
+
+class TestStreams:
+    def test_streams_are_reproducible(self):
+        a = rng.stream(9, "workload", "mcf").integers(0, 100, 10)
+        b = rng.stream(9, "workload", "mcf").integers(0, 100, 10)
+        assert (a == b).all()
+
+    def test_streams_are_independent(self):
+        a = rng.stream(9, "workload", "mcf").integers(0, 1000, 50)
+        b = rng.stream(9, "faults", "mcf").integers(0, 1000, 50)
+        assert not (a == b).all()
+
+    def test_creation_order_does_not_matter(self):
+        first = rng.stream(9, "a")
+        _ = first.integers(0, 10, 5)  # advance it
+        second = rng.stream(9, "b").integers(0, 10, 5)
+        fresh = rng.stream(9, "b").integers(0, 10, 5)
+        assert (second == fresh).all()
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        children = rng.spawn(np.random.default_rng(0), 4)
+        assert len(children) == 4
+
+    def test_children_differ(self):
+        children = rng.spawn(np.random.default_rng(0), 2)
+        a = children[0].integers(0, 1000, 20)
+        b = children[1].integers(0, 1000, 20)
+        assert not (a == b).all()
+
+    def test_spawn_is_deterministic(self):
+        a = rng.spawn(np.random.default_rng(7), 3)[2].integers(0, 100, 10)
+        b = rng.spawn(np.random.default_rng(7), 3)[2].integers(0, 100, 10)
+        assert (a == b).all()
