@@ -1,0 +1,87 @@
+"""Campaign-engine throughput: trials/sec serial vs ``--jobs 2/4``.
+
+Measures the same campaign executed three ways — the serial
+``FaultInjectionCampaign`` loop, and the sharded engine with 2 and 4 worker
+processes — verifying bit-identical results while reporting throughput and
+speedup.  A machine-readable summary is written to ``BENCH_engine.json``
+next to this file (override with ``REPRO_BENCH_OUTPUT``).
+
+Scale with ``REPRO_BENCH_SCALE`` like the other harnesses; at the default
+scale this is a small campaign so the whole file stays in CI budget.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.engine import CampaignEngine, plan_campaign
+from repro.faults import CampaignConfig, FaultInjectionCampaign
+
+from benchmarks.conftest import SEED, scaled
+
+N_INJECTIONS = scaled(600)
+OUTPUT = Path(
+    os.environ.get("REPRO_BENCH_OUTPUT", Path(__file__).parent / "BENCH_engine.json")
+)
+
+
+def _timed(label: str, fn):
+    t0 = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - t0
+    return {
+        "label": label,
+        "elapsed_seconds": elapsed,
+        "trials": len(result),
+        "trials_per_sec": len(result) / elapsed if elapsed > 0 else 0.0,
+    }, result
+
+
+def test_engine_throughput_and_speedup():
+    config = CampaignConfig(n_injections=N_INJECTIONS, seed=SEED)
+    runs = []
+
+    serial_stats, serial = _timed(
+        "serial", lambda: FaultInjectionCampaign(config).run()
+    )
+    runs.append(serial_stats)
+    for jobs in (2, 4):
+        stats, result = _timed(
+            f"jobs={jobs}",
+            lambda jobs=jobs: CampaignEngine(
+                config, jobs=jobs, n_shards=2 * jobs
+            ).run(),
+        )
+        # Parallelism must never change the science.
+        assert result.records == serial.records
+        stats["speedup_vs_serial"] = (
+            serial_stats["elapsed_seconds"] / stats["elapsed_seconds"]
+        )
+        runs.append(stats)
+
+    summary = {
+        "format": "xentry-bench-engine-v1",
+        "n_injections": len(serial),
+        "n_shards_planned": plan_campaign(config, 8).n_shards,
+        "seed": SEED,
+        "runs": runs,
+    }
+    OUTPUT.write_text(json.dumps(summary, indent=1))
+
+    print(f"\nengine throughput — {len(serial)} injections, seed {SEED}")
+    print(f"{'config':<10} {'elapsed':>9} {'trials/s':>10} {'speedup':>9}")
+    for stats in runs:
+        speedup = stats.get("speedup_vs_serial", 1.0)
+        print(
+            f"{stats['label']:<10} {stats['elapsed_seconds']:8.2f}s "
+            f"{stats['trials_per_sec']:10.1f} {speedup:8.2f}x"
+        )
+    print(f"summary written to {OUTPUT}")
+
+    # Sanity floor, not a strict scaling claim: pooled runs must at least
+    # not collapse (worker startup amortized over the campaign).
+    pooled = runs[1]
+    assert pooled["trials_per_sec"] > 0.3 * serial_stats["trials_per_sec"]

@@ -12,6 +12,11 @@ from repro.analysis.coverage import (
     long_latency_breakdown,
     undetected_breakdown,
 )
+from repro.analysis.journals import (
+    journal_progress,
+    merge_journals,
+    records_from_journal,
+)
 from repro.analysis.latency import LatencyStudy
 from repro.analysis.overhead import OverheadStudy, PerfOverheadModel
 from repro.analysis.plots import ascii_boxplot, ascii_cdf, ascii_stacked_bars
@@ -40,7 +45,10 @@ __all__ = [
     "coverage_by_technique",
     "format_percent",
     "bit_band_sensitivity",
+    "journal_progress",
     "long_latency_breakdown",
+    "merge_journals",
+    "records_from_journal",
     "register_sensitivity",
     "undetected_breakdown",
 ]

@@ -1,0 +1,106 @@
+"""Merge and report campaign results from engine trial journals.
+
+The engine's journal (:mod:`repro.engine.journal`) is the durable artifact a
+long campaign leaves behind — including one that is still running or was
+killed.  This module reads journals from the *analysis* side: recover the
+record sequence for reporting, merge the journals of a campaign split across
+machines, and summarize in-flight progress without touching the engine.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+
+from repro.engine.journal import read_state
+from repro.errors import JournalError
+from repro.faults.outcomes import TrialRecord
+
+__all__ = ["journal_progress", "merge_journals", "records_from_journal"]
+
+
+def records_from_journal(
+    path: str | Path, *, include_partial: bool = True
+) -> tuple[TrialRecord, ...]:
+    """Recover trial records from a journal, in serial (trial-index) order.
+
+    ``include_partial`` also yields trials journalled by shards that never
+    reached their completion marker — useful for peeking at a campaign that
+    is still running (or died); pass ``False`` for only durably completed
+    shards.  The result of a *finished* campaign equals the serial
+    campaign's record tuple.
+    """
+    state = read_state(path)
+    if state is None:
+        raise JournalError(f"{path}: no journal found")
+    by_trial: dict[int, TrialRecord] = {}
+    sources = list(state.completed.values())
+    if include_partial:
+        sources.extend(state.partial.values())
+    for trials in sources:
+        for t, record in trials:
+            by_trial[t] = record
+    return tuple(record for _, record in sorted(by_trial.items()))
+
+
+def merge_journals(paths: list[str | Path]) -> tuple[TrialRecord, ...]:
+    """Merge several journals of the *same* campaign into one record sequence.
+
+    Supports splitting a campaign across machines: each machine journals the
+    shards it ran; the union reconstructs the serial sequence.  All journals
+    must carry the same config digest — merging unrelated campaigns is a
+    :class:`JournalError`, and so is a trial recorded twice with diverging
+    shard ownership across files (records for the same trial index are
+    deduplicated, last file wins, matching resume semantics).
+    """
+    if not paths:
+        raise JournalError("no journals to merge")
+    digest: str | None = None
+    by_trial: dict[int, TrialRecord] = {}
+    for path in paths:
+        state = read_state(path)
+        if state is None:
+            raise JournalError(f"{path}: no journal found")
+        if digest is None:
+            digest = state.digest
+        elif state.digest != digest:
+            raise JournalError(
+                f"{path}: digest {state.digest} does not match {digest}; "
+                "these journals belong to different campaigns"
+            )
+        for trials in list(state.completed.values()) + list(state.partial.values()):
+            for t, record in trials:
+                by_trial[t] = record
+    return tuple(record for _, record in sorted(by_trial.items()))
+
+
+def journal_progress(path: str | Path) -> dict:
+    """Summarize a journal's progress and outcome mix (machine-readable).
+
+    Works on in-flight and dead journals alike; the engine does not need to
+    be running.  Keys: ``total_trials``, ``done_trials``, ``n_shards``,
+    ``completed_shards``, ``partial_trials``, ``fraction_done`` and
+    per-outcome counters under ``outcomes``.
+    """
+    state = read_state(path)
+    if state is None:
+        raise JournalError(f"{path}: no journal found")
+    detected: Counter[str] = Counter()
+    failure: Counter[str] = Counter()
+    for trials in state.completed.values():
+        for _, record in trials:
+            detected[record.detected_by.value] += 1
+            failure[record.failure_class.value] += 1
+    done = state.completed_trials
+    return {
+        "total_trials": state.total_trials,
+        "done_trials": done,
+        "n_shards": state.n_shards,
+        "completed_shards": sorted(state.completed_shards),
+        "partial_trials": sum(len(v) for v in state.partial.values()),
+        "fraction_done": done / state.total_trials if state.total_trials else 0.0,
+        "outcomes": {
+            "detected_by": dict(detected),
+            "failure_class": dict(failure),
+        },
+    }

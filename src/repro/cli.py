@@ -7,6 +7,7 @@ evaluation artifacts::
     repro-xentry rates [--mode pv|hvm]     # Fig. 3 activation-rate table
     repro-xentry train [--scale 3]         # Section III.B classifier pipeline
     repro-xentry campaign [--injections N] # Figs. 8-10 + Table II
+    repro-xentry campaign --jobs 4 --journal run.jsonl [--resume]
     repro-xentry overhead                  # Fig. 7 fault-free overhead
     repro-xentry recovery                  # Fig. 11 recovery-cost estimate
 
@@ -25,9 +26,13 @@ from repro.analysis import (
     LatencyStudy,
     PerfOverheadModel,
     coverage_by_benchmark,
+    journal_progress,
     long_latency_breakdown,
+    records_from_journal,
     undetected_breakdown,
 )
+from repro.engine import CampaignEngine, EngineTelemetry, stderr_progress
+from repro.engine.journal import JOURNAL_FORMAT
 from repro.faults import CampaignConfig, FaultInjectionCampaign
 from repro.hypervisor import ExitCategory, REGISTRY, XenHypervisor
 from repro.ml import compile_tree
@@ -109,25 +114,55 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_saved_records(path: str):
+    """Load records from either a ``save_records`` file or an engine journal."""
+    with open(path) as fh:
+        header = fh.readline()
+    if f'"{JOURNAL_FORMAT}"' in header:
+        progress = journal_progress(path)
+        print(f"journal: {progress['done_trials']}/{progress['total_trials']} "
+              f"trials durable ({progress['fraction_done']:.0%}), "
+              f"{len(progress['completed_shards'])}/{progress['n_shards']} shards")
+        return records_from_journal(path)
+    return load_records(path)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     t0 = time.time()
     if args.records_from:
-        return _report_records(load_records(args.records_from))
+        return _report_records(_load_saved_records(args.records_from))
+    if args.resume and not args.journal:
+        print("--resume requires --journal", file=sys.stderr)
+        return 2
     train, test = _train(args)
     model = train_and_evaluate(train, test, algorithm="random_tree", seed=3)
     print(f"detector: accuracy {model.accuracy:.1%}, "
           f"FP {model.false_positive_rate:.2%}")
     detector = VMTransitionDetector.from_classifier(model.classifier)
-    campaign = FaultInjectionCampaign(
-        CampaignConfig(n_injections=args.injections, seed=args.seed),
-        detector=detector,
-    )
+    config = CampaignConfig(n_injections=args.injections, seed=args.seed)
+    if args.jobs > 1 or args.journal:
+        telemetry = EngineTelemetry()
+        telemetry.subscribe(stderr_progress(telemetry))
+        engine = CampaignEngine(
+            config,
+            jobs=args.jobs,
+            n_shards=max(4, 2 * args.jobs),
+            detector=detector,
+            journal_path=args.journal,
+            telemetry=telemetry,
+        )
+        result = engine.run(resume=args.resume)
+        if args.journal:
+            print(f"journal at {args.journal} "
+                  f"(manifest: {args.journal}.manifest.json)")
+    else:
+        campaign = FaultInjectionCampaign(config, detector=detector)
 
-    def progress(done: int, total: int) -> None:
-        sys.stdout.write(f"\r{done}/{total} trials")
-        sys.stdout.flush()
+        def progress(done: int, total: int) -> None:
+            sys.stdout.write(f"\r{done}/{total} trials")
+            sys.stdout.flush()
 
-    result = campaign.run(progress=progress)
+        result = campaign.run(progress=progress)
     print(f"\n{len(result)} injections, {len(result.manifested)} manifested "
           f"({time.time() - t0:.0f}s)")
     if args.output:
@@ -209,7 +244,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", metavar="PATH",
                    help="write trial records as JSON lines")
     p.add_argument("--records-from", metavar="PATH",
-                   help="skip execution; re-analyze saved records")
+                   help="skip execution; re-analyze saved records or a journal")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the campaign engine "
+                        "(default: 1, serial; results are bit-identical)")
+    p.add_argument("--journal", metavar="PATH",
+                   help="journal finished shards to PATH (crash-safe JSONL)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from --journal, skipping completed shards")
     p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("overhead", help="Fig. 7 fault-free overhead", parents=[common])

@@ -1,0 +1,50 @@
+"""Campaign execution engine: parallel, resumable, observable.
+
+The subsystem that takes fault-injection campaigns from "a for-loop in one
+process" to paper-scale: a planner cuts a campaign into deterministic shards
+(:mod:`~repro.engine.planner`), a process pool fans them out
+(:mod:`~repro.engine.pool`), a crash-safe JSONL journal makes progress
+durable and resumable (:mod:`~repro.engine.journal`), and structured
+telemetry narrates throughput, ETA and outcomes
+(:mod:`~repro.engine.telemetry`).  Merged shard results are bit-identical to
+a serial :meth:`FaultInjectionCampaign.run` of the same root seed.
+"""
+
+from repro.engine.journal import JournalState, TrialJournal, read_state
+from repro.engine.planner import (
+    BenchmarkSlice,
+    CampaignPlan,
+    ShardPlan,
+    config_digest,
+    plan_campaign,
+)
+from repro.engine.pool import CampaignEngine, execute_shard
+from repro.engine.telemetry import (
+    CampaignFinished,
+    CampaignStarted,
+    EngineTelemetry,
+    ProgressSnapshot,
+    ShardFinished,
+    ShardStarted,
+    stderr_progress,
+)
+
+__all__ = [
+    "BenchmarkSlice",
+    "CampaignEngine",
+    "CampaignFinished",
+    "CampaignPlan",
+    "CampaignStarted",
+    "EngineTelemetry",
+    "JournalState",
+    "ProgressSnapshot",
+    "ShardFinished",
+    "ShardPlan",
+    "ShardStarted",
+    "TrialJournal",
+    "config_digest",
+    "execute_shard",
+    "plan_campaign",
+    "read_state",
+    "stderr_progress",
+]

@@ -1,0 +1,198 @@
+"""Crash-safe trial journal: durable campaign progress as JSON lines.
+
+The journal is the engine's write-ahead log.  Each completed shard is
+appended as one batch — its trial records followed by a ``shard_done``
+marker — and the file is fsync'd before the shard is considered durable.
+A campaign killed mid-flight therefore leaves a journal whose completed
+shards are fully recorded and whose in-flight shard is at worst a partial
+tail; on resume the engine skips every shard with a marker and re-runs the
+rest, so the merged result has no duplicated and no missing trials.
+
+Line kinds::
+
+    {"format": "xentry-journal-v1", "digest": ..., "n_shards": N, "total_trials": T}
+    {"kind": "trial", "shard": 3, "trial": 1287, "rec": {...}}     # one per trial
+    {"kind": "shard_done", "shard": 3, "n_trials": 96}             # durability marker
+
+A truncated final line (the crash case) is tolerated and ignored; a digest
+mismatch (journal from a different campaign) raises :class:`JournalError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import JournalError
+from repro.faults.outcomes import TrialRecord
+from repro.persist import _record_from_dict, _record_to_dict
+
+__all__ = ["JOURNAL_FORMAT", "JournalState", "TrialJournal", "read_state"]
+
+JOURNAL_FORMAT = "xentry-journal-v1"
+
+
+@dataclass
+class JournalState:
+    """Parsed contents of a journal file."""
+
+    digest: str
+    n_shards: int
+    total_trials: int
+    #: Completed shards: shard index -> [(global trial index, record), ...].
+    completed: dict[int, list[tuple[int, TrialRecord]]] = field(default_factory=dict)
+    #: Trials journalled for shards that never reached their marker.
+    partial: dict[int, list[tuple[int, TrialRecord]]] = field(default_factory=dict)
+
+    @property
+    def completed_shards(self) -> frozenset[int]:
+        """Indices of shards whose ``shard_done`` marker was written."""
+        return frozenset(self.completed)
+
+    @property
+    def completed_trials(self) -> int:
+        """Number of durably recorded trials."""
+        return sum(len(v) for v in self.completed.values())
+
+
+class TrialJournal:
+    """Append-per-shard journal bound to one campaign identity.
+
+    Open with :meth:`create` for a fresh campaign or :meth:`resume` to
+    continue one; both return a journal whose :meth:`append_shard` durably
+    records a finished shard.  Use :func:`read_state` to inspect a journal
+    without holding it open.
+    """
+
+    def __init__(self, path: str | Path, state: JournalState, *, _fh) -> None:
+        self.path = Path(path)
+        self.state = state
+        self._fh = _fh
+
+    # -- opening -------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, path: str | Path, *, digest: str, n_shards: int, total_trials: int
+    ) -> "TrialJournal":
+        """Start a fresh journal; refuses to clobber an existing one."""
+        path = Path(path)
+        if path.exists() and path.stat().st_size > 0:
+            raise JournalError(
+                f"{path}: journal already exists; resume it or remove the file"
+            )
+        fh = open(path, "a")
+        header = {
+            "format": JOURNAL_FORMAT,
+            "digest": digest,
+            "n_shards": n_shards,
+            "total_trials": total_trials,
+        }
+        fh.write(json.dumps(header) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+        state = JournalState(digest=digest, n_shards=n_shards, total_trials=total_trials)
+        return cls(path, state, _fh=fh)
+
+    @classmethod
+    def resume(cls, path: str | Path, *, digest: str) -> "TrialJournal":
+        """Reopen an existing journal, validating it belongs to ``digest``."""
+        state = read_state(path)
+        if state is None:
+            raise JournalError(f"{path}: no journal to resume")
+        if state.digest != digest:
+            raise JournalError(
+                f"{path}: journal belongs to a different campaign "
+                f"(digest {state.digest}, expected {digest})"
+            )
+        return cls(path, state, _fh=open(path, "a"))
+
+    # -- writing -------------------------------------------------------------
+
+    def append_shard(
+        self, shard_index: int, trials: list[tuple[int, TrialRecord]]
+    ) -> None:
+        """Durably record one finished shard (records + done marker + fsync)."""
+        if shard_index in self.state.completed:
+            raise JournalError(f"shard {shard_index} already journalled")
+        lines = [
+            json.dumps(
+                {"kind": "trial", "shard": shard_index, "trial": t,
+                 "rec": _record_to_dict(record)}
+            )
+            for t, record in trials
+        ]
+        lines.append(
+            json.dumps(
+                {"kind": "shard_done", "shard": shard_index, "n_trials": len(trials)}
+            )
+        )
+        self._fh.write("\n".join(lines) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.state.completed[shard_index] = list(trials)
+        self.state.partial.pop(shard_index, None)
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TrialJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_state(path: str | Path) -> JournalState | None:
+    """Parse a journal file; ``None`` when it is missing or empty.
+
+    Tolerates a truncated trailing line (crash mid-append); everything before
+    it parses normally.  Shards recorded more than once (a shard re-run after
+    an aborted resume) keep their latest complete recording.
+    """
+    path = Path(path)
+    if not path.exists() or path.stat().st_size == 0:
+        return None
+    with open(path) as fh:
+        try:
+            header = json.loads(fh.readline())
+        except json.JSONDecodeError as exc:
+            raise JournalError(f"{path}: unreadable journal header") from exc
+        if header.get("format") != JOURNAL_FORMAT:
+            raise JournalError(f"{path}: not a {JOURNAL_FORMAT} file")
+        state = JournalState(
+            digest=header["digest"],
+            n_shards=int(header["n_shards"]),
+            total_trials=int(header["total_trials"]),
+        )
+        pending: dict[int, list[tuple[int, TrialRecord]]] = {}
+        for line in fh:
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                break  # truncated tail from a crash: ignore it and stop
+            kind = entry.get("kind")
+            if kind == "trial":
+                pending.setdefault(entry["shard"], []).append(
+                    (entry["trial"], _record_from_dict(entry["rec"]))
+                )
+            elif kind == "shard_done":
+                shard = entry["shard"]
+                trials = pending.pop(shard, [])
+                if len(trials) != entry["n_trials"]:
+                    raise JournalError(
+                        f"{path}: shard {shard} marker says {entry['n_trials']} "
+                        f"trials, found {len(trials)}"
+                    )
+                state.completed[shard] = trials
+            else:
+                raise JournalError(f"{path}: unknown journal line kind {kind!r}")
+        state.partial = pending
+    return state

@@ -1,0 +1,247 @@
+"""The campaign engine: parallel, resumable, observable shard execution.
+
+:class:`CampaignEngine` turns a :class:`CampaignConfig` into a plan of
+deterministic shards (:mod:`repro.engine.planner`), fans them out over a
+``concurrent.futures`` process pool (or runs them inline when ``jobs=1``),
+journals every finished shard durably (:mod:`repro.engine.journal`), and
+narrates progress through :mod:`repro.engine.telemetry`.  The merged result
+is bit-identical to :meth:`FaultInjectionCampaign.run` with the same seed,
+and a campaign killed mid-flight resumes from its journal with completed
+shards skipped.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+
+from repro.engine.journal import TrialJournal, read_state
+from repro.engine.planner import CampaignPlan, ShardPlan, plan_campaign
+from repro.engine.telemetry import (
+    CampaignFinished,
+    CampaignStarted,
+    EngineTelemetry,
+    ShardFinished,
+    ShardStarted,
+)
+from repro.errors import EngineError, JournalError
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    run_benchmark_groups,
+)
+from repro.faults.injector import TransitionDetector
+from repro.faults.outcomes import TrialRecord
+from repro.hypervisor.xen import XenHypervisor
+
+__all__ = ["CampaignEngine", "execute_shard"]
+
+
+def execute_shard(
+    config: CampaignConfig,
+    shard: ShardPlan,
+    detector: TransitionDetector | None,
+) -> list[tuple[int, TrialRecord]]:
+    """Run every slice of ``shard`` and return ``(global trial index, record)``.
+
+    Module-level so a process pool can pickle it; workers rebuild their own
+    hypervisor from the config (bit-identical to the serial campaign's, which
+    resets to post-boot state before each benchmark anyway).
+    """
+    hv = XenHypervisor(n_domains=config.n_domains, seed=config.seed)
+    out: list[tuple[int, TrialRecord]] = []
+    for s in shard.slices:
+        records = run_benchmark_groups(
+            config, s.benchmark, s.group_start, s.group_stop,
+            hv=hv, detector=detector,
+        )
+        out.extend(enumerate(records, start=s.trial_start))
+    return out
+
+
+class CampaignEngine:
+    """Executes a fault-injection campaign as parallel, resumable shards.
+
+    Parameters
+    ----------
+    config:
+        The campaign to run; also defines the shard boundaries and digest.
+    jobs:
+        Worker processes.  ``1`` (default) runs shards inline in this
+        process — same results, no pool overhead.
+    n_shards:
+        Shard count; defaults to ``jobs`` (one chunk per worker).  More
+        shards mean finer resume granularity and better load balancing.
+    detector:
+        Optional VM-transition detector deployed during trials.  It is
+        pickled into each worker, so per-process traversal statistics stay
+        in the workers; trial records are unaffected (classification is a
+        pure function of the compiled rules).
+    journal_path:
+        Where to journal finished shards.  Required for ``resume=True``.
+        A run manifest is written next to it as ``<journal>.manifest.json``.
+    telemetry:
+        An :class:`EngineTelemetry` to narrate into; a fresh silent one is
+        created when omitted.
+    """
+
+    def __init__(
+        self,
+        config: CampaignConfig,
+        *,
+        jobs: int = 1,
+        n_shards: int | None = None,
+        detector: TransitionDetector | None = None,
+        journal_path: str | Path | None = None,
+        telemetry: EngineTelemetry | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise EngineError("jobs must be positive")
+        self.config = config
+        self.jobs = jobs
+        self.n_shards = n_shards if n_shards is not None else jobs
+        self.detector = detector
+        self.journal_path = Path(journal_path) if journal_path else None
+        self.telemetry = telemetry or EngineTelemetry()
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, *, resume: bool = False) -> CampaignResult:
+        """Execute (or finish) the campaign and return the merged result."""
+        if resume and self.journal_path is None:
+            raise EngineError("resume requires a journal_path")
+        plan = plan_campaign(self.config, self.n_shards)
+        journal: TrialJournal | None = None
+        if self.journal_path is not None:
+            journal = self._open_journal(plan, resume=resume)
+            if journal.state.n_shards != plan.n_shards:
+                # The journal's shard structure wins: resuming with a
+                # different --jobs must not reshuffle shard boundaries.
+                plan = plan_campaign(self.config, journal.state.n_shards)
+
+        done: dict[int, list[tuple[int, TrialRecord]]] = (
+            dict(journal.state.completed) if journal is not None else {}
+        )
+        pending = [s for s in plan.shards if s.index not in done]
+        self.telemetry.emit(
+            CampaignStarted(
+                total_trials=plan.total_trials,
+                n_shards=plan.n_shards,
+                jobs=self.jobs,
+                resumed_shards=len(done),
+            )
+        )
+        for index, trials in sorted(done.items()):
+            self.telemetry.record_outcomes(r for _, r in trials)
+            self.telemetry.emit(
+                ShardFinished(
+                    shard=index, n_trials=len(trials), elapsed=0.0, resumed=True
+                )
+            )
+        try:
+            if self.jobs == 1:
+                self._run_serial(pending, journal, done)
+            else:
+                self._run_pool(pending, journal, done)
+        finally:
+            if journal is not None:
+                journal.close()
+            if self.journal_path is not None:
+                self.telemetry.write_manifest(
+                    self.journal_path.with_name(self.journal_path.name + ".manifest.json")
+                )
+        result = self._merge(plan, done)
+        snap = self.telemetry.snapshot()
+        self.telemetry.emit(
+            CampaignFinished(
+                total_trials=plan.total_trials,
+                executed_trials=self.telemetry.executed_trials,
+                elapsed=snap.elapsed,
+                trials_per_sec=snap.trials_per_sec,
+            )
+        )
+        return result
+
+    def _open_journal(self, plan: CampaignPlan, *, resume: bool) -> TrialJournal:
+        existing = read_state(self.journal_path)
+        if existing is not None and not resume:
+            raise JournalError(
+                f"{self.journal_path}: journal exists; pass resume=True "
+                "(--resume) to continue it or remove the file"
+            )
+        if resume and existing is not None:
+            return TrialJournal.resume(self.journal_path, digest=plan.digest)
+        return TrialJournal.create(
+            self.journal_path,
+            digest=plan.digest,
+            n_shards=plan.n_shards,
+            total_trials=plan.total_trials,
+        )
+
+    def _finish_shard(
+        self,
+        shard: ShardPlan,
+        trials: list[tuple[int, TrialRecord]],
+        elapsed: float,
+        journal: TrialJournal | None,
+        done: dict[int, list[tuple[int, TrialRecord]]],
+    ) -> None:
+        if journal is not None:
+            journal.append_shard(shard.index, trials)
+        done[shard.index] = trials
+        self.telemetry.record_outcomes(r for _, r in trials)
+        self.telemetry.emit(
+            ShardFinished(shard=shard.index, n_trials=len(trials), elapsed=elapsed)
+        )
+
+    def _run_serial(self, pending, journal, done) -> None:
+        for shard in pending:
+            self.telemetry.emit(ShardStarted(shard=shard.index, n_trials=shard.n_trials))
+            t0 = time.perf_counter()
+            trials = execute_shard(self.config, shard, self.detector)
+            self._finish_shard(shard, trials, time.perf_counter() - t0, journal, done)
+
+    def _run_pool(self, pending, journal, done) -> None:
+        if not pending:
+            return
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
+            started = {}
+            futures = {}
+            for shard in pending:
+                self.telemetry.emit(
+                    ShardStarted(shard=shard.index, n_trials=shard.n_trials)
+                )
+                started[shard.index] = time.perf_counter()
+                futures[
+                    pool.submit(execute_shard, self.config, shard, self.detector)
+                ] = shard
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    shard = futures[future]
+                    trials = future.result()  # propagate worker failures
+                    self._finish_shard(
+                        shard,
+                        trials,
+                        time.perf_counter() - started[shard.index],
+                        journal,
+                        done,
+                    )
+
+    def _merge(self, plan: CampaignPlan, done) -> CampaignResult:
+        by_trial: dict[int, TrialRecord] = {}
+        for trials in done.values():
+            for t, record in trials:
+                if t in by_trial:
+                    raise EngineError(f"trial {t} recorded by more than one shard")
+                by_trial[t] = record
+        if len(by_trial) != plan.total_trials:
+            missing = sorted(set(range(plan.total_trials)) - set(by_trial))[:5]
+            raise EngineError(
+                f"merge incomplete: {len(by_trial)}/{plan.total_trials} trials "
+                f"(first missing: {missing})"
+            )
+        records = tuple(by_trial[t] for t in range(plan.total_trials))
+        return CampaignResult(config=self.config, records=records)

@@ -1,0 +1,227 @@
+"""Structured campaign telemetry: events, throughput, ETA, run manifest.
+
+The engine narrates a run as a stream of typed events.  Consumers attach
+callbacks (``telemetry.subscribe``) — a progress line on stderr, a test
+capturing the sequence, a dashboard exporter — while the telemetry object
+itself aggregates everything needed for observability: per-outcome counters,
+trials/sec throughput, an ETA, and a machine-readable *run manifest* that can
+be written next to the journal for post-hoc tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from collections import Counter
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.faults.outcomes import TrialRecord
+
+__all__ = [
+    "CampaignFinished",
+    "CampaignStarted",
+    "EngineTelemetry",
+    "ProgressSnapshot",
+    "ShardFinished",
+    "ShardStarted",
+    "stderr_progress",
+]
+
+MANIFEST_FORMAT = "xentry-manifest-v1"
+
+
+@dataclass(frozen=True)
+class CampaignStarted:
+    """Emitted once before any shard runs."""
+
+    total_trials: int
+    n_shards: int
+    jobs: int
+    #: Shards already satisfied from the journal on a resumed run.
+    resumed_shards: int = 0
+
+
+@dataclass(frozen=True)
+class ShardStarted:
+    """A shard was handed to a worker."""
+
+    shard: int
+    n_trials: int
+
+
+@dataclass(frozen=True)
+class ShardFinished:
+    """A shard's records are durable (journalled when a journal is attached)."""
+
+    shard: int
+    n_trials: int
+    elapsed: float
+    #: True when the shard was satisfied from the journal instead of re-run.
+    resumed: bool = False
+
+
+@dataclass(frozen=True)
+class CampaignFinished:
+    """Emitted after the merge; the run's headline numbers."""
+
+    total_trials: int
+    executed_trials: int
+    elapsed: float
+    trials_per_sec: float
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    """Point-in-time view of a running campaign."""
+
+    done_trials: int
+    total_trials: int
+    done_shards: int
+    n_shards: int
+    elapsed: float
+    trials_per_sec: float
+    eta_seconds: float | None
+
+    def line(self) -> str:
+        """Render the one-line human progress string."""
+        eta = f", eta {self.eta_seconds:4.0f}s" if self.eta_seconds is not None else ""
+        return (
+            f"[engine] {self.done_trials}/{self.total_trials} trials "
+            f"({self.done_shards}/{self.n_shards} shards, "
+            f"{self.trials_per_sec:7.1f} trials/s{eta})"
+        )
+
+
+Event = CampaignStarted | ShardStarted | ShardFinished | CampaignFinished
+
+
+class EngineTelemetry:
+    """Aggregates engine events into counters, throughput and a manifest.
+
+    ``clock`` is injectable so tests can assert on throughput and ETA
+    without real sleeps.
+    """
+
+    def __init__(self, *, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._callbacks: list[Callable[[Event], None]] = []
+        self._start: float | None = None
+        self.total_trials = 0
+        self.n_shards = 0
+        self.jobs = 1
+        self.done_trials = 0
+        self.executed_trials = 0
+        self.done_shards = 0
+        self.detected_by: Counter[str] = Counter()
+        self.failure_class: Counter[str] = Counter()
+        self.shard_log: list[ShardFinished] = []
+
+    # -- event plumbing ------------------------------------------------------
+
+    def subscribe(self, callback: Callable[[Event], None]) -> None:
+        """Register a callback invoked for every emitted event."""
+        self._callbacks.append(callback)
+
+    def emit(self, event: Event) -> None:
+        """Fold ``event`` into the aggregates, then fan out to subscribers."""
+        if isinstance(event, CampaignStarted):
+            self._start = self._clock()
+            self.total_trials = event.total_trials
+            self.n_shards = event.n_shards
+            self.jobs = event.jobs
+        elif isinstance(event, ShardFinished):
+            self.done_shards += 1
+            self.done_trials += event.n_trials
+            if not event.resumed:
+                self.executed_trials += event.n_trials
+            self.shard_log.append(event)
+        for callback in self._callbacks:
+            callback(event)
+
+    def record_outcomes(self, records: Iterable[TrialRecord]) -> None:
+        """Fold per-trial outcome counters (detection technique, consequence)."""
+        for record in records:
+            self.detected_by[record.detected_by.value] += 1
+            self.failure_class[record.failure_class.value] += 1
+
+    # -- derived views -------------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock seconds since :class:`CampaignStarted`."""
+        if self._start is None:
+            return 0.0
+        return self._clock() - self._start
+
+    def snapshot(self) -> ProgressSnapshot:
+        """Current progress, throughput and ETA."""
+        elapsed = self.elapsed
+        # Throughput counts only trials actually executed this run, so a
+        # resume that instantly satisfies 90% of the campaign from the
+        # journal does not report a fantasy trials/sec.
+        rate = self.executed_trials / elapsed if elapsed > 0 else 0.0
+        remaining = self.total_trials - self.done_trials
+        eta = remaining / rate if rate > 0 else None
+        return ProgressSnapshot(
+            done_trials=self.done_trials,
+            total_trials=self.total_trials,
+            done_shards=self.done_shards,
+            n_shards=self.n_shards,
+            elapsed=elapsed,
+            trials_per_sec=rate,
+            eta_seconds=eta,
+        )
+
+    def manifest(self) -> dict:
+        """Machine-readable run summary (the observability artifact)."""
+        snap = self.snapshot()
+        return {
+            "format": MANIFEST_FORMAT,
+            "total_trials": self.total_trials,
+            "done_trials": self.done_trials,
+            "executed_trials": self.executed_trials,
+            "n_shards": self.n_shards,
+            "done_shards": self.done_shards,
+            "jobs": self.jobs,
+            "elapsed_seconds": snap.elapsed,
+            "trials_per_sec": snap.trials_per_sec,
+            "outcomes": {
+                "detected_by": dict(self.detected_by),
+                "failure_class": dict(self.failure_class),
+            },
+            "shards": [
+                {
+                    "shard": s.shard,
+                    "n_trials": s.n_trials,
+                    "elapsed_seconds": s.elapsed,
+                    "resumed": s.resumed,
+                }
+                for s in self.shard_log
+            ],
+        }
+
+    def write_manifest(self, path: str | Path) -> None:
+        """Write :meth:`manifest` as JSON."""
+        Path(path).write_text(json.dumps(self.manifest(), indent=1))
+
+
+def stderr_progress(telemetry: EngineTelemetry, *, stream=None) -> Callable[[Event], None]:
+    """Subscriber that keeps a single ``\\r``-rewritten progress line on stderr."""
+    out = stream if stream is not None else sys.stderr
+
+    def _callback(event: Event) -> None:
+        if isinstance(event, (ShardStarted, ShardFinished)):
+            out.write("\r" + telemetry.snapshot().line())
+            out.flush()
+        elif isinstance(event, CampaignFinished):
+            out.write(
+                f"\r[engine] done: {event.executed_trials} trials executed "
+                f"({event.total_trials} total) in {event.elapsed:.1f}s "
+                f"({event.trials_per_sec:.1f} trials/s)\n"
+            )
+            out.flush()
+
+    return _callback

@@ -44,6 +44,14 @@ class NotFittedError(ReproError):
     """A classifier was used before :meth:`fit` was called."""
 
 
+class EngineError(ReproError):
+    """Invalid campaign-engine state (shard mismatch, incomplete merge)."""
+
+
+class JournalError(EngineError):
+    """Malformed or mismatched trial journal (wrong campaign, bad format)."""
+
+
 class SimulationEvent(Exception):
     """Base class for simulated architectural events.
 

@@ -24,7 +24,14 @@ from repro.workloads.base import VirtMode
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.suite import BENCHMARK_NAMES, get_profile
 
-__all__ = ["CampaignConfig", "CampaignResult", "FaultInjectionCampaign"]
+__all__ = [
+    "BenchmarkGeometry",
+    "CampaignConfig",
+    "CampaignResult",
+    "FaultInjectionCampaign",
+    "benchmark_geometry",
+    "run_benchmark_groups",
+]
 
 
 @dataclass(frozen=True)
@@ -83,6 +90,115 @@ class CampaignResult:
         return tuple(r for r in self.records if r.benchmark == name)
 
 
+@dataclass(frozen=True)
+class BenchmarkGeometry:
+    """Trial-loop shape shared by serial runs and sharded engine slices.
+
+    Every number a shard planner or a worker needs to agree with the serial
+    trial loop lives here; both sides derive it from the config alone so the
+    group boundaries (and hence the fault streams) always line up.
+    """
+
+    #: Trials executed for each benchmark of the campaign.
+    per_benchmark: int
+    #: Golden runs per benchmark (each amortized over ``injections_per_golden``).
+    n_goldens: int
+    #: Activations consumed per golden group (1 injected + follow-ups).
+    stride: int
+    #: Trials sharing one golden run (the last group of a benchmark may be short).
+    injections_per_golden: int
+
+    def group_trials(self, group: int) -> int:
+        """Number of trials in golden group ``group`` (the last may be short)."""
+        if not 0 <= group < self.n_goldens:
+            raise CampaignConfigError(f"group {group} outside [0, {self.n_goldens})")
+        return min(
+            self.injections_per_golden,
+            self.per_benchmark - group * self.injections_per_golden,
+        )
+
+
+def benchmark_geometry(config: CampaignConfig) -> BenchmarkGeometry:
+    """Compute the per-benchmark trial-loop geometry for ``config``."""
+    per_benchmark = max(1, config.n_injections // len(config.benchmarks))
+    n_goldens = -(-per_benchmark // config.injections_per_golden)
+    return BenchmarkGeometry(
+        per_benchmark=per_benchmark,
+        n_goldens=n_goldens,
+        stride=1 + config.followup_activations,
+        injections_per_golden=config.injections_per_golden,
+    )
+
+
+def run_benchmark_groups(
+    config: CampaignConfig,
+    benchmark: str,
+    group_start: int,
+    group_stop: int,
+    *,
+    hv: XenHypervisor | None = None,
+    detector: TransitionDetector | None = None,
+    on_record: Callable[[TrialRecord], None] | None = None,
+) -> list[TrialRecord]:
+    """Execute golden groups ``[group_start, group_stop)`` of one benchmark.
+
+    This is the engine-drivable unit of work: the serial campaign runs every
+    group of every benchmark through it, and a sharded engine runs disjoint
+    group ranges in separate processes.  Each fault stream is derived from
+    ``(seed, benchmark, mode, group)``, so any contiguous slice reproduces
+    exactly the trials the serial run would produce for those groups —
+    merged shards are bit-identical to a serial run of the same root seed.
+    """
+    geo = benchmark_geometry(config)
+    if not 0 <= group_start <= group_stop <= geo.n_goldens:
+        raise CampaignConfigError(
+            f"group range [{group_start}, {group_stop}) outside "
+            f"[0, {geo.n_goldens}] for benchmark {benchmark!r}"
+        )
+    if hv is None:
+        hv = XenHypervisor(n_domains=config.n_domains, seed=config.seed)
+    generator = WorkloadGenerator(
+        get_profile(benchmark), config.mode,
+        seed=rng_mod.derive_seed(config.seed, "campaign", benchmark),
+        n_domains=config.n_domains,
+    )
+    # Age the platform state with a short activation burst.
+    hv.reset()
+    for act in generator.activations(config.warmup_activations, stream="warmup"):
+        hv.execute(act)
+    aged_state = hv.checkpoint()
+    # The activation stream is one bulk draw; regenerating it in full keeps
+    # every slice's view of group g identical to the serial run's.
+    stream = generator.activations(geo.n_goldens * geo.stride)
+    records: list[TrialRecord] = []
+    for g in range(group_start, group_stop):
+        batch = geo.group_trials(g)
+        if batch <= 0:
+            break
+        activation = stream[g * geo.stride]
+        followups = tuple(stream[g * geo.stride + 1 : (g + 1) * geo.stride])
+        hv.restore(aged_state)
+        golden = capture_golden(hv, activation, followups)
+        fault_rng = rng_mod.stream(
+            config.seed, "faults", benchmark, config.mode.value, g
+        )
+        for _ in range(batch):
+            fault = config.fault_model.sample(fault_rng, golden.result.instructions)
+            record = run_trial(
+                hv,
+                activation,
+                fault,
+                detector=detector,
+                golden=golden,
+                benchmark=benchmark,
+                followups=followups,
+            )
+            records.append(record)
+            if on_record is not None:
+                on_record(record)
+    return records
+
+
 class FaultInjectionCampaign:
     """Runs golden/faulty trial pairs across the benchmark suite."""
 
@@ -102,51 +218,22 @@ class FaultInjectionCampaign:
     def run(self, *, progress: Callable[[int, int], None] | None = None) -> CampaignResult:
         """Execute the campaign; deterministic in the config seed."""
         cfg = self.config
-        per_benchmark = max(1, cfg.n_injections // len(cfg.benchmarks))
+        geo = benchmark_geometry(cfg)
         records: list[TrialRecord] = []
-        total = per_benchmark * len(cfg.benchmarks)
+        total = geo.per_benchmark * len(cfg.benchmarks)
         done = 0
+
+        def tick(_record: TrialRecord) -> None:
+            nonlocal done
+            done += 1
+            if progress is not None and done % 250 == 0:
+                progress(done, total)
+
         for benchmark in cfg.benchmarks:
-            generator = WorkloadGenerator(
-                get_profile(benchmark), cfg.mode,
-                seed=rng_mod.derive_seed(cfg.seed, "campaign", benchmark),
-                n_domains=cfg.n_domains,
+            records.extend(
+                run_benchmark_groups(
+                    cfg, benchmark, 0, geo.n_goldens,
+                    hv=self.hv, detector=self.detector, on_record=tick,
+                )
             )
-            fault_rng = rng_mod.stream(cfg.seed, "faults", benchmark, cfg.mode.value)
-            # Age the platform state with a short activation burst.
-            self.hv.reset()
-            for act in generator.activations(cfg.warmup_activations, stream="warmup"):
-                self.hv.execute(act)
-            aged_state = self.hv.checkpoint()
-            n_goldens = -(-per_benchmark // cfg.injections_per_golden)
-            stride = 1 + cfg.followup_activations
-            stream = generator.activations(n_goldens * stride)
-            remaining = per_benchmark
-            for g in range(n_goldens):
-                if remaining <= 0:
-                    break
-                activation = stream[g * stride]
-                followups = tuple(stream[g * stride + 1 : (g + 1) * stride])
-                self.hv.restore(aged_state)
-                golden = capture_golden(self.hv, activation, followups)
-                batch = min(cfg.injections_per_golden, remaining)
-                for _ in range(batch):
-                    fault = cfg.fault_model.sample(
-                        fault_rng, golden.result.instructions
-                    )
-                    records.append(
-                        run_trial(
-                            self.hv,
-                            activation,
-                            fault,
-                            detector=self.detector,
-                            golden=golden,
-                            benchmark=benchmark,
-                            followups=followups,
-                        )
-                    )
-                    done += 1
-                    if progress is not None and done % 250 == 0:
-                        progress(done, total)
-                remaining -= batch
         return CampaignResult(config=cfg, records=tuple(records))

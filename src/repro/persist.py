@@ -14,6 +14,8 @@ system, and each gets a stable on-disk format:
 from __future__ import annotations
 
 import json
+import os
+from collections.abc import Iterable, Iterator
 from pathlib import Path
 
 import numpy as np
@@ -34,6 +36,8 @@ __all__ = [
     "load_rules",
     "save_records",
     "load_records",
+    "append_records_jsonl",
+    "iter_records_jsonl",
     "save_dataset",
     "load_dataset",
 ]
@@ -132,6 +136,39 @@ def load_records(path: str | Path) -> tuple[TrialRecord, ...]:
             "(truncated file?)"
         )
     return records
+
+
+def append_records_jsonl(
+    records: Iterable[TrialRecord], path: str | Path, *, fsync: bool = False
+) -> int:
+    """Append trial records to a headerless JSONL stream; returns the count.
+
+    The streaming companion to :func:`save_records`: multi-hour campaigns
+    (and the engine's shard workers) can flush batches incrementally instead
+    of holding every record in memory for one final write.  ``fsync=True``
+    makes the batch durable before returning (the engine journals this way).
+    """
+    count = 0
+    with open(path, "a") as fh:
+        for record in records:
+            fh.write(json.dumps(_record_to_dict(record)) + "\n")
+            count += 1
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())
+    return count
+
+
+def iter_records_jsonl(path: str | Path) -> Iterator[TrialRecord]:
+    """Stream trial records from a file written by :func:`append_records_jsonl`.
+
+    Yields records one at a time (constant memory); blank lines are skipped
+    so concatenated batch files parse cleanly.
+    """
+    with open(path) as fh:
+        for line in fh:
+            if line.strip():
+                yield _record_from_dict(json.loads(line))
 
 
 # -- datasets ----------------------------------------------------------------------

@@ -1,0 +1,1 @@
+"""Campaign execution engine tests."""

@@ -1,0 +1,110 @@
+"""Trial journal: durability, crash tolerance, campaign identity."""
+
+import json
+
+import pytest
+
+from repro.engine.journal import TrialJournal, read_state
+from repro.errors import JournalError
+from repro.faults import CampaignConfig, FaultInjectionCampaign
+
+
+@pytest.fixture(scope="module")
+def records():
+    cfg = CampaignConfig(benchmarks=("mcf",), n_injections=24, seed=6)
+    return FaultInjectionCampaign(cfg).run().records
+
+
+def indexed(records, start=0):
+    return list(enumerate(records, start=start))
+
+
+class TestRoundTrip:
+    def test_append_and_read_back(self, tmp_path, records):
+        path = tmp_path / "j.jsonl"
+        with TrialJournal.create(path, digest="d1", n_shards=2, total_trials=24) as j:
+            j.append_shard(0, indexed(records[:12]))
+            j.append_shard(1, indexed(records[12:], start=12))
+        state = read_state(path)
+        assert state.completed_shards == {0, 1}
+        assert state.completed_trials == 24
+        merged = [r for i in (0, 1) for _, r in state.completed[i]]
+        assert tuple(merged) == records
+
+    def test_missing_or_empty_is_none(self, tmp_path):
+        assert read_state(tmp_path / "absent.jsonl") is None
+        empty = tmp_path / "empty.jsonl"
+        empty.touch()
+        assert read_state(empty) is None
+
+    def test_double_append_rejected(self, tmp_path, records):
+        path = tmp_path / "j.jsonl"
+        with TrialJournal.create(path, digest="d1", n_shards=1, total_trials=12) as j:
+            j.append_shard(0, indexed(records[:12]))
+            with pytest.raises(JournalError, match="already journalled"):
+                j.append_shard(0, indexed(records[:12]))
+
+
+class TestCrashSafety:
+    def test_partial_shard_is_not_completed(self, tmp_path, records):
+        path = tmp_path / "j.jsonl"
+        with TrialJournal.create(path, digest="d1", n_shards=2, total_trials=24) as j:
+            j.append_shard(0, indexed(records[:12]))
+        # Simulate a kill mid-shard-1: trial lines, no shard_done marker.
+        with open(path, "a") as fh:
+            fh.write(json.dumps({"kind": "trial", "shard": 1, "trial": 12,
+                                 "rec": {"bogus": True}})[: 40])  # torn write
+        state = read_state(path)
+        assert state.completed_shards == {0}
+        assert 1 not in state.partial  # torn tail ignored entirely
+
+    def test_intact_partial_trials_surface_as_partial(self, tmp_path, records):
+        path = tmp_path / "j.jsonl"
+        with TrialJournal.create(path, digest="d1", n_shards=2, total_trials=24) as j:
+            j.append_shard(0, indexed(records[:12]))
+        from repro.persist import _record_to_dict
+
+        with open(path, "a") as fh:
+            fh.write(json.dumps({"kind": "trial", "shard": 1, "trial": 12,
+                                 "rec": _record_to_dict(records[12])}) + "\n")
+        state = read_state(path)
+        assert state.completed_shards == {0}
+        assert [t for t, _ in state.partial[1]] == [12]
+        assert state.partial[1][0][1] == records[12]
+
+    def test_marker_count_mismatch_is_corruption(self, tmp_path, records):
+        path = tmp_path / "j.jsonl"
+        with TrialJournal.create(path, digest="d1", n_shards=1, total_trials=12) as j:
+            j.append_shard(0, indexed(records[:12]))
+        lines = path.read_text().splitlines()
+        del lines[3]  # drop one trial line but keep the marker
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="marker says"):
+            read_state(path)
+
+
+class TestIdentity:
+    def test_create_refuses_existing(self, tmp_path, records):
+        path = tmp_path / "j.jsonl"
+        TrialJournal.create(path, digest="d1", n_shards=1, total_trials=1).close()
+        with pytest.raises(JournalError, match="already exists"):
+            TrialJournal.create(path, digest="d1", n_shards=1, total_trials=1)
+
+    def test_resume_validates_digest(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        TrialJournal.create(path, digest="d1", n_shards=1, total_trials=1).close()
+        with pytest.raises(JournalError, match="different campaign"):
+            TrialJournal.resume(path, digest="d2")
+        j = TrialJournal.resume(path, digest="d1")
+        assert j.state.completed == {}
+        j.close()
+
+    def test_resume_missing_journal(self, tmp_path):
+        with pytest.raises(JournalError, match="no journal"):
+            TrialJournal.resume(tmp_path / "absent.jsonl", digest="d1")
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json.dumps({"format": "something-else"}) + "\n")
+        with pytest.raises(JournalError, match="not a"):
+            read_state(path)

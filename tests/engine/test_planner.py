@@ -1,0 +1,93 @@
+"""Shard planning: exact coverage, contiguity, and campaign identity."""
+
+import pytest
+
+from repro.engine import plan_campaign
+from repro.engine.planner import config_digest
+from repro.errors import CampaignConfigError
+from repro.faults import CampaignConfig, FaultModel
+from repro.faults.campaign import benchmark_geometry
+
+
+def small_config(**kw):
+    defaults = dict(benchmarks=("mcf", "postmark"), n_injections=60, seed=9)
+    defaults.update(kw)
+    return CampaignConfig(**defaults)
+
+
+class TestPlan:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 4, 7])
+    def test_shards_cover_all_trials_exactly_once(self, n_shards):
+        cfg = small_config()
+        plan = plan_campaign(cfg, n_shards)
+        geo = benchmark_geometry(cfg)
+        expected_total = geo.per_benchmark * len(cfg.benchmarks)
+        assert plan.total_trials == expected_total
+        covered = []
+        for shard in plan.shards:
+            for s in shard.slices:
+                covered.extend(range(s.trial_start, s.trial_start + s.n_trials))
+        assert sorted(covered) == list(range(expected_total))
+        assert covered == sorted(covered)  # serial order across shards
+
+    def test_slice_trial_counts_match_geometry(self):
+        cfg = small_config(n_injections=50)  # 25/benchmark, last group short
+        geo = benchmark_geometry(cfg)
+        plan = plan_campaign(cfg, 3)
+        for shard in plan.shards:
+            for s in shard.slices:
+                assert s.n_trials == sum(
+                    geo.group_trials(g) for g in range(s.group_start, s.group_stop)
+                )
+
+    def test_one_shard_is_whole_campaign(self):
+        cfg = small_config()
+        plan = plan_campaign(cfg, 1)
+        assert plan.n_shards == 1
+        assert plan.shards[0].n_trials == plan.total_trials
+        # One slice per benchmark, spanning all its groups.
+        geo = benchmark_geometry(cfg)
+        assert [
+            (s.benchmark, s.group_start, s.group_stop)
+            for s in plan.shards[0].slices
+        ] == [(b, 0, geo.n_goldens) for b in cfg.benchmarks]
+
+    def test_shard_count_clamped_to_golden_groups(self):
+        cfg = small_config(n_injections=8, injections_per_golden=4)
+        plan = plan_campaign(cfg, 64)
+        geo = benchmark_geometry(cfg)
+        assert plan.n_shards == geo.n_goldens * len(cfg.benchmarks)
+        assert all(s.n_trials > 0 for s in plan.shards)
+
+    def test_balanced_within_one_group(self):
+        cfg = small_config(n_injections=240)
+        plan = plan_campaign(cfg, 4)
+        sizes = [s.n_trials for s in plan.shards]
+        assert max(sizes) - min(sizes) <= cfg.injections_per_golden
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(CampaignConfigError):
+            plan_campaign(small_config(), 0)
+
+
+class TestDigest:
+    def test_digest_is_stable(self):
+        assert config_digest(small_config()) == config_digest(small_config())
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"seed": 10},
+            {"n_injections": 61},
+            {"benchmarks": ("mcf",)},
+            {"injections_per_golden": 5},
+            {"followup_activations": 2},
+            {"fault_model": FaultModel(registers=("rip",))},
+        ],
+    )
+    def test_digest_tracks_trial_shaping_fields(self, change):
+        assert config_digest(small_config()) != config_digest(small_config(**change))
+
+    def test_digest_independent_of_shard_count(self):
+        cfg = small_config()
+        assert plan_campaign(cfg, 2).digest == plan_campaign(cfg, 5).digest

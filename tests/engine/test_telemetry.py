@@ -1,0 +1,104 @@
+"""Telemetry: counters, throughput, ETA, progress line, manifest."""
+
+import io
+import json
+
+from repro.engine import (
+    CampaignFinished,
+    CampaignStarted,
+    EngineTelemetry,
+    ShardFinished,
+    ShardStarted,
+    stderr_progress,
+)
+from repro.faults import CampaignConfig, FaultInjectionCampaign
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def drive(telemetry, clock):
+    telemetry.emit(CampaignStarted(total_trials=100, n_shards=4, jobs=2))
+    telemetry.emit(ShardStarted(shard=0, n_trials=25))
+    clock.now += 5.0
+    telemetry.emit(ShardFinished(shard=0, n_trials=25, elapsed=5.0))
+
+
+class TestAggregation:
+    def test_throughput_and_eta(self):
+        clock = FakeClock()
+        t = EngineTelemetry(clock=clock)
+        drive(t, clock)
+        snap = t.snapshot()
+        assert snap.done_trials == 25 and snap.total_trials == 100
+        assert snap.trials_per_sec == 25 / 5.0
+        assert snap.eta_seconds == 75 / 5.0
+        assert "25/100 trials" in snap.line()
+
+    def test_resumed_shards_do_not_inflate_throughput(self):
+        clock = FakeClock()
+        t = EngineTelemetry(clock=clock)
+        t.emit(CampaignStarted(total_trials=100, n_shards=4, jobs=1, resumed_shards=2))
+        t.emit(ShardFinished(shard=0, n_trials=50, elapsed=0.0, resumed=True))
+        clock.now += 10.0
+        t.emit(ShardFinished(shard=1, n_trials=25, elapsed=10.0))
+        snap = t.snapshot()
+        assert snap.done_trials == 75
+        assert t.executed_trials == 25
+        assert snap.trials_per_sec == 2.5
+        assert snap.eta_seconds == 25 / 2.5
+
+    def test_outcome_counters(self):
+        cfg = CampaignConfig(benchmarks=("mcf",), n_injections=20, seed=6)
+        records = FaultInjectionCampaign(cfg).run().records
+        t = EngineTelemetry()
+        t.record_outcomes(records)
+        assert sum(t.detected_by.values()) == 20
+        assert sum(t.failure_class.values()) == 20
+
+    def test_subscribers_see_every_event(self):
+        clock = FakeClock()
+        t = EngineTelemetry(clock=clock)
+        seen = []
+        t.subscribe(seen.append)
+        drive(t, clock)
+        assert [type(e).__name__ for e in seen] == [
+            "CampaignStarted", "ShardStarted", "ShardFinished",
+        ]
+
+
+class TestManifest:
+    def test_manifest_shape(self, tmp_path):
+        clock = FakeClock()
+        t = EngineTelemetry(clock=clock)
+        drive(t, clock)
+        path = tmp_path / "manifest.json"
+        t.write_manifest(path)
+        manifest = json.loads(path.read_text())
+        assert manifest["format"] == "xentry-manifest-v1"
+        assert manifest["total_trials"] == 100
+        assert manifest["done_trials"] == 25
+        assert manifest["jobs"] == 2
+        assert manifest["shards"] == [
+            {"shard": 0, "n_trials": 25, "elapsed_seconds": 5.0, "resumed": False}
+        ]
+
+
+class TestProgressLine:
+    def test_stderr_progress_writes_and_finishes(self):
+        clock = FakeClock()
+        t = EngineTelemetry(clock=clock)
+        out = io.StringIO()
+        t.subscribe(stderr_progress(t, stream=out))
+        drive(t, clock)
+        t.emit(CampaignFinished(total_trials=100, executed_trials=25,
+                                elapsed=5.0, trials_per_sec=5.0))
+        text = out.getvalue()
+        assert "\r" in text
+        assert "25/100 trials" in text
+        assert text.endswith("(5.0 trials/s)\n")

@@ -17,11 +17,19 @@ class TestParser:
             ["rates", "--mode", "pv", "--seconds", "10"],
             ["train", "--scale", "0.05"],
             ["campaign", "--injections", "100"],
+            ["campaign", "--injections", "100", "--jobs", "4",
+             "--journal", "j.jsonl", "--resume"],
             ["overhead"],
             ["recovery", "--seed", "9"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
+
+    def test_campaign_defaults_preserve_serial_behaviour(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.jobs == 1
+        assert args.journal is None
+        assert args.resume is False
 
 
 class TestExecution:
@@ -63,6 +71,37 @@ class TestExecution:
         assert "Fig. 8" in second
         # Re-analysis reproduces the same coverage rows.
         assert first.split("Fig. 8")[1] == second.split("Fig. 8")[1]
+
+    def test_campaign_engine_jobs_matches_serial(self, capsys, tmp_path):
+        """--jobs 2 through the CLI reports identical figures to serial."""
+        argv = ["campaign", "--injections", "80", "--scale", "0.03", "--seed", "2"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        pooled = capsys.readouterr().out
+        assert serial.split("Fig. 8")[1] == pooled.split("Fig. 8")[1]
+
+    def test_campaign_journal_and_resume(self, capsys, tmp_path):
+        """A journalled campaign resumes (fully satisfied from the journal)
+        and the journal re-analyzes like a records file."""
+        journal = str(tmp_path / "trials.jsonl")
+        argv = ["campaign", "--injections", "80", "--scale", "0.03",
+                "--seed", "2", "--journal", journal]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "journal at" in first
+        assert (tmp_path / "trials.jsonl.manifest.json").exists()
+        assert main(argv + ["--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert first.split("Fig. 8")[1] == resumed.split("Fig. 8")[1]
+        assert main(["campaign", "--records-from", journal]) == 0
+        reread = capsys.readouterr().out
+        assert "trials durable (100%)" in reread
+        assert first.split("Fig. 8")[1] == reread.split("Fig. 8")[1]
+
+    def test_campaign_resume_requires_journal(self, capsys):
+        assert main(["campaign", "--resume"]) == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
 
     def test_train_saves_deployable_rules(self, capsys, tmp_path):
         path = str(tmp_path / "rules.json")

@@ -7,8 +7,17 @@ import pytest
 
 from repro.errors import DatasetError
 from repro.faults import CampaignConfig, FaultInjectionCampaign
+from repro.faults.outcomes import (
+    DetectionTechnique,
+    FailureClass,
+    FaultSpec,
+    TrialRecord,
+    UndetectedKind,
+)
 from repro.ml import Dataset, DecisionTreeClassifier, compile_tree
 from repro.persist import (
+    append_records_jsonl,
+    iter_records_jsonl,
     load_dataset,
     load_records,
     load_rules,
@@ -76,6 +85,77 @@ class TestRecords:
             coverage_by_technique(reloaded).coverage
             == coverage_by_technique(records).coverage
         )
+
+
+class TestJsonlStreaming:
+    """Append-safe JSONL: the streaming substrate under the engine journal."""
+
+    @pytest.fixture(scope="class")
+    def records(self):
+        cfg = CampaignConfig(benchmarks=("mcf",), n_injections=40, seed=6)
+        return FaultInjectionCampaign(cfg).run().records
+
+    def test_appends_accumulate(self, tmp_path, records):
+        path = tmp_path / "stream.jsonl"
+        assert append_records_jsonl(records[:15], path) == 15
+        assert append_records_jsonl(records[15:], path, fsync=True) == 25
+        assert tuple(iter_records_jsonl(path)) == records
+
+    def test_iteration_is_lazy(self, tmp_path, records):
+        path = tmp_path / "stream.jsonl"
+        append_records_jsonl(records, path)
+        it = iter_records_jsonl(path)
+        assert next(it) == records[0]  # no full read required
+
+    def test_blank_lines_skipped(self, tmp_path, records):
+        path = tmp_path / "stream.jsonl"
+        append_records_jsonl(records[:3], path)
+        with open(path, "a") as fh:
+            fh.write("\n\n")
+        append_records_jsonl(records[3:6], path)
+        assert tuple(iter_records_jsonl(path)) == records[:6]
+
+    def test_roundtrip_of_every_enum_and_none_combination(self, tmp_path):
+        """Synthetic records exercising the full field space, not just the
+        combinations a small campaign happens to produce."""
+        specimens = []
+        for technique in DetectionTechnique:
+            for failure in FailureClass:
+                detected = technique is not DetectionTechnique.UNDETECTED
+                specimens.append(
+                    TrialRecord(
+                        benchmark="mcf",
+                        vmer=7,
+                        fault=FaultSpec("rip", 63, 1234),
+                        activated=detected or failure.is_manifested,
+                        failure_class=failure,
+                        detected_by=technique,
+                        detection_latency=17 if detected else None,
+                        undetected_kind=None,
+                        detail="x" if detected else "",
+                    )
+                )
+        for kind in UndetectedKind:
+            specimens.append(
+                TrialRecord(
+                    benchmark="postmark",
+                    vmer=1,
+                    fault=FaultSpec("rsp", 0, 0),
+                    activated=True,
+                    failure_class=FailureClass.APP_SDC,
+                    detected_by=DetectionTechnique.UNDETECTED,
+                    detection_latency=None,
+                    undetected_kind=kind,
+                )
+            )
+        path = tmp_path / "specimens.jsonl"
+        append_records_jsonl(specimens, path)
+        loaded = tuple(iter_records_jsonl(path))
+        assert loaded == tuple(specimens)
+        # Enum fields come back as real enums, not their string values.
+        assert isinstance(loaded[0].failure_class, FailureClass)
+        assert isinstance(loaded[0].detected_by, DetectionTechnique)
+        assert isinstance(loaded[-1].undetected_kind, UndetectedKind)
 
 
 class TestDatasets:

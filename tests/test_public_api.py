@@ -25,6 +25,13 @@ PACKAGES = {
         "CampaignConfig", "FaultInjectionCampaign", "TrialRecord",
         "FailureClass", "DetectionTechnique", "UndetectedKind",
     ),
+    "repro.engine": (
+        "CampaignEngine", "CampaignPlan", "ShardPlan", "BenchmarkSlice",
+        "plan_campaign", "config_digest", "execute_shard",
+        "TrialJournal", "JournalState", "read_state",
+        "EngineTelemetry", "ProgressSnapshot", "stderr_progress",
+        "CampaignStarted", "ShardStarted", "ShardFinished", "CampaignFinished",
+    ),
     "repro.xentry": (
         "Xentry", "VMTransitionDetector", "RuntimeDetector", "FeatureVector",
         "TrainingConfig", "collect_dataset", "train_and_evaluate",
