@@ -1,0 +1,154 @@
+"""Machine-level trial throughput: the fault-injection hot path.
+
+Measures trials/sec on a fixed-seed workload shaped like the campaign's
+inner loop — capture a golden run, then execute a batch of injected trials
+against it — plus the per-trial state-reset cost (restore µs) and the
+golden-prefix fast-forward hit rate.  A machine-readable summary is written
+to ``BENCH_machine.json`` next to this file (override with
+``REPRO_BENCH_OUTPUT``).
+
+The harness deliberately runs unmodified on the pre-optimization code
+(feature-detecting the ladder/fast-forward API), so the committed
+``baseline_trials_per_sec`` was produced by this exact file against the
+pre-change tree.  The acceptance gate for the checkpoint/fast-forward work
+is ≥ 3× that baseline; CI runs this as a non-blocking perf smoke because
+absolute throughput varies across machines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.faults import FaultModel, capture_golden, run_trial
+from repro.hypervisor import Activation, REGISTRY, XenHypervisor
+
+from benchmarks.conftest import SEED, scaled
+
+N_GOLDENS = 6
+TRIALS_PER_GOLDEN = scaled(100)
+LADDER_INTERVAL = 32
+
+#: trials/sec of this exact harness against the pre-change implementation
+#: (full-copy checkpoints, no resumable core, pre-optimization interpreter),
+#: measured on the same machine that produced the committed
+#: ``BENCH_machine.json``.  Moves only when the benchmark shape changes.
+BASELINE_TRIALS_PER_SEC = float(
+    os.environ.get("REPRO_BENCH_MACHINE_BASELINE", "745.1")
+)
+TARGET_SPEEDUP = 3.0
+
+OUTPUT = Path(
+    os.environ.get("REPRO_BENCH_OUTPUT", Path(__file__).parent / "BENCH_machine.json")
+)
+
+
+def _capture(hv: XenHypervisor, activation: Activation, followups):
+    """Golden capture, with the fast-forward ladder when the tree has it."""
+    try:
+        return capture_golden(
+            hv, activation, followups, ladder_interval=LADDER_INTERVAL
+        )
+    except TypeError:  # pre-change tree: no ladder support
+        return capture_golden(hv, activation, followups)
+
+
+def _run_workload(hv: XenHypervisor):
+    """The fixed-seed trial workload; returns (records, elapsed_seconds)."""
+    rng = np.random.default_rng(SEED)
+    model = FaultModel()
+    reasons = [r for r in REGISTRY if r.name in (
+        "mmu_update", "grant_table_op", "sched_op", "page_fault", "memory_op",
+        "tmem_op",
+    )]
+    assert len(reasons) == N_GOLDENS
+    records = []
+    t0 = time.perf_counter()
+    for g in range(N_GOLDENS):
+        reason = reasons[g % len(reasons)]
+        activation = Activation(
+            vmer=reason.vmer, args=(8 + g, 1), domain_id=1, seq=g
+        )
+        golden = _capture(hv, activation, ())
+        for _ in range(TRIALS_PER_GOLDEN):
+            fault = model.sample(rng, run_length=golden.result.instructions)
+            records.append(run_trial(hv, activation, fault, golden=golden))
+    return records, time.perf_counter() - t0
+
+
+def _restore_microseconds(hv: XenHypervisor) -> float | None:
+    """Mean per-trial state-reset cost, new (COW) path only."""
+    if not hasattr(hv, "capture_machine"):
+        return None
+    activation = Activation(
+        vmer=REGISTRY.by_name("mmu_update").vmer, args=(8, 1), domain_id=1, seq=0
+    )
+    golden = _capture(hv, activation, ())
+    rung = golden.ladder[len(golden.ladder) // 2]
+    n = 200
+    t0 = time.perf_counter()
+    for _ in range(n):
+        hv.restore_machine(rung)
+    return (time.perf_counter() - t0) / n * 1e6
+
+
+def test_machine_trial_throughput():
+    hv = XenHypervisor(seed=SEED)
+    # Age the platform the way the campaign does before taking goldens.
+    for i, reason in enumerate(list(REGISTRY)[:5]):
+        hv.execute(Activation(vmer=reason.vmer, args=(3, 1), domain_id=1, seq=i))
+
+    records, elapsed = _run_workload(hv)
+    trials_per_sec = len(records) / elapsed
+
+    ff = getattr(hv, "ff_stats", None)
+    summary = {
+        "format": "xentry-bench-machine-v1",
+        "seed": SEED,
+        "n_trials": len(records),
+        "elapsed_seconds": elapsed,
+        "trials_per_sec": trials_per_sec,
+        "ladder_interval": LADDER_INTERVAL,
+        "restore_microseconds": _restore_microseconds(hv),
+        "fast_forward": (
+            {
+                "hit_rate": ff["fast_forwarded"] / max(1, ff["trials"]),
+                "instructions_skipped": ff["instructions_skipped"],
+            }
+            if ff
+            else None
+        ),
+        "baseline_trials_per_sec": BASELINE_TRIALS_PER_SEC or None,
+        "speedup_vs_baseline": (
+            trials_per_sec / BASELINE_TRIALS_PER_SEC
+            if BASELINE_TRIALS_PER_SEC
+            else None
+        ),
+    }
+    OUTPUT.write_text(json.dumps(summary, indent=1))
+
+    print(f"\nmachine trial throughput — {len(records)} trials, seed {SEED}")
+    print(f"  trials/sec:        {trials_per_sec:10.1f}")
+    if summary["restore_microseconds"] is not None:
+        print(f"  restore:           {summary['restore_microseconds']:10.2f} µs")
+    if ff:
+        print(f"  fast-forward hits: {ff['fast_forwarded']}/{ff['trials']} "
+              f"({summary['fast_forward']['hit_rate']:.0%}), "
+              f"{ff['instructions_skipped']:,} instructions skipped")
+    if BASELINE_TRIALS_PER_SEC:
+        speedup = summary["speedup_vs_baseline"]
+        print(f"  vs baseline:       {speedup:9.2f}x "
+              f"(baseline {BASELINE_TRIALS_PER_SEC:.1f} t/s)")
+        assert speedup >= TARGET_SPEEDUP, (
+            f"trial hot path regressed: {speedup:.2f}x < {TARGET_SPEEDUP}x "
+            f"over the pre-change baseline"
+        )
+    # The optimization must never change the science: every trial still
+    # classifies, and the fast-forward path serves (nearly) all of them.
+    assert all(r.benchmark == "" for r in records)
+    if ff:
+        assert ff["fast_forwarded"] == ff["trials"]

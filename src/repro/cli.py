@@ -139,7 +139,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(f"detector: accuracy {model.accuracy:.1%}, "
           f"FP {model.false_positive_rate:.2%}")
     detector = VMTransitionDetector.from_classifier(model.classifier)
-    config = CampaignConfig(n_injections=args.injections, seed=args.seed)
+    config = CampaignConfig(
+        n_injections=args.injections, seed=args.seed, trace=args.trace
+    )
     if args.jobs > 1 or args.journal:
         telemetry = EngineTelemetry()
         telemetry.subscribe(stderr_progress(telemetry))
@@ -245,6 +247,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write trial records as JSON lines")
     p.add_argument("--records-from", metavar="PATH",
                    help="skip execution; re-analyze saved records or a journal")
+    p.add_argument("--trace", action="store_true",
+                   help="record full per-instruction address traces "
+                        "(slower; light count+path-hash tracing is the default)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the campaign engine "
                         "(default: 1, serial; results are bit-identical)")

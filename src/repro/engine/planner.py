@@ -50,6 +50,9 @@ def config_digest(config: CampaignConfig) -> str:
         "followup_activations": config.followup_activations,
         "fault_registers": list(config.fault_model.registers),
         "fault_bits": list(config.fault_model.bits),
+        # config.trace and config.ladder_interval are deliberately absent:
+        # they change execution strategy (full tracing, checkpoint ladders),
+        # never the trial records, so resuming a journal across them is safe.
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.blake2b(blob.encode(), digest_size=16).hexdigest()

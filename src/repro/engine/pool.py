@@ -49,7 +49,9 @@ def execute_shard(
     hypervisor from the config (bit-identical to the serial campaign's, which
     resets to post-boot state before each benchmark anyway).
     """
-    hv = XenHypervisor(n_domains=config.n_domains, seed=config.seed)
+    hv = XenHypervisor(
+        n_domains=config.n_domains, seed=config.seed, light_trace=not config.trace
+    )
     out: list[tuple[int, TrialRecord]] = []
     for s in shard.slices:
         records = run_benchmark_groups(

@@ -54,6 +54,16 @@ class CampaignConfig:
     #: continue to observe if it can be detected").
     followup_activations: int = 8
     fault_model: FaultModel = field(default_factory=FaultModel)
+    #: Record full per-instruction address traces.  The campaign's detection
+    #: science needs only the light tracer (count + path hash); the full
+    #: trace exists for debugging/analysis and costs throughput.  Excluded
+    #: from the engine's config digest: it cannot change trial records.
+    trace: bool = False
+    #: Dynamic-instruction spacing of the golden run's mid-run checkpoint
+    #: ladder; faulty runs fast-forward to the rung at-or-before their
+    #: injection index.  0 disables the ladder (every trial replays the whole
+    #: activation).  Excluded from the config digest: records are invariant.
+    ladder_interval: int = 32
 
     def __post_init__(self) -> None:
         if not self.benchmarks:
@@ -64,6 +74,8 @@ class CampaignConfig:
             raise CampaignConfigError("injections_per_golden must be positive")
         if self.followup_activations < 0:
             raise CampaignConfigError("followup_activations must be non-negative")
+        if self.ladder_interval < 0:
+            raise CampaignConfigError("ladder_interval must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -156,7 +168,10 @@ def run_benchmark_groups(
             f"[0, {geo.n_goldens}] for benchmark {benchmark!r}"
         )
     if hv is None:
-        hv = XenHypervisor(n_domains=config.n_domains, seed=config.seed)
+        hv = XenHypervisor(
+            n_domains=config.n_domains, seed=config.seed,
+            light_trace=not config.trace,
+        )
     generator = WorkloadGenerator(
         get_profile(benchmark), config.mode,
         seed=rng_mod.derive_seed(config.seed, "campaign", benchmark),
@@ -178,7 +193,9 @@ def run_benchmark_groups(
         activation = stream[g * geo.stride]
         followups = tuple(stream[g * geo.stride + 1 : (g + 1) * geo.stride])
         hv.restore(aged_state)
-        golden = capture_golden(hv, activation, followups)
+        golden = capture_golden(
+            hv, activation, followups, ladder_interval=config.ladder_interval
+        )
         fault_rng = rng_mod.stream(
             config.seed, "faults", benchmark, config.mode.value, g
         )
@@ -212,7 +229,8 @@ class FaultInjectionCampaign:
         self.config = config
         self.detector = detector
         self.hv = hypervisor or XenHypervisor(
-            n_domains=config.n_domains, seed=config.seed
+            n_domains=config.n_domains, seed=config.seed,
+            light_trace=not config.trace,
         )
 
     def run(self, *, progress: Callable[[int, int], None] | None = None) -> CampaignResult:

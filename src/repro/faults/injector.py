@@ -69,7 +69,23 @@ def run_trial(
     """
     if golden is None:
         golden = capture_golden(hv, activation, followups)
-    hv.restore(golden.checkpoint)
+    # Fast-forward: resume from the latest ladder rung at-or-before the
+    # injection index instead of re-executing the golden prefix.  The flip
+    # cannot fire before the rung (rung.index <= dynamic_index) and the
+    # prefix is deterministic, so the faulty run is bit-identical either way.
+    stats = hv.ff_stats
+    stats["trials"] += 1
+    rung = None
+    for candidate in golden.ladder:  # ascending by index
+        if candidate.index > fault.dynamic_index:
+            break
+        rung = candidate
+    if rung is not None:
+        hv.restore_machine(rung)
+        stats["fast_forwarded"] += 1
+        stats["instructions_skipped"] += rung.index
+    else:
+        hv.restore(golden.checkpoint)
     hv.cpu.schedule_register_flip(fault.dynamic_index, fault.register, fault.bit)
 
     def _activation_index() -> int:
@@ -86,6 +102,7 @@ def run_trial(
         hv, activation, fault, golden,
         detector=detector, benchmark=benchmark, followups=followups,
         activation_index=_activation_index, activated=_activated,
+        resume=rung is not None,
     )
 
 
@@ -113,6 +130,9 @@ def run_memory_trial(
     """
     if golden is None:
         golden = capture_golden(hv, activation, followups)
+    # Memory faults are present from instruction 0, so there is no prefix to
+    # skip: always replay from the pre-run checkpoint.
+    hv.ff_stats["trials"] += 1
     hv.restore(golden.checkpoint)
     hv.cpu.clear_injection()
     original = hv.memory.read_u64(fault.address)
@@ -137,11 +157,16 @@ def _execute_and_classify(
     followups: tuple[Activation, ...],
     activation_index,
     activated,
+    resume: bool = False,
 ) -> TrialRecord:
-    """Run the prepared faulty activation and classify (shared trial core)."""
+    """Run the prepared faulty activation and classify (shared trial core).
+
+    With ``resume=True`` the machine already sits at a restored mid-run
+    checkpoint, so only the activation's suffix executes.
+    """
     _activation_index = activation_index
     try:
-        faulty = hv.execute(activation)
+        faulty = hv.resume_execution(activation) if resume else hv.execute(activation)
     except HardwareException as exc:
         verdict = classify_exception(exc)
         latency = max(0, hv.cpu.tracer.count - _activation_index())

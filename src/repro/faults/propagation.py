@@ -21,7 +21,8 @@ from dataclasses import dataclass
 
 from repro.faults.outcomes import FailureClass, UndetectedKind, most_severe
 from repro.hypervisor.layout import GLOBAL_OWNER, HypervisorLayout, Slot, ValueKind
-from repro.hypervisor.xen import ActivationResult, XenHypervisor
+from repro.hypervisor.xen import ActivationResult, MachineCheckpoint, XenHypervisor
+from repro.machine.memory import MemoryCheckpoint
 
 __all__ = ["GoldenRun", "Divergence", "capture_golden", "classify_divergence"]
 
@@ -45,18 +46,32 @@ class GoldenRun:
     result: ActivationResult
     outputs: dict[int, int]          # guest-visible output words
     heap_image: bytes                # full heap contents after the run
-    checkpoint: dict[int, bytes]     # machine state *before* the run
+    checkpoint: MemoryCheckpoint     # machine state *before* the run
     followups: tuple[ActivationResult, ...] = ()
+    #: Mid-run machine checkpoints every ``ladder_interval`` instructions
+    #: (ascending by index, rung 0 at instruction 0).  Empty when the golden
+    #: run was captured without a ladder.
+    ladder: tuple[MachineCheckpoint, ...] = ()
 
 
-def capture_golden(hv: XenHypervisor, activation, followups=()) -> GoldenRun:
+def capture_golden(
+    hv: XenHypervisor, activation, followups=(), *, ladder_interval: int = 0
+) -> GoldenRun:
     """Run ``activation`` (and its follow-up stream) fault-free.
 
     The pre-run checkpoint is taken first so the faulty twin can be replayed
-    from the identical machine state.
+    from the identical machine state.  A positive ``ladder_interval``
+    additionally captures a mid-run machine checkpoint every that many
+    dynamic instructions, letting :func:`~repro.faults.injector.run_trial`
+    fast-forward the faulty twin to the rung at-or-before its injection
+    index instead of re-executing the whole golden prefix.
     """
     checkpoint = hv.checkpoint()
-    result = hv.execute(activation)
+    if ladder_interval > 0:
+        result, ladder = hv.execute_with_ladder(activation, interval=ladder_interval)
+    else:
+        result = hv.execute(activation)
+        ladder = ()
     heap = hv.memory.region("hypervisor_heap")
     outputs = hv.read_outputs(activation)
     heap_image = hv.memory.snapshot_region(heap)
@@ -67,6 +82,7 @@ def capture_golden(hv: XenHypervisor, activation, followups=()) -> GoldenRun:
         heap_image=heap_image,
         checkpoint=checkpoint,
         followups=followup_results,
+        ladder=ladder,
     )
 
 

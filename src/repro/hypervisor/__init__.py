@@ -43,6 +43,7 @@ from repro.hypervisor.vmexit import (
 from repro.hypervisor.xen import (
     Activation,
     ActivationResult,
+    MachineCheckpoint,
     TransitionInterceptor,
     XenHypervisor,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "Hardening",
     "HypervisorLayout",
     "ImageBuilder",
+    "MachineCheckpoint",
     "MemoryMap",
     "OutputRef",
     "REGISTRY",

@@ -14,6 +14,7 @@ VM-transition detection) around the original handler execution.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Protocol
 
 from repro import rng as rng_mod
@@ -24,13 +25,36 @@ from repro.hypervisor.handlers.registry import Hardening, build_handler_table
 from repro.hypervisor.image import ImageBuilder, MemoryMap
 from repro.hypervisor.layout import HypervisorLayout, Slot
 from repro.hypervisor.vmexit import ExitReason, ExitReasonRegistry, REGISTRY
-from repro.machine.cpu import CPUCore, ExecutionResult
+from repro.machine.cpu import CoreCheckpoint, CPUCore, ExecutionResult
 from repro.machine.isa import Op, Program
+from repro.machine.memory import MemoryCheckpoint
 from repro.machine.perfcounters import CounterSample
 
-__all__ = ["Activation", "ActivationResult", "TransitionInterceptor", "XenHypervisor"]
+__all__ = [
+    "Activation",
+    "ActivationResult",
+    "MachineCheckpoint",
+    "TransitionInterceptor",
+    "XenHypervisor",
+]
 
 _ARG_REGISTERS = ("rdi", "rsi", "rdx", "r8", "r9")
+
+
+@lru_cache(maxsize=4096)
+def _guest_request_payload(
+    seed: int, vmer: int, args: tuple[int, ...], seq: int, n_words: int
+) -> bytes:
+    """Deterministic guest-request block for one activation identity.
+
+    A campaign prepares the same activation many times (golden capture, every
+    faulty replay, each follow-up execution), and the payload depends only on
+    these five values — so the numpy stream construction and draw are cached
+    rather than recomputed per :meth:`XenHypervisor.prepare`.
+    """
+    fill = rng_mod.stream(seed, "guest_request", vmer, args, seq)
+    words = fill.integers(0, 1 << 32, size=n_words, dtype="int64")
+    return words.astype("<u8").tobytes()
 
 
 @dataclass(frozen=True)
@@ -79,6 +103,26 @@ class ActivationResult:
         )
 
 
+@dataclass(frozen=True)
+class MachineCheckpoint:
+    """Full machine state at a mid-activation instruction boundary.
+
+    Pairs one core's :class:`CoreCheckpoint` with a copy-on-write
+    :class:`MemoryCheckpoint`; restoring both and calling
+    :meth:`XenHypervisor.resume_execution` continues the activation
+    bit-identically to an uninterrupted run.  This is the rung type of the
+    golden run's fast-forward ladder.
+    """
+
+    core: CoreCheckpoint
+    memory: MemoryCheckpoint
+
+    @property
+    def index(self) -> int:
+        """Dynamic instruction index (instructions retired before this point)."""
+        return self.core.index
+
+
 class TransitionInterceptor(Protocol):
     """Xentry's hooks around an activation (Fig. 4's shim position)."""
 
@@ -108,6 +152,7 @@ class XenHypervisor:
         max_instructions: int = 10_000,
         hardening: Hardening | None = None,
         n_cores: int = 1,
+        light_trace: bool = True,
     ) -> None:
         if n_cores < 1:
             raise MachineConfigError("need at least one core")
@@ -142,10 +187,13 @@ class XenHypervisor:
         #: One logical core per physical CPU (Fig. 4: Xentry instances run
         #: per-CPU; counters are not shared between logical cores).
         self.cores: tuple[CPUCore, ...] = tuple(
-            CPUCore(i, self.memory) for i in range(n_cores)
+            CPUCore(i, self.memory, light_trace=light_trace) for i in range(n_cores)
         )
         self.cpu = self.cores[0]
         self._tsc_base = 1_000_000
+        #: Fast-forward accounting for the injection hot path (updated by the
+        #: fault injector; reported by the machine-throughput benchmark).
+        self.ff_stats = {"trials": 0, "fast_forwarded": 0, "instructions_skipped": 0}
 
     # -- views ----------------------------------------------------------------
 
@@ -171,12 +219,24 @@ class XenHypervisor:
             core.clear_injection()
             core.tsc = self._tsc_base
 
-    def checkpoint(self) -> dict[int, bytes]:
-        """Capture current memory for a golden/faulty run pair."""
+    def checkpoint(self) -> MemoryCheckpoint:
+        """Capture current memory for a golden/faulty run pair (COW)."""
         return self.memory.checkpoint()
 
-    def restore(self, snapshot: dict[int, bytes]) -> None:
+    def restore(self, snapshot: MemoryCheckpoint | dict[int, bytes]) -> None:
         self.memory.restore(snapshot)
+
+    def capture_machine(self, *, core_id: int = 0) -> MachineCheckpoint:
+        """Capture memory plus one core's state at an instruction boundary."""
+        return MachineCheckpoint(
+            core=self.cores[core_id].checkpoint_core(),
+            memory=self.memory.checkpoint(),
+        )
+
+    def restore_machine(self, checkpoint: MachineCheckpoint, *, core_id: int = 0) -> None:
+        """Restore a :meth:`capture_machine` snapshot, ready to resume."""
+        self.memory.restore(checkpoint.memory)
+        self.cores[core_id].restore_core(checkpoint.core)
 
     # -- activation execution ----------------------------------------------------------
 
@@ -201,11 +261,13 @@ class XenHypervisor:
         # Deterministic TSC: advances with the activation sequence number.
         core.tsc = self._tsc_base + activation.seq * 10_000
         # Guest-supplied request payload (DMA-style block write).
-        fill = rng_mod.stream(self.seed, "guest_request", activation.vmer,
-                              activation.args, activation.seq)
         req = self.layout.guest_request
-        words = fill.integers(0, 1 << 32, size=req.words, dtype="int64")
-        self.memory.write_block(req.address, words.astype("<u8").tobytes())
+        self.memory.write_block(
+            req.address,
+            _guest_request_payload(
+                self.seed, activation.vmer, activation.args, activation.seq, req.words
+            ),
+        )
         # Guest VCPU frame: the registers the guest trapped with.
         vcpu = self.vcpu(activation.domain_id, activation.vcpu_id)
         vcpu.set_reg(0, activation.args[0] if activation.args else 0)   # guest rax
@@ -240,6 +302,95 @@ class XenHypervisor:
             entry,
             max_instructions=max_instructions or self.max_instructions,
         )
+        sample = core.pmu.collect()
+        result = ActivationResult(
+            activation=activation,
+            reason=reason,
+            exit_op=exec_result.exit_op,
+            instructions=exec_result.instructions,
+            path_hash=exec_result.path_hash,
+            sample=sample,
+            tsc_end=exec_result.tsc_end,
+        )
+        if interceptor is not None:
+            interceptor.on_vm_entry(self, activation, result)
+        return result
+
+    def execute_with_ladder(
+        self,
+        activation: Activation,
+        *,
+        interval: int,
+        interceptor: TransitionInterceptor | None = None,
+        max_instructions: int | None = None,
+        core_id: int = 0,
+    ) -> tuple[ActivationResult, tuple[MachineCheckpoint, ...]]:
+        """Run one activation like :meth:`execute`, capturing a ladder of
+        machine checkpoints every ``interval`` dynamic instructions.
+
+        The first rung sits at index 0 (post-:meth:`prepare`, pre-first
+        instruction), so resuming from a rung skips activation preparation
+        entirely.  The executed run is bit-identical to :meth:`execute` —
+        checkpoints are captured at instruction boundaries between resume
+        slices and never perturb architectural state.
+        """
+        if interval <= 0:
+            raise MachineConfigError("ladder interval must be positive")
+        reason = self.registry.by_vmer(activation.vmer)
+        core = self.cores[core_id]
+        self.prepare(activation, core_id=core_id)
+        if interceptor is not None:
+            interceptor.on_vm_exit(self, activation)
+        core.tracer.reset()
+        core.pmu.arm()
+        entry = self.program.address_of(reason.handler_label)
+        budget = max_instructions or self.max_instructions
+        core.begin(entry)
+        ladder: list[MachineCheckpoint] = []
+        mark = 0
+        while True:
+            exec_result = core.resume(self.program, max_instructions=budget, stop_at=mark)
+            if exec_result is not None:
+                break
+            ladder.append(self.capture_machine(core_id=core_id))
+            mark += interval
+        sample = core.pmu.collect()
+        result = ActivationResult(
+            activation=activation,
+            reason=reason,
+            exit_op=exec_result.exit_op,
+            instructions=exec_result.instructions,
+            path_hash=exec_result.path_hash,
+            sample=sample,
+            tsc_end=exec_result.tsc_end,
+        )
+        if interceptor is not None:
+            interceptor.on_vm_entry(self, activation, result)
+        return result, tuple(ladder)
+
+    def resume_execution(
+        self,
+        activation: Activation,
+        *,
+        interceptor: TransitionInterceptor | None = None,
+        max_instructions: int | None = None,
+        core_id: int = 0,
+    ) -> ActivationResult:
+        """Finish an activation from a restored mid-run machine checkpoint.
+
+        The fast-forward counterpart of :meth:`execute`: preparation, tracer
+        reset and counter arming already happened before the checkpoint was
+        captured (and were restored with it), so only the remaining suffix of
+        the activation executes.  Simulated architectural events propagate
+        exactly as from :meth:`execute`.
+        """
+        reason = self.registry.by_vmer(activation.vmer)
+        core = self.cores[core_id]
+        exec_result = core.resume(
+            self.program,
+            max_instructions=max_instructions or self.max_instructions,
+        )
+        assert exec_result is not None  # no stop_at: runs to a terminator
         sample = core.pmu.collect()
         result = ActivationResult(
             activation=activation,

@@ -8,6 +8,7 @@ architectural behaviour rather than sampled outcomes.
 
 from repro.machine.assembler import Assembler, parse_asm
 from repro.machine.cpu import (
+    CoreCheckpoint,
     CPUCore,
     DEFAULT_CPUID_TABLE,
     ExecutionResult,
@@ -33,7 +34,7 @@ from repro.machine.isa import (
     Program,
     Reg,
 )
-from repro.machine.memory import Memory, PAGE_SIZE, Region, is_canonical
+from repro.machine.memory import Memory, MemoryCheckpoint, PAGE_SIZE, Region, is_canonical
 from repro.machine.perfcounters import CounterSample, Event, PerformanceCounterUnit
 from repro.machine.registers import (
     ALL_REGISTERS,
@@ -51,6 +52,7 @@ __all__ = [
     "BRANCH_OPS",
     "CONDITION_CODES",
     "CPUCore",
+    "CoreCheckpoint",
     "CounterSample",
     "DEFAULT_CPUID_TABLE",
     "Event",
@@ -66,6 +68,7 @@ __all__ = [
     "MASK64",
     "Mem",
     "Memory",
+    "MemoryCheckpoint",
     "Op",
     "PAGE_SIZE",
     "PageFaultKind",

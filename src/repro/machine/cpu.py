@@ -24,10 +24,10 @@ from repro.machine.exceptions import (
     PageFaultKind,
     Vector,
 )
-from repro.machine.flags import condition_met, update_flags_arith, update_flags_logic
+from repro.machine.flags import add_flags, sub_flags, update_flags_logic
 from repro.machine.isa import (
     INSTRUCTION_BYTES,
-    Imm,
+    OP_INDEX,
     Instr,
     Mem,
     Op,
@@ -37,10 +37,11 @@ from repro.machine.isa import (
 from repro.machine.memory import Memory, is_canonical
 from repro.machine.perfcounters import PerformanceCounterUnit
 from repro.machine.registers import MASK64, RegisterFile
-from repro.machine.tracer import Tracer
+from repro.machine.tracer import _FNV_PRIME, Tracer
 
 __all__ = [
     "CPUCore",
+    "CoreCheckpoint",
     "ExecutionResult",
     "InjectionReport",
     "instr_register_accesses",
@@ -56,6 +57,44 @@ _RCX = RegisterFile.index_of("rcx")
 _RDX = RegisterFile.index_of("rdx")
 _RSI = RegisterFile.index_of("rsi")
 _RDI = RegisterFile.index_of("rdi")
+
+# Dense op indices for the dispatch loop's inline bodies (ordered there by
+# measured dynamic frequency) and its terminator test — VMENTRY/HALT are the
+# last two enum members, so one >= comparison classifies both.
+_I_JCC = OP_INDEX[Op.JCC]
+_I_CMP = OP_INDEX[Op.CMP]
+_I_MOV = OP_INDEX[Op.MOV]
+_I_INC = OP_INDEX[Op.INC]
+_I_JMP = OP_INDEX[Op.JMP]
+_I_ADD = OP_INDEX[Op.ADD]
+_I_TEST = OP_INDEX[Op.TEST]
+_I_STORE = OP_INDEX[Op.STORE]
+_I_LOAD = OP_INDEX[Op.LOAD]
+_I_SHL = OP_INDEX[Op.SHL]
+_I_DEC = OP_INDEX[Op.DEC]
+_I_SHR = OP_INDEX[Op.SHR]
+_I_AND = OP_INDEX[Op.AND]
+_I_OR = OP_INDEX[Op.OR]
+_I_POP = OP_INDEX[Op.POP]
+_I_IMUL = OP_INDEX[Op.IMUL]
+_I_PUSH = OP_INDEX[Op.PUSH]
+_TERMINATOR_MIN = OP_INDEX[Op.VMENTRY]
+assert _TERMINATOR_MIN == len(OP_INDEX) - 2  # VMENTRY, HALT close the enum
+
+def _raise_stack_fault(exc: HardwareException) -> None:
+    """Convert a fatal page fault on a stack access into #SS; re-raise others."""
+    if exc.vector is Vector.PAGE_FAULT and exc.kind in (
+        PageFaultKind.FATAL_UNMAPPED,
+        PageFaultKind.FATAL_PROTECTION,
+    ):
+        raise HardwareException(
+            Vector.STACK_FAULT,
+            exc.rip,
+            address=exc.address,
+            detail=f"stack access fault: {exc.detail}",
+        ) from None
+    raise exc
+
 
 #: Deterministic CPUID leaves: leaf -> (eax, ebx, ecx, edx).  Values echo a
 #: Xeon-like identification block; what matters for the reproduction is that
@@ -77,7 +116,14 @@ def instr_register_accesses(instr: Instr) -> tuple[frozenset[int], frozenset[int
     RIP is deliberately excluded (every instruction touches it); flips in RIP
     are always considered activated by the injector.  The sets drive the
     activated/non-activated classification of injected faults.
+
+    The result is memoized on the (static) instruction object: the injector's
+    watch loop calls this once per retired instruction while a flipped
+    register is live, so recomputation would dominate that window.
     """
+    cached = instr.__dict__.get("_accesses")
+    if cached is not None:
+        return cached
     op = instr.op
     reads: set[int] = set()
     writes: set[int] = set()
@@ -141,7 +187,9 @@ def instr_register_accesses(instr: Instr) -> tuple[frozenset[int], frozenset[int
         reads.add(instr.dst.index)  # type: ignore[union-attr]
         reads.add(instr.src.index)  # type: ignore[union-attr]
     # JMP/NOP/VMENTRY/HALT touch nothing but RIP.
-    return frozenset(reads), frozenset(writes)
+    result = (frozenset(reads), frozenset(writes))
+    object.__setattr__(instr, "_accesses", result)  # frozen dataclass, no slots
+    return result
 
 
 @dataclass(frozen=True)
@@ -157,6 +205,25 @@ class InjectionReport:
     #: non-activated, same as the paper's non-activated errors).
     activated: bool | None
     activation_index: int | None
+
+
+@dataclass(frozen=True)
+class CoreCheckpoint:
+    """Mid-run architectural state of one core, captured at an instruction
+    boundary (``index`` instructions retired, RIP holding the next fetch).
+
+    Together with a memory checkpoint this is everything needed to resume
+    execution bit-identically: registers, PMU totals and collection window,
+    tracer state, TSC, and the assertion-check tally.  Injection state is
+    deliberately excluded — the injector re-arms after restoring.
+    """
+
+    index: int
+    regs: tuple[int, ...]
+    pmu: tuple
+    tracer: tuple[int, int, tuple[int, ...]]
+    tsc: int
+    assert_checks: int
 
 
 @dataclass(frozen=True)
@@ -281,7 +348,9 @@ class CPUCore:
             activation_index=self._activation_index,
         )
 
-    def _apply_injection(self) -> None:
+    def _apply_injection(self, count: int) -> None:
+        # ``count`` is the dispatch loop's buffered dynamic-instruction count
+        # (the tracer's own counter lags it while the loop runs).
         assert self._inj_reg is not None
         self.regs.flip_bit(self._inj_reg, self._inj_bit)
         self._inj_applied = True
@@ -290,22 +359,54 @@ class CPUCore:
             # Control is transferred through RIP on the very next fetch:
             # always activated, immediately.
             self._activated = True
-            self._activation_index = self.tracer.count
+            self._activation_index = count
         else:
             self._watch_reg = reg_index
 
-    def _watch(self, instr: Instr) -> None:
+    def _watch(self, instr: Instr, count: int) -> None:
         reads, writes = instr_register_accesses(instr)
         reg = self._watch_reg
         if reg in reads:
             self._activated = True
-            self._activation_index = self.tracer.count
+            self._activation_index = count
             self._watch_reg = None
         elif reg in writes:
             self._activated = False
             self._watch_reg = None
 
+    # -- checkpointing --------------------------------------------------------
+
+    def checkpoint_core(self) -> CoreCheckpoint:
+        """Capture the core's architectural state at the current instruction
+        boundary (valid between :meth:`resume` slices or after a run)."""
+        return CoreCheckpoint(
+            index=self.tracer.count,
+            regs=self.regs.snapshot(),
+            pmu=self.pmu.snapshot(),
+            tracer=self.tracer.snapshot(),
+            tsc=self.tsc,
+            assert_checks=self._assert_checks,
+        )
+
+    def restore_core(self, checkpoint: CoreCheckpoint) -> None:
+        """Restore state captured by :meth:`checkpoint_core`.
+
+        Injection state is untouched; callers arming a fault do so *after*
+        restoring (as :meth:`schedule_register_flip` fully re-initializes it).
+        """
+        self.regs.restore(checkpoint.regs)
+        self.pmu.restore(checkpoint.pmu)
+        self.tracer.restore(checkpoint.tracer)
+        self.tsc = checkpoint.tsc
+        self._assert_checks = checkpoint.assert_checks
+
     # -- execution ------------------------------------------------------------
+
+    def begin(self, entry: int) -> None:
+        """Position the core at ``entry`` with a fresh assertion tally,
+        ready for :meth:`resume`.  ``run`` == ``begin`` + drain."""
+        self.regs.write_index(_RIP, entry)
+        self._assert_checks = 0
 
     def run(
         self,
@@ -320,54 +421,312 @@ class CPUCore:
         simulated architectural events and :class:`SimulationLimitExceeded`
         when the watchdog budget is exhausted (a modeled hang).
         """
+        self.begin(entry)
+        result = self._dispatch(program, max_instructions, None)
+        assert result is not None  # stop_at=None always drains to a terminator
+        return result
+
+    def resume(
+        self,
+        program: Program,
+        *,
+        max_instructions: int = 200_000,
+        stop_at: int | None = None,
+    ) -> ExecutionResult | None:
+        """Continue execution from the current architectural state.
+
+        With ``stop_at``, execution pauses *before* dynamic instruction index
+        ``stop_at`` retires and returns ``None`` — the core then sits at an
+        instruction boundary suitable for :meth:`checkpoint_core`.  Without
+        it, runs to a terminator exactly like :meth:`run` (the watchdog
+        budget is absolute, measured against the tracer's total count, so a
+        resumed run behaves bit-identically to an uninterrupted one).
+        """
+        return self._dispatch(program, max_instructions, stop_at)
+
+    def _dispatch(
+        self, program: Program, budget: int, stop_at: int | None
+    ) -> ExecutionResult | None:
+        # Hot loop: every per-iteration attribute load that cannot change
+        # mid-run is hoisted into a local, and the per-instruction machine
+        # state (dynamic count, path hash, PMU inst/branch totals, TSC) is
+        # buffered in locals — flushed on every exit path by the finally
+        # block, and synced around the two ops that consume it mid-loop
+        # (rep_movs mutates tracer/PMU/TSC in bulk, rdtsc reads the TSC).
         regs = self.regs
+        rvals = regs._values
         tracer = self.tracer
         pmu = self.pmu
-        regs.write_index(_RIP, entry)
-        self._assert_checks = 0
-        budget = max_instructions
+        light = tracer.light
+        enabled = tracer.enabled
+        addresses = tracer.addresses
+        tsc_step = self.tsc_per_instruction
+        mem_read = self.memory.read_u64
+        mem_write = self.memory.write_u64
+        add_f = add_flags
+        sub_f = sub_flags
+        logic_f = update_flags_logic
+        ib = INSTRUCTION_BYTES
         # Fast-fetch bounds: addresses inside the program text are decoded by
         # direct indexing; everything else goes through the faulting path.
         text_base = program.base
-        text_end = program.end
+        text_span = program.end - text_base
         instructions = program.instructions
         exec_list = self._exec_list
-        injecting = self._inj_index is not None
+        inj_index = self._inj_index
+        injecting = inj_index is not None and not self._inj_applied
+        watching = self._watch_reg is not None
+        # Single hot-loop comparison: pausing (ladder checkpoint) and the
+        # watchdog budget share one threshold; the slow path disambiguates,
+        # with the budget raise winning when both trip at the same count.
+        pause = budget if stop_at is None or stop_at > budget else stop_at
+        # Constants rebound as locals (LOAD_FAST beats LOAD_GLOBAL in the
+        # per-retirement opcode comparison chain below).
+        m64 = MASK64
+        fnv = _FNV_PRIME
+        i_rip = _RIP
+        i_fl = _RFLAGS
+        i_sp = _RSP
+        term_min = _TERMINATOR_MIN
+        c_jcc = _I_JCC
+        c_cmp = _I_CMP
+        c_mov = _I_MOV
+        c_inc = _I_INC
+        c_jmp = _I_JMP
+        c_add = _I_ADD
+        c_test = _I_TEST
+        c_store = _I_STORE
+        c_load = _I_LOAD
+        c_shl = _I_SHL
+        c_dec = _I_DEC
+        c_shr = _I_SHR
+        c_and = _I_AND
+        c_or = _I_OR
+        c_pop = _I_POP
+        c_imul = _I_IMUL
+        c_push = _I_PUSH
 
-        while True:
-            if tracer.count >= budget:
-                raise SimulationLimitExceeded(budget)
-            rip = regs.read_index(_RIP)
-            if injecting and not self._inj_applied and tracer.count >= self._inj_index:
-                self._apply_injection()
-                rip = regs.read_index(_RIP)
-            offset = rip - text_base
-            if 0 <= offset < text_end - text_base and not offset & 3:
-                instr = instructions[offset >> 2]
-            else:
-                instr = self._fetch(program, rip)
-            if instr.is_terminator:
-                tracer.record(rip)
-                pmu.count_instruction()
-                self.tsc += self.tsc_per_instruction
-                return ExecutionResult(
-                    exit_op=instr.op,
-                    instructions=tracer.count,
-                    final_rip=rip,
-                    path_hash=tracer.path_hash,
-                    tsc_end=self.tsc,
-                    assertion_checks=self._assert_checks,
-                    addresses=tuple(tracer.addresses) if not tracer.light else (),
-                )
-            if self._watch_reg is not None:
-                self._watch(instr)
-            tracer.record(rip)
-            pmu.count_instruction()
-            if instr.is_branch:
-                pmu.count_branch()
-            self.tsc += self.tsc_per_instruction
-            next_rip = exec_list[instr.op_index](instr)  # type: ignore[misc]
-            regs.write_index(_RIP, next_rip if next_rip is not None else rip + INSTRUCTION_BYTES)
+        count = tracer.count
+        path_hash = tracer.path_hash
+        p_inst = pmu._inst
+        p_br = pmu._br
+        p_loads = pmu._loads
+        p_stores = pmu._stores
+        tsc = self.tsc
+
+        try:
+            while True:
+                if count >= pause:
+                    if count >= budget:
+                        raise SimulationLimitExceeded(budget)
+                    return None
+                rip = rvals[i_rip]
+                if injecting and count >= inj_index:
+                    self._apply_injection(count)
+                    injecting = False
+                    watching = self._watch_reg is not None
+                    rip = rvals[i_rip]
+                offset = rip - text_base
+                if 0 <= offset < text_span and not offset & 3:
+                    instr = instructions[offset >> 2]
+                else:
+                    instr = self._fetch(program, rip)
+                oi = instr.op_index
+                if oi >= term_min:
+                    if enabled:
+                        count += 1
+                        path_hash = ((path_hash ^ rip) * fnv) & m64
+                        if not light:
+                            addresses.append(rip)
+                    p_inst += 1
+                    tsc += tsc_step
+                    return ExecutionResult(
+                        exit_op=instr.op,
+                        instructions=count,
+                        final_rip=rip,
+                        path_hash=path_hash,
+                        tsc_end=tsc,
+                        assertion_checks=self._assert_checks,
+                        addresses=tuple(addresses) if not light else (),
+                    )
+                if watching:
+                    self._watch(instr, count)
+                    watching = self._watch_reg is not None
+                if enabled:
+                    count += 1
+                    path_hash = ((path_hash ^ rip) * fnv) & m64
+                    if not light:
+                        addresses.append(rip)
+                p_inst += 1
+                tsc += tsc_step
+                # Inline bodies for the ops that dominate the dynamic mix
+                # (ordered by measured frequency; together ~98% of retirements).
+                # Each block ends by writing RIP and continuing — the generic
+                # tail below only serves the rare fallback ops.
+                if oi == c_jcc:
+                    p_br += 1
+                    f = rvals[i_fl]
+                    if (instr.cond_table >> ((f & 1) | ((f >> 5) & 6) | ((f >> 8) & 8))) & 1:
+                        rvals[i_rip] = instr.target & m64  # type: ignore[operator]
+                    else:
+                        rvals[i_rip] = (rip + ib) & m64
+                    continue
+                if oi == c_cmp:
+                    a = rvals[instr.dst_index]
+                    b = rvals[instr.src_index] if instr.src_is_reg else instr.src_imm
+                    rvals[i_fl] = sub_f(rvals[i_fl], a - b, a, b)
+                    rvals[i_rip] = (rip + ib) & m64
+                    continue
+                if oi == c_mov:
+                    rvals[instr.dst_index] = (
+                        rvals[instr.src_index] if instr.src_is_reg else instr.src_imm
+                    )
+                    rvals[i_rip] = (rip + ib) & m64
+                    continue
+                if oi == c_inc:
+                    di = instr.dst_index
+                    a = rvals[di]
+                    rvals[di] = (a + 1) & m64
+                    rvals[i_fl] = add_f(rvals[i_fl], a + 1, a, 1)
+                    rvals[i_rip] = (rip + ib) & m64
+                    continue
+                if oi == c_jmp:
+                    p_br += 1
+                    rvals[i_rip] = instr.target & m64  # type: ignore[operator]
+                    continue
+                if oi == c_add:
+                    di = instr.dst_index
+                    a = rvals[di]
+                    b = rvals[instr.src_index] if instr.src_is_reg else instr.src_imm
+                    wide = a + b
+                    rvals[di] = wide & m64
+                    rvals[i_fl] = add_f(rvals[i_fl], wide, a, b)
+                    rvals[i_rip] = (rip + ib) & m64
+                    continue
+                if oi == c_test:
+                    a = rvals[instr.dst_index]
+                    b = rvals[instr.src_index] if instr.src_is_reg else instr.src_imm
+                    rvals[i_fl] = logic_f(rvals[i_fl], a & b)
+                    rvals[i_rip] = (rip + ib) & m64
+                    continue
+                if oi == c_store:
+                    mem_write(
+                        (rvals[instr.mem_base_index] + instr.mem_disp) & m64,
+                        rvals[instr.src_index] if instr.src_is_reg else instr.src_imm,
+                        rip=rip,
+                    )
+                    p_stores += 1
+                    rvals[i_rip] = (rip + ib) & m64
+                    continue
+                if oi == c_load:
+                    value = mem_read(
+                        (rvals[instr.mem_base_index] + instr.mem_disp) & m64, rip=rip
+                    )
+                    p_loads += 1
+                    rvals[instr.dst_index] = value
+                    rvals[i_rip] = (rip + ib) & m64
+                    continue
+                if oi == c_shl:
+                    di = instr.dst_index
+                    b = rvals[instr.src_index] if instr.src_is_reg else instr.src_imm
+                    result = (rvals[di] << (b & 63)) & m64
+                    rvals[di] = result
+                    rvals[i_fl] = logic_f(rvals[i_fl], result)
+                    rvals[i_rip] = (rip + ib) & m64
+                    continue
+                if oi == c_dec:
+                    di = instr.dst_index
+                    a = rvals[di]
+                    rvals[di] = (a - 1) & m64
+                    rvals[i_fl] = sub_f(rvals[i_fl], a - 1, a, 1)
+                    rvals[i_rip] = (rip + ib) & m64
+                    continue
+                if oi == c_shr:
+                    di = instr.dst_index
+                    b = rvals[instr.src_index] if instr.src_is_reg else instr.src_imm
+                    result = rvals[di] >> (b & 63)
+                    rvals[di] = result
+                    rvals[i_fl] = logic_f(rvals[i_fl], result)
+                    rvals[i_rip] = (rip + ib) & m64
+                    continue
+                if oi == c_and:
+                    di = instr.dst_index
+                    result = rvals[di] & (
+                        rvals[instr.src_index] if instr.src_is_reg else instr.src_imm
+                    )
+                    rvals[di] = result
+                    rvals[i_fl] = logic_f(rvals[i_fl], result)
+                    rvals[i_rip] = (rip + ib) & m64
+                    continue
+                if oi == c_or:
+                    di = instr.dst_index
+                    result = rvals[di] | (
+                        rvals[instr.src_index] if instr.src_is_reg else instr.src_imm
+                    )
+                    rvals[di] = result
+                    rvals[i_fl] = logic_f(rvals[i_fl], result)
+                    rvals[i_rip] = (rip + ib) & m64
+                    continue
+                if oi == c_pop:
+                    rsp = rvals[i_sp]
+                    try:
+                        value = mem_read(rsp, rip=rip)
+                    except HardwareException as exc:
+                        _raise_stack_fault(exc)
+                    p_loads += 1
+                    rvals[instr.dst_index] = value
+                    rvals[i_sp] = (rsp + 8) & m64
+                    rvals[i_rip] = (rip + ib) & m64
+                    continue
+                if oi == c_imul:
+                    di = instr.dst_index
+                    result = (
+                        rvals[di]
+                        * (rvals[instr.src_index] if instr.src_is_reg else instr.src_imm)
+                    ) & m64
+                    rvals[di] = result
+                    rvals[i_fl] = logic_f(rvals[i_fl], result)
+                    rvals[i_rip] = (rip + ib) & m64
+                    continue
+                if oi == c_push:
+                    rsp = (rvals[i_sp] - 8) & m64
+                    try:
+                        mem_write(rsp, rvals[instr.src_index], rip=rip)
+                    except HardwareException as exc:
+                        _raise_stack_fault(exc)
+                    p_stores += 1
+                    rvals[i_sp] = rsp
+                    rvals[i_rip] = (rip + ib) & m64
+                    continue
+                # Fallback: rare ops run through their handler with the
+                # buffered state flushed first (rep_movs/rdtsc consume it,
+                # call/ret bump PMU memory counters) and reloaded after.
+                if instr.is_branch:
+                    p_br += 1
+                tracer.count = count
+                tracer.path_hash = path_hash
+                pmu._inst = p_inst
+                pmu._br = p_br
+                pmu._loads = p_loads
+                pmu._stores = p_stores
+                self.tsc = tsc
+                next_rip = exec_list[oi](instr)  # type: ignore[misc]
+                count = tracer.count
+                path_hash = tracer.path_hash
+                p_inst = pmu._inst
+                p_br = pmu._br
+                p_loads = pmu._loads
+                p_stores = pmu._stores
+                tsc = self.tsc
+                rvals[i_rip] = (rip + ib) & m64 if next_rip is None else next_rip & m64
+        finally:
+            tracer.count = count
+            tracer.path_hash = path_hash
+            pmu._inst = p_inst
+            pmu._br = p_br
+            pmu._loads = p_loads
+            pmu._stores = p_stores
+            self.tsc = tsc
 
     def _fetch(self, program: Program, rip: int) -> Instr:
         if not is_canonical(rip):
@@ -400,184 +759,203 @@ class CPUCore:
             )
         return instr
 
-    # -- operand helpers -------------------------------------------------------
-
-    def _value(self, operand: Reg | Imm) -> int:
-        if type(operand) is Reg:
-            return self.regs.read_index(operand.index)
-        return operand.value & MASK64
-
-    def _address(self, mem: Mem) -> int:
-        return (self.regs.read_index(mem.base.index) + mem.disp) & MASK64
-
     # -- instruction semantics ---------------------------------------------------
 
+    # The arithmetic/logic/compare handlers below index the register value
+    # list directly (writes are masked in place) and read operands through
+    # the Instr's flattened metadata (``dst_index``/``src_is_reg``/...):
+    # together they retire most dynamic instructions, and attribute-chain
+    # plus read_index/write_index call overhead is the dominant
+    # per-instruction cost at this grain.
+
     def _op_mov(self, instr: Instr) -> None:
-        self.regs.write_index(instr.dst.index, self._value(instr.src))  # type: ignore[union-attr]
+        rvals = self.regs._values
+        rvals[instr.dst_index] = (
+            rvals[instr.src_index] if instr.src_is_reg else instr.src_imm
+        )
 
     def _op_load(self, instr: Instr) -> None:
-        addr = self._address(instr.src)  # type: ignore[arg-type]
-        value = self.memory.read_u64(addr, rip=self.regs.read_index(_RIP))
-        self.pmu.count_load()
-        self.regs.write_index(instr.dst.index, value)  # type: ignore[union-attr]
+        rvals = self.regs._values
+        addr = (rvals[instr.mem_base_index] + instr.mem_disp) & MASK64
+        value = self.memory.read_u64(addr, rip=rvals[_RIP])
+        self.pmu._loads += 1
+        rvals[instr.dst_index] = value
 
     def _op_store(self, instr: Instr) -> None:
-        addr = self._address(instr.dst)  # type: ignore[arg-type]
-        self.memory.write_u64(addr, self._value(instr.src), rip=self.regs.read_index(_RIP))
-        self.pmu.count_store()
+        rvals = self.regs._values
+        addr = (rvals[instr.mem_base_index] + instr.mem_disp) & MASK64
+        self.memory.write_u64(
+            addr,
+            rvals[instr.src_index] if instr.src_is_reg else instr.src_imm,
+            rip=rvals[_RIP],
+        )
+        self.pmu._stores += 1
 
     def _op_lea(self, instr: Instr) -> None:
-        self.regs.write_index(instr.dst.index, self._address(instr.src))  # type: ignore[union-attr, arg-type]
-
-    def _arith(self, instr: Instr, *, subtract: bool) -> None:
-        a = self.regs.read_index(instr.dst.index)  # type: ignore[union-attr]
-        b = self._value(instr.src)
-        wide = a - b if subtract else a + b
-        self.regs.write_index(instr.dst.index, wide & MASK64)  # type: ignore[union-attr]
-        self.regs.write_index(
-            _RFLAGS,
-            update_flags_arith(self.regs.read_index(_RFLAGS), wide, a, b, subtraction=subtract),
-        )
+        rvals = self.regs._values
+        rvals[instr.dst_index] = (rvals[instr.mem_base_index] + instr.mem_disp) & MASK64
 
     def _op_add(self, instr: Instr) -> None:
-        self._arith(instr, subtract=False)
+        rvals = self.regs._values
+        di = instr.dst_index
+        a = rvals[di]
+        b = rvals[instr.src_index] if instr.src_is_reg else instr.src_imm
+        wide = a + b
+        rvals[di] = wide & MASK64
+        rvals[_RFLAGS] = add_flags(rvals[_RFLAGS], wide, a, b)
 
     def _op_sub(self, instr: Instr) -> None:
-        self._arith(instr, subtract=True)
+        rvals = self.regs._values
+        di = instr.dst_index
+        a = rvals[di]
+        b = rvals[instr.src_index] if instr.src_is_reg else instr.src_imm
+        wide = a - b
+        rvals[di] = wide & MASK64
+        rvals[_RFLAGS] = sub_flags(rvals[_RFLAGS], wide, a, b)
 
-    def _logic(self, instr: Instr, fn: Callable[[int, int], int]) -> None:
-        a = self.regs.read_index(instr.dst.index)  # type: ignore[union-attr]
-        b = self._value(instr.src)
-        result = fn(a, b) & MASK64
-        self.regs.write_index(instr.dst.index, result)  # type: ignore[union-attr]
-        self.regs.write_index(_RFLAGS, update_flags_logic(self.regs.read_index(_RFLAGS), result))
+    # AND/OR/XOR keep results inside the 64-bit mask by construction (both
+    # operands are already masked), so only IMUL/SHL re-mask below.
 
     def _op_and(self, instr: Instr) -> None:
-        self._logic(instr, lambda a, b: a & b)
+        rvals = self.regs._values
+        di = instr.dst_index
+        result = rvals[di] & (rvals[instr.src_index] if instr.src_is_reg else instr.src_imm)
+        rvals[di] = result
+        rvals[_RFLAGS] = update_flags_logic(rvals[_RFLAGS], result)
 
     def _op_or(self, instr: Instr) -> None:
-        self._logic(instr, lambda a, b: a | b)
+        rvals = self.regs._values
+        di = instr.dst_index
+        result = rvals[di] | (rvals[instr.src_index] if instr.src_is_reg else instr.src_imm)
+        rvals[di] = result
+        rvals[_RFLAGS] = update_flags_logic(rvals[_RFLAGS], result)
 
     def _op_xor(self, instr: Instr) -> None:
-        self._logic(instr, lambda a, b: a ^ b)
+        rvals = self.regs._values
+        di = instr.dst_index
+        result = rvals[di] ^ (rvals[instr.src_index] if instr.src_is_reg else instr.src_imm)
+        rvals[di] = result
+        rvals[_RFLAGS] = update_flags_logic(rvals[_RFLAGS], result)
 
     def _op_imul(self, instr: Instr) -> None:
-        self._logic(instr, lambda a, b: a * b)
+        rvals = self.regs._values
+        di = instr.dst_index
+        result = (
+            rvals[di] * (rvals[instr.src_index] if instr.src_is_reg else instr.src_imm)
+        ) & MASK64
+        rvals[di] = result
+        rvals[_RFLAGS] = update_flags_logic(rvals[_RFLAGS], result)
 
     def _op_div(self, instr: Instr) -> None:
-        divisor = self._value(instr.src)
+        rvals = self.regs._values
+        divisor = rvals[instr.src_index] if instr.src_is_reg else instr.src_imm
         if divisor == 0:
             raise HardwareException(
-                Vector.DIVIDE_ERROR, self.regs.read_index(_RIP), detail="division by zero"
+                Vector.DIVIDE_ERROR, rvals[_RIP], detail="division by zero"
             )
-        a = self.regs.read_index(instr.dst.index)  # type: ignore[union-attr]
-        self.regs.write_index(instr.dst.index, a // divisor)  # type: ignore[union-attr]
-        self.regs.write_index(
-            _RFLAGS, update_flags_logic(self.regs.read_index(_RFLAGS), a // divisor)
-        )
+        di = instr.dst_index
+        quotient = rvals[di] // divisor
+        rvals[di] = quotient
+        rvals[_RFLAGS] = update_flags_logic(rvals[_RFLAGS], quotient)
 
     def _op_shl(self, instr: Instr) -> None:
-        self._logic(instr, lambda a, b: a << (b & 63))
+        rvals = self.regs._values
+        di = instr.dst_index
+        b = rvals[instr.src_index] if instr.src_is_reg else instr.src_imm
+        result = (rvals[di] << (b & 63)) & MASK64
+        rvals[di] = result
+        rvals[_RFLAGS] = update_flags_logic(rvals[_RFLAGS], result)
 
     def _op_shr(self, instr: Instr) -> None:
-        self._logic(instr, lambda a, b: a >> (b & 63))
+        rvals = self.regs._values
+        di = instr.dst_index
+        b = rvals[instr.src_index] if instr.src_is_reg else instr.src_imm
+        result = rvals[di] >> (b & 63)
+        rvals[di] = result
+        rvals[_RFLAGS] = update_flags_logic(rvals[_RFLAGS], result)
 
     def _op_cmp(self, instr: Instr) -> None:
-        a = self.regs.read_index(instr.dst.index)  # type: ignore[union-attr]
-        b = self._value(instr.src)
-        self.regs.write_index(
-            _RFLAGS,
-            update_flags_arith(self.regs.read_index(_RFLAGS), a - b, a, b, subtraction=True),
-        )
+        rvals = self.regs._values
+        a = rvals[instr.dst_index]
+        b = rvals[instr.src_index] if instr.src_is_reg else instr.src_imm
+        rvals[_RFLAGS] = sub_flags(rvals[_RFLAGS], a - b, a, b)
 
     def _op_test(self, instr: Instr) -> None:
-        a = self.regs.read_index(instr.dst.index)  # type: ignore[union-attr]
-        b = self._value(instr.src)
-        self.regs.write_index(_RFLAGS, update_flags_logic(self.regs.read_index(_RFLAGS), a & b))
+        rvals = self.regs._values
+        a = rvals[instr.dst_index]
+        b = rvals[instr.src_index] if instr.src_is_reg else instr.src_imm
+        rvals[_RFLAGS] = update_flags_logic(rvals[_RFLAGS], a & b)
 
     def _op_inc(self, instr: Instr) -> None:
-        a = self.regs.read_index(instr.dst.index)  # type: ignore[union-attr]
-        self.regs.write_index(instr.dst.index, (a + 1) & MASK64)  # type: ignore[union-attr]
-        self.regs.write_index(
-            _RFLAGS,
-            update_flags_arith(self.regs.read_index(_RFLAGS), a + 1, a, 1, subtraction=False),
-        )
+        rvals = self.regs._values
+        di = instr.dst_index
+        a = rvals[di]
+        rvals[di] = (a + 1) & MASK64
+        rvals[_RFLAGS] = add_flags(rvals[_RFLAGS], a + 1, a, 1)
 
     def _op_dec(self, instr: Instr) -> None:
-        a = self.regs.read_index(instr.dst.index)  # type: ignore[union-attr]
-        self.regs.write_index(instr.dst.index, (a - 1) & MASK64)  # type: ignore[union-attr]
-        self.regs.write_index(
-            _RFLAGS,
-            update_flags_arith(self.regs.read_index(_RFLAGS), a - 1, a, 1, subtraction=True),
-        )
+        rvals = self.regs._values
+        di = instr.dst_index
+        a = rvals[di]
+        rvals[di] = (a - 1) & MASK64
+        rvals[_RFLAGS] = sub_flags(rvals[_RFLAGS], a - 1, a, 1)
 
     def _op_jmp(self, instr: Instr) -> int:
         return instr.target  # type: ignore[return-value]
 
     def _op_jcc(self, instr: Instr) -> int | None:
-        if condition_met(instr.cond, self.regs.read_index(_RFLAGS)):  # type: ignore[arg-type]
+        f = self.regs._values[_RFLAGS]
+        if (instr.cond_table >> ((f & 1) | ((f >> 5) & 6) | ((f >> 8) & 8))) & 1:
             return instr.target
         return None
 
-    def _stack_guard(self, fn: Callable[[], int | None]) -> int | None:
-        """Run a stack access, converting fatal page faults into #SS."""
-        try:
-            return fn()
-        except HardwareException as exc:
-            if exc.vector is Vector.PAGE_FAULT and exc.kind in (
-                PageFaultKind.FATAL_UNMAPPED,
-                PageFaultKind.FATAL_PROTECTION,
-            ):
-                raise HardwareException(
-                    Vector.STACK_FAULT,
-                    exc.rip,
-                    address=exc.address,
-                    detail=f"stack access fault: {exc.detail}",
-                ) from None
-            raise
+    # Stack ops guard their memory access inline (a try/except is free when
+    # no exception fires; the old closure-per-execution pattern was not),
+    # converting fatal page faults into #SS via ``_raise_stack_fault``.
 
     def _op_call(self, instr: Instr) -> int | None:
-        def do() -> int:
-            rsp = (self.regs.read_index(_RSP) - 8) & MASK64
-            rip = self.regs.read_index(_RIP)
+        rvals = self.regs._values
+        rsp = (rvals[_RSP] - 8) & MASK64
+        rip = rvals[_RIP]
+        try:
             self.memory.write_u64(rsp, rip + INSTRUCTION_BYTES, rip=rip)
-            self.pmu.count_store()
-            self.regs.write_index(_RSP, rsp)
-            return instr.target  # type: ignore[return-value]
-
-        return self._stack_guard(do)
+        except HardwareException as exc:
+            _raise_stack_fault(exc)
+        self.pmu._stores += 1
+        rvals[_RSP] = rsp
+        return instr.target  # type: ignore[return-value]
 
     def _op_ret(self, instr: Instr) -> int | None:
-        def do() -> int:
-            rsp = self.regs.read_index(_RSP)
-            rip = self.regs.read_index(_RIP)
-            target = self.memory.read_u64(rsp, rip=rip)
-            self.pmu.count_load()
-            self.regs.write_index(_RSP, (rsp + 8) & MASK64)
-            return target
-
-        return self._stack_guard(do)
+        rvals = self.regs._values
+        rsp = rvals[_RSP]
+        try:
+            target = self.memory.read_u64(rsp, rip=rvals[_RIP])
+        except HardwareException as exc:
+            _raise_stack_fault(exc)
+        self.pmu._loads += 1
+        rvals[_RSP] = (rsp + 8) & MASK64
+        return target
 
     def _op_push(self, instr: Instr) -> None:
-        def do() -> None:
-            rsp = (self.regs.read_index(_RSP) - 8) & MASK64
-            rip = self.regs.read_index(_RIP)
-            self.memory.write_u64(rsp, self.regs.read_index(instr.src.index), rip=rip)  # type: ignore[union-attr]
-            self.pmu.count_store()
-            self.regs.write_index(_RSP, rsp)
-
-        self._stack_guard(do)  # type: ignore[arg-type]
+        rvals = self.regs._values
+        rsp = (rvals[_RSP] - 8) & MASK64
+        try:
+            self.memory.write_u64(rsp, rvals[instr.src_index], rip=rvals[_RIP])
+        except HardwareException as exc:
+            _raise_stack_fault(exc)
+        self.pmu._stores += 1
+        rvals[_RSP] = rsp
 
     def _op_pop(self, instr: Instr) -> None:
-        def do() -> None:
-            rsp = self.regs.read_index(_RSP)
-            rip = self.regs.read_index(_RIP)
-            value = self.memory.read_u64(rsp, rip=rip)
-            self.pmu.count_load()
-            self.regs.write_index(instr.dst.index, value)  # type: ignore[union-attr]
-            self.regs.write_index(_RSP, (rsp + 8) & MASK64)
-
-        self._stack_guard(do)  # type: ignore[arg-type]
+        rvals = self.regs._values
+        rsp = rvals[_RSP]
+        try:
+            value = self.memory.read_u64(rsp, rip=rvals[_RIP])
+        except HardwareException as exc:
+            _raise_stack_fault(exc)
+        self.pmu._loads += 1
+        rvals[instr.dst_index] = value
+        rvals[_RSP] = (rsp + 8) & MASK64
 
     def _op_rep_movs(self, instr: Instr) -> None:
         """Copy ``rcx`` 64-bit words from ``[rsi]`` to ``[rdi]``.

@@ -13,6 +13,8 @@ __all__ = [
     "FLAG_BITS",
     "update_flags_logic",
     "update_flags_arith",
+    "add_flags",
+    "sub_flags",
     "condition_met",
 ]
 
@@ -41,18 +43,50 @@ def _parity(value: int) -> bool:
     return bool(_PARITY_TABLE[value & 0xFF])
 
 
-def _common(result: int) -> int:
+def update_flags_logic(rflags: int, result: int) -> int:
+    """Flag update for logical ops (AND/OR/XOR/TEST): CF=OF=0, ZF/SF/PF set."""
+    result &= _MASK64
     flags = _PARITY_TABLE[result & 0xFF]
     if result == 0:
         flags |= ZF
-    if result & _SIGN:
+    elif result & _SIGN:
         flags |= SF
-    return flags
+    return (rflags & ~_ALL) | flags
 
 
-def update_flags_logic(rflags: int, result: int) -> int:
-    """Flag update for logical ops (AND/OR/XOR/TEST): CF=OF=0, ZF/SF/PF set."""
-    return (rflags & ~_ALL) | _common(result & _MASK64)
+def add_flags(rflags: int, result_wide: int, a: int, b: int) -> int:
+    """ADD/INC flag update (CPU fast path; positional args only).
+
+    Signed overflow when the operand signs agree and the result sign differs
+    from them — expressed bitwise (``~(a^b) & (a^result)`` has the sign bit
+    set exactly then), avoiding per-call bool plumbing.
+    """
+    result = result_wide & _MASK64
+    flags = _PARITY_TABLE[result & 0xFF]
+    if result == 0:
+        flags |= ZF
+    elif result & _SIGN:
+        flags |= SF
+    if result_wide > _MASK64:
+        flags |= CF  # carry out
+    if ~(a ^ b) & (a ^ result) & _SIGN:
+        flags |= OF
+    return (rflags & ~_ALL) | flags
+
+
+def sub_flags(rflags: int, result_wide: int, a: int, b: int) -> int:
+    """SUB/CMP/DEC flag update (CPU fast path; positional args only)."""
+    result = result_wide & _MASK64
+    flags = _PARITY_TABLE[result & 0xFF]
+    if result == 0:
+        flags |= ZF
+    elif result & _SIGN:
+        flags |= SF
+    if result_wide < 0:
+        flags |= CF  # borrow
+    if (a ^ b) & (a ^ result) & _SIGN:
+        flags |= OF
+    return (rflags & ~_ALL) | flags
 
 
 def update_flags_arith(
@@ -64,24 +98,9 @@ def update_flags_arith(
     ``a - b``) so carry/borrow can be derived; ``a`` and ``b`` are the 64-bit
     operands as read.
     """
-    result = result_wide & _MASK64
-    flags = _common(result)
     if subtraction:
-        if result_wide < 0:
-            flags |= CF  # borrow
-    else:
-        if result_wide > _MASK64:
-            flags |= CF  # carry out
-    # Signed overflow: operand signs agree-for-add / differ-for-sub and the
-    # result sign differs from the first operand's sign.
-    sa, sb, sr = bool(a & _SIGN), bool(b & _SIGN), bool(result & _SIGN)
-    if subtraction:
-        if sa != sb and sr != sa:
-            flags |= OF
-    else:
-        if sa == sb and sr != sa:
-            flags |= OF
-    return (rflags & ~_ALL) | flags
+        return sub_flags(rflags, result_wide, a, b)
+    return add_flags(rflags, result_wide, a, b)
 
 
 #: Condition-code evaluation table for the ISA's conditional jumps.
@@ -108,3 +127,26 @@ def condition_met(code: str, rflags: int) -> bool:
 
 CONDITION_CODES: tuple[str, ...] = tuple(_CONDITIONS)
 __all__.append("CONDITION_CODES")
+
+
+def _condition_table(code: str) -> int:
+    """16-bit truth table over (CF, ZF, SF, OF) combinations for ``code``.
+
+    Bit ``i`` of the table answers the condition for the flag combination
+    where CF = bit 0 of ``i``, ZF = bit 1, SF = bit 2, OF = bit 3.  A plain
+    int, so it can live on (picklable) decoded instructions; the CPU indexes
+    it instead of calling a predicate per conditional branch.
+    """
+    table = 0
+    fn = _CONDITIONS[code]
+    for i in range(16):
+        rflags = (CF if i & 1 else 0) | (ZF if i & 2 else 0) \
+            | (SF if i & 4 else 0) | (OF if i & 8 else 0)
+        if fn(rflags):
+            table |= 1 << i
+    return table
+
+
+#: code -> truth table (see :func:`_condition_table`).
+CONDITION_TABLES: dict[str, int] = {c: _condition_table(c) for c in CONDITION_CODES}
+__all__.append("CONDITION_TABLES")

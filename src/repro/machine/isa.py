@@ -21,8 +21,8 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.errors import AssemblyError
-from repro.machine.flags import CONDITION_CODES
-from repro.machine.registers import RegisterFile
+from repro.machine.flags import CONDITION_CODES, CONDITION_TABLES
+from repro.machine.registers import MASK64, RegisterFile
 
 __all__ = [
     "INSTRUCTION_BYTES",
@@ -153,15 +153,40 @@ class Instr:
     op_index: int = field(init=False, compare=False, default=-1)
     is_branch: bool = field(init=False, compare=False, default=False)
     is_terminator: bool = field(init=False, compare=False, default=False)
+    # Flattened operand metadata (also precomputed): the interpreter reads
+    # operands through these single-hop fields instead of chasing
+    # ``instr.src.base.index``-style chains on every retirement.
+    dst_index: int = field(init=False, compare=False, default=-1)
+    src_is_reg: bool = field(init=False, compare=False, default=False)
+    src_index: int = field(init=False, compare=False, default=-1)
+    src_imm: int = field(init=False, compare=False, default=0)
+    mem_base_index: int = field(init=False, compare=False, default=-1)
+    mem_disp: int = field(init=False, compare=False, default=0)
+    #: JCC truth table over (CF, ZF, SF, OF) — see ``flags.CONDITION_TABLES``.
+    cond_table: int = field(init=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
-        if self.op is Op.JCC and self.cond not in CONDITION_CODES:
-            raise AssemblyError(f"unknown condition code {self.cond!r}")
+        if self.op is Op.JCC:
+            if self.cond not in CONDITION_CODES:
+                raise AssemblyError(f"unknown condition code {self.cond!r}")
+            object.__setattr__(self, "cond_table", CONDITION_TABLES[self.cond])
         object.__setattr__(self, "op_index", OP_INDEX[self.op])
         object.__setattr__(self, "is_branch", self.op in BRANCH_OPS)
         object.__setattr__(
             self, "is_terminator", self.op is Op.VMENTRY or self.op is Op.HALT
         )
+        if type(self.dst) is Reg:
+            object.__setattr__(self, "dst_index", self.dst.index)
+        src = self.src
+        if type(src) is Reg:
+            object.__setattr__(self, "src_is_reg", True)
+            object.__setattr__(self, "src_index", src.index)
+        elif type(src) is Imm:
+            object.__setattr__(self, "src_imm", src.value & MASK64)
+        mem = src if type(src) is Mem else (self.dst if type(self.dst) is Mem else None)
+        if mem is not None:
+            object.__setattr__(self, "mem_base_index", mem.base.index)
+            object.__setattr__(self, "mem_disp", mem.disp)
 
     def __str__(self) -> str:
         parts = [self.op.value if self.op is not Op.JCC else f"j{self.cond}"]

@@ -7,21 +7,39 @@ precisely the spectrum of behaviours the paper's runtime detection observes.
 
 Pages are 4 KiB and materialized lazily inside mapped regions, so mapping a
 multi-gigabyte region costs nothing until it is touched.
+
+Checkpointing is copy-on-write: the memory tracks which pages were written
+since the last checkpoint or restore, so :meth:`Memory.checkpoint` copies
+only dirty pages (sharing clean-page buffers structurally with the previous
+checkpoint) and :meth:`Memory.restore` rewrites only pages that changed since
+the target checkpoint.  The trial loop of a fault-injection campaign — tens
+of thousands of restore/execute pairs against a mostly-unchanging machine
+image — is therefore O(dirty pages) per trial rather than O(all pages).
+The eager full-copy API (:meth:`checkpoint_full`/:meth:`restore_full`) is
+kept as the differential-testing oracle for the COW implementation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import MemoryConfigError
 from repro.machine.exceptions import HardwareException, PageFaultKind, Vector
 
-__all__ = ["PAGE_SIZE", "Region", "Memory", "is_canonical"]
+__all__ = [
+    "PAGE_SIZE",
+    "Region",
+    "Memory",
+    "MemoryCheckpoint",
+    "is_canonical",
+]
 
 PAGE_SIZE = 4096
 _PAGE_MASK = PAGE_SIZE - 1
+_WORD_LIMIT = PAGE_SIZE - 8
 _MASK64 = (1 << 64) - 1
 _CANON_HIGH = 0xFFFF_8000_0000_0000
+_ZERO_PAGE = bytes(PAGE_SIZE)
 
 
 def is_canonical(address: int) -> bool:
@@ -69,6 +87,38 @@ class Region:
         return self.base <= address < self.end
 
 
+@dataclass(frozen=True, eq=False)
+class MemoryCheckpoint:
+    """A copy-on-write memory snapshot.
+
+    ``pages`` maps page base -> immutable page contents.  Buffers of pages
+    that did not change between two checkpoints are *shared* (the same
+    ``bytes`` object), which is what makes both capture and the restore-time
+    diff O(pages touched) instead of O(pages mapped).
+
+    Checkpoints are logically immutable values; equality compares page
+    contents (two checkpoints of identical machine states are equal even if
+    captured on different ladders).
+    """
+
+    pages: dict[int, bytes]
+    #: Monotonic capture sequence number of the owning :class:`Memory`
+    #: (diagnostics only; not part of the checkpoint's identity).
+    epoch: int = field(default=0, compare=False)
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.pages)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemoryCheckpoint):
+            return NotImplemented
+        return self.pages == other.pages
+
+    def __hash__(self) -> int:  # pragma: no cover - checkpoints aren't keys
+        return id(self)
+
+
 class Memory:
     """Sparse paged memory: 64-bit word access with protection checks.
 
@@ -77,13 +127,24 @@ class Memory:
     unmapped page faults, matching hardware.
     """
 
-    __slots__ = ("_regions", "_pages", "_writes")
+    __slots__ = ("_regions", "_pages", "_writes", "_dirty", "_base", "_epoch",
+                 "_region_cache")
 
     def __init__(self) -> None:
         self._regions: list[Region] = []
         self._pages: dict[int, bytearray] = {}
         #: Count of committed stores, exposed for sanity checks in tests.
         self._writes = 0
+        #: Pages written or materialized since the last checkpoint/restore.
+        #: Invariant: for every page base not in ``_dirty``, the live page
+        #: set and contents agree exactly with ``_base``.
+        self._dirty: set[int] = set()
+        #: Page map of the most recent checkpoint (or restore target).
+        self._base: dict[int, bytes] = {}
+        self._epoch = 0
+        #: Page base -> owning region, filled on first access (pages are
+        #: region-aligned, so the mapping never changes once a region maps).
+        self._region_cache: dict[int, Region] = {}
 
     # -- mapping ------------------------------------------------------------
 
@@ -95,6 +156,7 @@ class Memory:
                     f"region {region.name!r} overlaps {existing.name!r}"
                 )
         self._regions.append(region)
+        self._region_cache.clear()
         return region
 
     def region_at(self, address: int) -> Region | None:
@@ -152,32 +214,59 @@ class Memory:
         if page is None:
             page = bytearray(PAGE_SIZE)
             self._pages[page_base] = page
+            # Materialization changes the touched-page set, which restore
+            # must be able to roll back, so it counts as dirtying.
+            self._dirty.add(page_base)
         return page
 
     def read_u64(self, address: int, *, rip: int = 0) -> int:
         """Read a 64-bit little-endian word, enforcing mapping/protection."""
-        self._check(address, rip, write=False)
-        if (address & _PAGE_MASK) > PAGE_SIZE - 8:
-            self._check(address + 7, rip, write=False)  # word crosses a page
-            return int.from_bytes(
-                bytes(self._byte(address + i) for i in range(8)), "little"
-            )
-        page = self._page(address & ~_PAGE_MASK)
+        address &= _MASK64
         off = address & _PAGE_MASK
-        return int.from_bytes(page[off:off + 8], "little")
+        if off <= _WORD_LIMIT:
+            page_base = address - off
+            region = self._region_cache.get(page_base)
+            if region is None:
+                region = self._check(address, rip, write=False)
+                self._region_cache[page_base] = region
+            elif not region.readable:
+                self._check(address, rip, write=False)  # raises with detail
+            page = self._pages.get(page_base)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._pages[page_base] = page
+                self._dirty.add(page_base)
+            return int.from_bytes(page[off:off + 8], "little")
+        self._check(address, rip, write=False)
+        self._check(address + 7, rip, write=False)  # word crosses a page
+        return int.from_bytes(
+            bytes(self._byte(address + i) for i in range(8)), "little"
+        )
 
     def write_u64(self, address: int, value: int, *, rip: int = 0) -> None:
         """Write a 64-bit little-endian word, enforcing mapping/protection."""
-        self._check(address, rip, write=True)
+        address &= _MASK64
         value &= _MASK64
-        if (address & _PAGE_MASK) > PAGE_SIZE - 8:
+        off = address & _PAGE_MASK
+        if off <= _WORD_LIMIT:
+            page_base = address - off
+            region = self._region_cache.get(page_base)
+            if region is None:
+                region = self._check(address, rip, write=True)
+                self._region_cache[page_base] = region
+            elif not region.writable:
+                self._check(address, rip, write=True)  # raises with detail
+            page = self._pages.get(page_base)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._pages[page_base] = page
+            page[off:off + 8] = value.to_bytes(8, "little")
+            self._dirty.add(page_base)
+        else:
+            self._check(address, rip, write=True)
             self._check(address + 7, rip, write=True)
             for i, b in enumerate(value.to_bytes(8, "little")):
                 self._set_byte(address + i, b)
-        else:
-            page = self._page(address & ~_PAGE_MASK)
-            off = address & _PAGE_MASK
-            page[off:off + 8] = value.to_bytes(8, "little")
         self._writes += 1
 
     def check_execute(self, address: int, rip: int) -> Region:
@@ -191,6 +280,7 @@ class Memory:
     def _set_byte(self, address: int, value: int) -> None:
         page = self._page(address & ~_PAGE_MASK)
         page[address & _PAGE_MASK] = value
+        self._dirty.add(address & ~_PAGE_MASK)
 
     # -- bulk setup access (DMA-style, not counted as CPU stores) --------------
 
@@ -208,10 +298,12 @@ class Memory:
         offset = 0
         while offset < len(data):
             addr = address + offset
-            page = self._page(addr & ~_PAGE_MASK)
+            page_base = addr & ~_PAGE_MASK
+            page = self._page(page_base)
             page_off = addr & _PAGE_MASK
             chunk = min(len(data) - offset, PAGE_SIZE - page_off)
             page[page_off:page_off + chunk] = data[offset:offset + chunk]
+            self._dirty.add(page_base)
             offset += chunk
 
     def read_block(self, address: int, length: int, *, rip: int = 0) -> bytes:
@@ -231,19 +323,88 @@ class Memory:
             offset += chunk
         return bytes(out)
 
-    # -- checkpointing (golden/faulty run comparison) -------------------------
+    # -- checkpointing (golden/faulty run pairs, mid-run ladders) --------------
 
-    def checkpoint(self) -> dict[int, bytes]:
-        """Capture the full contents of all materialized pages."""
-        return {base: bytes(page) for base, page in self._pages.items()}
+    def checkpoint(self) -> MemoryCheckpoint:
+        """Capture the current contents of all materialized pages (COW).
 
-    def restore(self, snapshot: dict[int, bytes]) -> None:
+        Only pages dirtied since the previous checkpoint/restore are copied;
+        clean pages share their buffers with the previous checkpoint.
+        """
+        dirty = self._dirty
+        if dirty:
+            base = dict(self._base)
+            pages = self._pages
+            for page_base in dirty:
+                page = pages.get(page_base)
+                if page is None:  # pragma: no cover - defensive; see restore()
+                    base.pop(page_base, None)
+                else:
+                    base[page_base] = bytes(page)
+            self._base = base
+            dirty.clear()
+        self._epoch += 1
+        return MemoryCheckpoint(pages=self._base, epoch=self._epoch)
+
+    def restore(self, snapshot: MemoryCheckpoint | dict[int, bytes]) -> None:
         """Restore page contents captured by :meth:`checkpoint`.
 
         Pages materialized after the checkpoint are dropped (they were zero
-        then, and will be zero-filled again on demand).
+        then, and will be zero-filled again on demand).  Cost is proportional
+        to the number of pages that changed since ``snapshot`` was captured —
+        pages dirtied since the last sync point plus pages whose buffers
+        differ between the two checkpoint generations (an identity check,
+        thanks to structural sharing).
+
+        A plain ``dict[int, bytes]`` from :meth:`checkpoint_full` is accepted
+        too, so the eager oracle path stays drop-in interchangeable.
         """
+        if isinstance(snapshot, dict):
+            self.restore_full(snapshot)
+            return
+        target = snapshot.pages
+        dirty = self._dirty
+        base = self._base
+        if target is not base:
+            get_base = base.get
+            get_target = target.get
+            for page_base in base.keys() | target.keys():
+                if get_base(page_base) is not get_target(page_base):
+                    dirty.add(page_base)
+            self._base = target
+        if dirty:
+            pages = self._pages
+            for page_base in dirty:
+                source = target.get(page_base)
+                if source is None:
+                    pages.pop(page_base, None)
+                else:
+                    live = pages.get(page_base)
+                    if live is None:
+                        pages[page_base] = bytearray(source)
+                    else:
+                        live[:] = source
+            dirty.clear()
+        self._epoch += 1
+
+    # -- eager full-copy oracle ------------------------------------------------
+
+    def checkpoint_full(self) -> dict[int, bytes]:
+        """Eagerly copy every materialized page (the pre-COW implementation).
+
+        Kept as the differential-testing oracle: COW checkpoint/restore must
+        be observationally identical to this path for any write sequence.
+        """
+        return {base: bytes(page) for base, page in self._pages.items()}
+
+    def restore_full(self, snapshot: dict[int, bytes]) -> None:
+        """Restore an eager :meth:`checkpoint_full` snapshot."""
         self._pages = {base: bytearray(page) for base, page in snapshot.items()}
+        # The COW bookkeeping no longer describes the live pages: resync by
+        # treating everything as dirty against an empty base.
+        self._base = {}
+        self._dirty = set(self._pages)
+        self._epoch += 1
 
     # -- diffing & stats (golden-run comparison) -----------------------------
 
@@ -251,6 +412,15 @@ class Memory:
     def store_count(self) -> int:
         """Total committed 64-bit stores since construction."""
         return self._writes
+
+    @property
+    def dirty_page_count(self) -> int:
+        """Pages written or materialized since the last checkpoint/restore."""
+        return len(self._dirty)
+
+    def dirty_pages(self) -> tuple[int, ...]:
+        """Bases of pages dirtied since the last checkpoint/restore (sorted)."""
+        return tuple(sorted(self._dirty))
 
     def touched_pages(self) -> tuple[int, ...]:
         """Bases of all materialized pages (sorted)."""
@@ -266,12 +436,27 @@ class Memory:
         return bytes(out)
 
     def diff_region(self, region: Region, baseline: bytes) -> list[int]:
-        """Return addresses of 8-byte words in ``region`` differing from ``baseline``."""
-        current = self.snapshot_region(region)
-        if len(baseline) != len(current):
+        """Return addresses of 8-byte words in ``region`` differing from ``baseline``.
+
+        Compares page by page — a single C-speed equality check skips
+        identical pages — and word-scans only pages that actually differ,
+        so the common no-divergence case costs one memcmp per page.
+        """
+        if len(baseline) != region.size:
             raise MemoryConfigError("baseline length does not match region size")
+        view = memoryview(baseline)
+        pages = self._pages
         diffs: list[int] = []
-        for off in range(0, len(current), 8):
-            if current[off:off + 8] != baseline[off:off + 8]:
-                diffs.append(region.base + off)
+        for off in range(0, region.size, PAGE_SIZE):
+            page = pages.get(region.base + off)
+            chunk = view[off:off + PAGE_SIZE]
+            if page is None:
+                if chunk == _ZERO_PAGE:
+                    continue
+                page = _ZERO_PAGE
+            elif page == chunk:
+                continue
+            for word in range(0, PAGE_SIZE, 8):
+                if page[word:word + 8] != chunk[word:word + 8]:
+                    diffs.append(region.base + off + word)
         return diffs

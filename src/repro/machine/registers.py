@@ -75,6 +75,16 @@ class RegisterFile:
         """Write a register by name (value is truncated to 64 bits)."""
         self._values[_REG_INDEX[name]] = value & MASK64
 
+    @property
+    def values(self) -> list[int]:
+        """The backing value list, for the CPU dispatch loop's hot path.
+
+        Callers indexing this directly must write 64-bit-masked values; the
+        list object is replaced wholesale by :meth:`restore`/:meth:`reset`,
+        so hoisted references must not outlive a single execution.
+        """
+        return self._values
+
     def read_index(self, index: int) -> int:
         """Read a register by architectural index (fast path for the CPU)."""
         return self._values[index]

@@ -70,6 +70,16 @@ class Tracer:
         self.path_hash = _FNV_OFFSET
         self.addresses.clear()
 
+    def snapshot(self) -> tuple[int, int, tuple[int, ...]]:
+        """Capture trace state for a mid-run core checkpoint."""
+        return (self.count, self.path_hash, tuple(self.addresses))
+
+    def restore(self, snap: tuple[int, int, tuple[int, ...]]) -> None:
+        """Restore state captured by :meth:`snapshot`."""
+        self.count = snap[0]
+        self.path_hash = snap[1]
+        self.addresses[:] = snap[2]
+
     def same_path(self, other: "Tracer") -> bool:
         """True when both traces followed the same dynamic path."""
         return self.count == other.count and self.path_hash == other.path_hash

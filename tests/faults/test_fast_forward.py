@@ -1,0 +1,92 @@
+"""Golden-prefix fast-forward: ladder trials ≡ from-scratch trials.
+
+The campaign's trial hot path resumes the faulty run from the nearest
+mid-run machine checkpoint at-or-before the injection index instead of
+re-executing the whole golden prefix.  These tests hold that optimization
+to the determinism contract: for *every* injection index, the fast-forward
+path must produce a trial record bit-identical to full re-execution, and
+campaign records must be invariant to the ladder interval and tracer mode.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import (
+    CampaignConfig,
+    FaultInjectionCampaign,
+    FaultSpec,
+    capture_golden,
+    run_trial,
+)
+from repro.hypervisor import Activation, REGISTRY, XenHypervisor
+
+
+def act(name: str, *args: int, seq=0) -> Activation:
+    return Activation(vmer=REGISTRY.by_name(name).vmer, args=args, domain_id=1, seq=seq)
+
+
+class TestEveryInjectionIndex:
+    """Exhaustive ladder ≡ from-scratch sweep over one small activation."""
+
+    @pytest.fixture(scope="class")
+    def setting(self):
+        hv = XenHypervisor(seed=23)
+        activation = act("apic_timer", 3)
+        baseline = capture_golden(hv, activation)
+        hv.restore(baseline.checkpoint)
+        laddered = capture_golden(hv, activation, ladder_interval=16)
+        assert laddered.result == baseline.result
+        assert len(laddered.ladder) >= 2, "activation too short to ladder"
+        return hv, activation, baseline, laddered
+
+    def test_records_identical_at_every_index(self, setting):
+        hv, activation, baseline, laddered = setting
+        n = baseline.result.instructions
+        fast_forwarded = 0
+        for index in range(n):
+            fault = FaultSpec("rbx", 17, index)
+            scratch = run_trial(hv, activation, fault, golden=baseline)
+            before = dict(hv.ff_stats)
+            fast = run_trial(hv, activation, fault, golden=laddered)
+            assert fast == scratch, f"divergence at injection index {index}"
+            fast_forwarded += hv.ff_stats["fast_forwarded"] - before["fast_forwarded"]
+        # Rung 0 sits at index 0, so every single trial skips the prepare.
+        assert fast_forwarded == n
+
+    def test_skip_accounting_matches_rung_indices(self, setting):
+        hv, activation, _, laddered = setting
+        before = dict(hv.ff_stats)
+        run_trial(hv, activation, FaultSpec("rcx", 4, 40), golden=laddered)
+        rung = max(r.index for r in laddered.ladder if r.index <= 40)
+        assert hv.ff_stats["trials"] == before["trials"] + 1
+        assert (
+            hv.ff_stats["instructions_skipped"]
+            == before["instructions_skipped"] + rung
+        )
+
+
+class TestRecordsInvariance:
+    """Campaign science must not depend on performance knobs."""
+
+    CONFIG = CampaignConfig(n_injections=60, seed=9)
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return FaultInjectionCampaign(self.CONFIG).run().records
+
+    @pytest.mark.parametrize("interval", [0, 1, 7, 500])
+    def test_ladder_interval_does_not_change_records(self, reference, interval):
+        config = dataclasses.replace(self.CONFIG, ladder_interval=interval)
+        assert FaultInjectionCampaign(config).run().records == reference
+
+    def test_full_tracing_does_not_change_records(self, reference):
+        config = dataclasses.replace(self.CONFIG, trace=True)
+        assert FaultInjectionCampaign(config).run().records == reference
+
+    def test_interval_zero_never_fast_forwards(self):
+        hv = XenHypervisor(seed=31)
+        golden = capture_golden(hv, act("do_irq", 2), ladder_interval=0)
+        assert golden.ladder == ()
+        run_trial(hv, act("do_irq", 2), FaultSpec("rdx", 3, 5), golden=golden)
+        assert hv.ff_stats["fast_forwarded"] == 0

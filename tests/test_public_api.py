@@ -6,12 +6,14 @@ import pytest
 
 PACKAGES = {
     "repro.machine": (
-        "CPUCore", "Memory", "Region", "RegisterFile", "Assembler", "parse_asm",
+        "CPUCore", "CoreCheckpoint", "Memory", "MemoryCheckpoint",
+        "Region", "RegisterFile", "Assembler", "parse_asm",
         "HardwareException", "AssertionViolation", "Vector", "classify_exception",
         "PerformanceCounterUnit", "Tracer", "Program", "Op",
     ),
     "repro.hypervisor": (
-        "XenHypervisor", "Activation", "ActivationResult", "REGISTRY",
+        "XenHypervisor", "Activation", "ActivationResult", "MachineCheckpoint",
+        "REGISTRY",
         "ExitCategory", "HYPERCALL_NAMES", "EXCEPTION_NAMES", "Hardening",
         "DomainView", "VcpuView", "MemoryMap", "HypervisorLayout",
     ),
