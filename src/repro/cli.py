@@ -8,6 +8,8 @@ evaluation artifacts::
     repro-xentry train [--scale 3]         # Section III.B classifier pipeline
     repro-xentry campaign [--injections N] # Figs. 8-10 + Table II
     repro-xentry campaign --jobs 4 --journal run.jsonl [--resume]
+    repro-xentry campaign --jobs 4 --retries 3 --shard-timeout 600 \
+                          --chaos crash=0.2,seed=1   # engine self-test
     repro-xentry overhead                  # Fig. 7 fault-free overhead
     repro-xentry recovery                  # Fig. 11 recovery-cost estimate
 
@@ -31,8 +33,15 @@ from repro.analysis import (
     records_from_journal,
     undetected_breakdown,
 )
-from repro.engine import CampaignEngine, EngineTelemetry, stderr_progress
+from repro.engine import (
+    CampaignEngine,
+    EngineTelemetry,
+    RetryPolicy,
+    parse_chaos_spec,
+    stderr_progress,
+)
 from repro.engine.journal import JOURNAL_FORMAT
+from repro.errors import CampaignConfigError
 from repro.faults import CampaignConfig, FaultInjectionCampaign
 from repro.hypervisor import ExitCategory, REGISTRY, XenHypervisor
 from repro.ml import compile_tree
@@ -142,7 +151,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     config = CampaignConfig(
         n_injections=args.injections, seed=args.seed, trace=args.trace
     )
-    if args.jobs > 1 or args.journal:
+    # Supervision knobs force the engine path: the serial for-loop has no
+    # retry, watchdog or chaos machinery.
+    use_engine = (
+        args.jobs > 1 or args.journal or args.chaos
+        or args.shard_timeout is not None
+    )
+    if use_engine:
         telemetry = EngineTelemetry()
         telemetry.subscribe(stderr_progress(telemetry))
         engine = CampaignEngine(
@@ -152,6 +167,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             detector=detector,
             journal_path=args.journal,
             telemetry=telemetry,
+            retry=RetryPolicy(max_retries=args.retries, seed=args.seed),
+            shard_timeout=args.shard_timeout,
+            chaos=parse_chaos_spec(args.chaos) if args.chaos else None,
         )
         result = engine.run(resume=args.resume)
         if args.journal:
@@ -170,7 +188,18 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.output:
         save_records(result.records, args.output)
         print(f"records written to {args.output}")
-    return _report_records(result.records)
+    if not result.degraded:
+        return _report_records(result.records)
+    # Report what survived (a heavily-degraded campaign may not have enough
+    # records for every table), then say why the run is incomplete on stderr
+    # and exit non-zero so pipelines notice.
+    if result.records:
+        try:
+            _report_records(result.records)
+        except CampaignConfigError as exc:
+            print(f"(analysis skipped on degraded records: {exc})")
+    print(f"\nDEGRADED: {result.summary()}", file=sys.stderr)
+    return 3
 
 
 def _report_records(records) -> int:
@@ -257,6 +286,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="journal finished shards to PATH (crash-safe JSONL)")
     p.add_argument("--resume", action="store_true",
                    help="resume from --journal, skipping completed shards")
+    p.add_argument("--retries", type=int, default=2,
+                   help="per-shard retry budget before quarantine (default: 2; "
+                        "a degraded campaign exits with code 3)")
+    p.add_argument("--shard-timeout", type=float, default=None, metavar="SECONDS",
+                   help="wall-clock watchdog per shard attempt "
+                        "(pool mode; hung workers are killed and retried)")
+    p.add_argument("--chaos", metavar="SPEC",
+                   help="inject deterministic engine faults to exercise the "
+                        "supervisor, e.g. '0.2' or "
+                        "'crash=0.2,hard=0.05,hang=0.1,journal=0.05,seed=1'")
     p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("overhead", help="Fig. 7 fault-free overhead", parents=[common])

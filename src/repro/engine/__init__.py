@@ -1,15 +1,25 @@
-"""Campaign execution engine: parallel, resumable, observable.
+"""Campaign execution engine: parallel, resumable, observable, self-resilient.
 
 The subsystem that takes fault-injection campaigns from "a for-loop in one
 process" to paper-scale: a planner cuts a campaign into deterministic shards
-(:mod:`~repro.engine.planner`), a process pool fans them out
-(:mod:`~repro.engine.pool`), a crash-safe JSONL journal makes progress
-durable and resumable (:mod:`~repro.engine.journal`), and structured
-telemetry narrates throughput, ETA and outcomes
-(:mod:`~repro.engine.telemetry`).  Merged shard results are bit-identical to
-a serial :meth:`FaultInjectionCampaign.run` of the same root seed.
+(:mod:`~repro.engine.planner`), a supervised process pool fans them out with
+retry/backoff, watchdog timeouts and quarantine
+(:mod:`~repro.engine.pool`, :mod:`~repro.engine.supervisor`), a crash-safe
+JSONL journal makes progress durable and resumable
+(:mod:`~repro.engine.journal`), structured telemetry narrates throughput,
+ETA, failures and outcomes (:mod:`~repro.engine.telemetry`), and a seeded
+chaos harness injects engine-level faults so every recovery path has a
+reproducible test (:mod:`~repro.engine.chaos`).  Merged shard results are
+bit-identical to a serial :meth:`FaultInjectionCampaign.run` of the same
+root seed — retries included.
 """
 
+from repro.engine.chaos import (
+    ChaosPolicy,
+    ChaosTripwire,
+    ShardChaos,
+    parse_chaos_spec,
+)
 from repro.engine.journal import JournalState, TrialJournal, read_state
 from repro.engine.planner import (
     BenchmarkSlice,
@@ -19,31 +29,55 @@ from repro.engine.planner import (
     plan_campaign,
 )
 from repro.engine.pool import CampaignEngine, execute_shard
+from repro.engine.supervisor import (
+    AttemptFailure,
+    DegradedCampaignResult,
+    RetryPolicy,
+    ShardFailure,
+    ShardSupervisor,
+)
 from repro.engine.telemetry import (
     CampaignFinished,
     CampaignStarted,
     EngineTelemetry,
     ProgressSnapshot,
+    ShardFailed,
     ShardFinished,
+    ShardQuarantined,
+    ShardRetried,
     ShardStarted,
+    WorkerCrashed,
     stderr_progress,
 )
 
 __all__ = [
+    "AttemptFailure",
     "BenchmarkSlice",
     "CampaignEngine",
     "CampaignFinished",
     "CampaignPlan",
     "CampaignStarted",
+    "ChaosPolicy",
+    "ChaosTripwire",
+    "DegradedCampaignResult",
     "EngineTelemetry",
     "JournalState",
     "ProgressSnapshot",
+    "RetryPolicy",
+    "ShardChaos",
+    "ShardFailed",
+    "ShardFailure",
     "ShardFinished",
     "ShardPlan",
+    "ShardQuarantined",
+    "ShardRetried",
     "ShardStarted",
+    "ShardSupervisor",
     "TrialJournal",
+    "WorkerCrashed",
     "config_digest",
     "execute_shard",
+    "parse_chaos_spec",
     "plan_campaign",
     "read_state",
     "stderr_progress",

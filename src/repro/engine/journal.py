@@ -11,11 +11,19 @@ rest, so the merged result has no duplicated and no missing trials.
 Line kinds::
 
     {"format": "xentry-journal-v1", "digest": ..., "n_shards": N, "total_trials": T}
+    {"kind": "shard_begin", "shard": 3}                            # append started
     {"kind": "trial", "shard": 3, "trial": 1287, "rec": {...}}     # one per trial
     {"kind": "shard_done", "shard": 3, "n_trials": 96}             # durability marker
+    {"kind": "shard_failed", "shard": 3, "attempts": 3, ...}       # quarantined
 
 A truncated final line (the crash case) is tolerated and ignored; a digest
 mismatch (journal from a different campaign) raises :class:`JournalError`.
+The ``shard_begin`` marker makes partial tails self-healing: a re-run of a
+shard whose previous append was torn (crash or injected journal fault mid
+write) starts with a fresh marker, so the stale trial lines are superseded
+instead of corrupting the ``shard_done`` count.  ``shard_failed`` records a
+quarantined shard; a later successful recording of the same shard (e.g. on
+resume) wins over the failure marker.
 """
 
 from __future__ import annotations
@@ -45,6 +53,9 @@ class JournalState:
     completed: dict[int, list[tuple[int, TrialRecord]]] = field(default_factory=dict)
     #: Trials journalled for shards that never reached their marker.
     partial: dict[int, list[tuple[int, TrialRecord]]] = field(default_factory=dict)
+    #: Quarantined shards: shard index -> {"attempts", "kind", "error"}.
+    #: A shard here has no completed recording; resume re-runs it.
+    failed: dict[int, dict] = field(default_factory=dict)
 
     @property
     def completed_shards(self) -> frozenset[int]:
@@ -111,19 +122,31 @@ class TrialJournal:
 
     # -- writing -------------------------------------------------------------
 
-    def append_shard(
-        self, shard_index: int, trials: list[tuple[int, TrialRecord]]
-    ) -> None:
-        """Durably record one finished shard (records + done marker + fsync)."""
-        if shard_index in self.state.completed:
-            raise JournalError(f"shard {shard_index} already journalled")
-        lines = [
+    @staticmethod
+    def _trial_lines(
+        shard_index: int, trials: list[tuple[int, TrialRecord]]
+    ) -> list[str]:
+        return [
             json.dumps(
                 {"kind": "trial", "shard": shard_index, "trial": t,
                  "rec": _record_to_dict(record)}
             )
             for t, record in trials
         ]
+
+    def append_shard(
+        self, shard_index: int, trials: list[tuple[int, TrialRecord]]
+    ) -> None:
+        """Durably record one finished shard (begin + records + done + fsync).
+
+        The leading ``shard_begin`` marker supersedes any torn trial lines a
+        previous attempt left for this shard, so retrying an interrupted
+        append (or re-running the shard after a crash) is always safe.
+        """
+        if shard_index in self.state.completed:
+            raise JournalError(f"shard {shard_index} already journalled")
+        lines = [json.dumps({"kind": "shard_begin", "shard": shard_index})]
+        lines.extend(self._trial_lines(shard_index, trials))
         lines.append(
             json.dumps(
                 {"kind": "shard_done", "shard": shard_index, "n_trials": len(trials)}
@@ -134,10 +157,47 @@ class TrialJournal:
         os.fsync(self._fh.fileno())
         self.state.completed[shard_index] = list(trials)
         self.state.partial.pop(shard_index, None)
+        self.state.failed.pop(shard_index, None)
+
+    def append_torn(
+        self, shard_index: int, trials: list[tuple[int, TrialRecord]]
+    ) -> None:
+        """Write a begin marker and trial lines but *no* ``shard_done``.
+
+        This is the on-disk shape of an append interrupted mid-write; the
+        chaos harness uses it to simulate that crash deterministically.
+        :func:`read_state` reports the trials under ``partial``.
+        """
+        lines = [json.dumps({"kind": "shard_begin", "shard": shard_index})]
+        lines.extend(self._trial_lines(shard_index, trials))
+        self._fh.write("\n".join(lines) + "\n")
+        self._fh.flush()
+
+    def append_failed(
+        self, shard_index: int, *, attempts: int, kind: str, error: str
+    ) -> None:
+        """Durably record a quarantined shard; a resume will re-run it."""
+        line = json.dumps(
+            {"kind": "shard_failed", "shard": shard_index,
+             "attempts": attempts, "error_kind": kind, "error": error}
+        )
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.state.failed[shard_index] = {
+            "attempts": attempts, "kind": kind, "error": error,
+        }
 
     def close(self) -> None:
-        """Close the underlying file handle."""
+        """Flush, fsync and close the underlying file handle (idempotent).
+
+        The fsync guarantees that everything written — including advisory
+        markers that were only flushed — is durable before the handle goes
+        away, so a journal closed cleanly never loses its tail.
+        """
         if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
             self._fh.close()
             self._fh = None
 
@@ -183,6 +243,10 @@ def read_state(path: str | Path) -> JournalState | None:
                 pending.setdefault(entry["shard"], []).append(
                     (entry["trial"], _record_from_dict(entry["rec"]))
                 )
+            elif kind == "shard_begin":
+                # A fresh append supersedes any torn tail this shard left
+                # behind (crash or injected journal fault mid-write).
+                pending[entry["shard"]] = []
             elif kind == "shard_done":
                 shard = entry["shard"]
                 trials = pending.pop(shard, [])
@@ -192,6 +256,15 @@ def read_state(path: str | Path) -> JournalState | None:
                         f"trials, found {len(trials)}"
                     )
                 state.completed[shard] = trials
+                state.failed.pop(shard, None)
+            elif kind == "shard_failed":
+                shard = entry["shard"]
+                if shard not in state.completed:
+                    state.failed[shard] = {
+                        "attempts": entry.get("attempts", 0),
+                        "kind": entry.get("error_kind", "unknown"),
+                        "error": entry.get("error", ""),
+                    }
             else:
                 raise JournalError(f"{path}: unknown journal line kind {kind!r}")
         state.partial = pending

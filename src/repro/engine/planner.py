@@ -53,6 +53,11 @@ def config_digest(config: CampaignConfig) -> str:
         # config.trace and config.ladder_interval are deliberately absent:
         # they change execution strategy (full tracing, checkpoint ladders),
         # never the trial records, so resuming a journal across them is safe.
+        # The engine's supervision knobs (RetryPolicy, shard_timeout,
+        # ChaosPolicy) live on CampaignEngine rather than the config for the
+        # same reason, and must stay out of this payload: records are
+        # invariant under retries and injected engine faults, so a journal
+        # from a chaos run resumes interchangeably with a clean one.
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.blake2b(blob.encode(), digest_size=16).hexdigest()

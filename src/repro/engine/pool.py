@@ -1,29 +1,38 @@
-"""The campaign engine: parallel, resumable, observable shard execution.
+"""The campaign engine: parallel, resumable, observable, *self-resilient*.
 
 :class:`CampaignEngine` turns a :class:`CampaignConfig` into a plan of
-deterministic shards (:mod:`repro.engine.planner`), fans them out over a
-``concurrent.futures`` process pool (or runs them inline when ``jobs=1``),
-journals every finished shard durably (:mod:`repro.engine.journal`), and
-narrates progress through :mod:`repro.engine.telemetry`.  The merged result
-is bit-identical to :meth:`FaultInjectionCampaign.run` with the same seed,
-and a campaign killed mid-flight resumes from its journal with completed
-shards skipped.
+deterministic shards (:mod:`repro.engine.planner`), hands them to a
+:class:`~repro.engine.supervisor.ShardSupervisor` that fans them out over a
+``concurrent.futures`` process pool (or runs them inline when ``jobs=1``)
+with retry, watchdog and quarantine semantics, journals every finished shard
+durably (:mod:`repro.engine.journal`), and narrates progress through
+:mod:`repro.engine.telemetry`.  The merged result is bit-identical to
+:meth:`FaultInjectionCampaign.run` with the same seed — including runs that
+needed retries — and a campaign killed mid-flight resumes from its journal
+with completed shards skipped.  A campaign whose shards exhaust their retry
+budget completes *degraded* (:class:`DegradedCampaignResult`) instead of
+aborting mid-run.
 """
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
 
+from repro.engine.chaos import ChaosPolicy, ChaosTripwire
 from repro.engine.journal import TrialJournal, read_state
 from repro.engine.planner import CampaignPlan, ShardPlan, plan_campaign
+from repro.engine.supervisor import (
+    DegradedCampaignResult,
+    RetryPolicy,
+    ShardFailure,
+    ShardSupervisor,
+    merge_records,
+)
 from repro.engine.telemetry import (
     CampaignFinished,
     CampaignStarted,
     EngineTelemetry,
     ShardFinished,
-    ShardStarted,
 )
 from repro.errors import EngineError, JournalError
 from repro.faults.campaign import (
@@ -42,13 +51,25 @@ def execute_shard(
     config: CampaignConfig,
     shard: ShardPlan,
     detector: TransitionDetector | None,
+    *,
+    chaos: ChaosPolicy | None = None,
+    attempt: int = 0,
+    allow_hard: bool = True,
 ) -> list[tuple[int, TrialRecord]]:
     """Run every slice of ``shard`` and return ``(global trial index, record)``.
 
     Module-level so a process pool can pickle it; workers rebuild their own
     hypervisor from the config (bit-identical to the serial campaign's, which
-    resets to post-boot state before each benchmark anyway).
+    resets to post-boot state before each benchmark anyway).  ``chaos`` and
+    ``attempt`` arm the deterministic chaos tripwire for this execution —
+    the tripwire only observes record counts, never the records themselves.
     """
+    tripwire = None
+    if chaos is not None:
+        plan = chaos.plan(shard.index, attempt, allow_hard=allow_hard)
+        if not plan.quiet:
+            tripwire = ChaosTripwire(plan)
+            tripwire.step()  # faults positioned "before the first trial"
     hv = XenHypervisor(
         n_domains=config.n_domains, seed=config.seed, light_trace=not config.trace
     )
@@ -57,13 +78,14 @@ def execute_shard(
         records = run_benchmark_groups(
             config, s.benchmark, s.group_start, s.group_stop,
             hv=hv, detector=detector,
+            on_record=tripwire.step if tripwire is not None else None,
         )
         out.extend(enumerate(records, start=s.trial_start))
     return out
 
 
 class CampaignEngine:
-    """Executes a fault-injection campaign as parallel, resumable shards.
+    """Executes a fault-injection campaign as supervised, resumable shards.
 
     Parameters
     ----------
@@ -82,10 +104,24 @@ class CampaignEngine:
         pure function of the compiled rules).
     journal_path:
         Where to journal finished shards.  Required for ``resume=True``.
-        A run manifest is written next to it as ``<journal>.manifest.json``.
+        A run manifest is written next to it as ``<journal>.manifest.json``
+        — even when the run fails mid-flight.
     telemetry:
         An :class:`EngineTelemetry` to narrate into; a fresh silent one is
         created when omitted.
+    retry:
+        Per-shard retry budget and deterministic backoff schedule; defaults
+        to :class:`RetryPolicy` seeded from the campaign seed.  Exhausting
+        the budget quarantines the shard and degrades the campaign instead
+        of aborting it.
+    shard_timeout:
+        Wall-clock seconds a shard attempt may run before the pool watchdog
+        reclaims it (pool mode only; ``None`` disables the watchdog).
+    chaos:
+        Optional :class:`ChaosPolicy` injecting deterministic engine-level
+        faults — the harness that proves the recovery paths work.  Like the
+        retry/timeout knobs, chaos never enters the config digest: records
+        are invariant under supervision, so journals interoperate freely.
     """
 
     def __init__(
@@ -97,6 +133,9 @@ class CampaignEngine:
         detector: TransitionDetector | None = None,
         journal_path: str | Path | None = None,
         telemetry: EngineTelemetry | None = None,
+        retry: RetryPolicy | None = None,
+        shard_timeout: float | None = None,
+        chaos: ChaosPolicy | None = None,
     ) -> None:
         if jobs < 1:
             raise EngineError("jobs must be positive")
@@ -106,11 +145,18 @@ class CampaignEngine:
         self.detector = detector
         self.journal_path = Path(journal_path) if journal_path else None
         self.telemetry = telemetry or EngineTelemetry()
+        self.retry = retry or RetryPolicy(seed=config.seed)
+        self.shard_timeout = shard_timeout
+        self.chaos = chaos
 
     # -- execution -----------------------------------------------------------
 
     def run(self, *, resume: bool = False) -> CampaignResult:
-        """Execute (or finish) the campaign and return the merged result."""
+        """Execute (or finish) the campaign and return the merged result.
+
+        Returns a plain :class:`CampaignResult` when every shard completed,
+        or a :class:`DegradedCampaignResult` when shards were quarantined.
+        """
         if resume and self.journal_path is None:
             raise EngineError("resume requires a journal_path")
         plan = plan_campaign(self.config, self.n_shards)
@@ -125,35 +171,53 @@ class CampaignEngine:
         done: dict[int, list[tuple[int, TrialRecord]]] = (
             dict(journal.state.completed) if journal is not None else {}
         )
-        pending = [s for s in plan.shards if s.index not in done]
-        self.telemetry.emit(
-            CampaignStarted(
-                total_trials=plan.total_trials,
-                n_shards=plan.n_shards,
-                jobs=self.jobs,
-                resumed_shards=len(done),
-            )
-        )
-        for index, trials in sorted(done.items()):
-            self.telemetry.record_outcomes(r for _, r in trials)
+        failures: dict[int, ShardFailure] = {}
+        try:
+            pending = [s for s in plan.shards if s.index not in done]
             self.telemetry.emit(
-                ShardFinished(
-                    shard=index, n_trials=len(trials), elapsed=0.0, resumed=True
+                CampaignStarted(
+                    total_trials=plan.total_trials,
+                    n_shards=plan.n_shards,
+                    jobs=self.jobs,
+                    resumed_shards=len(done),
                 )
             )
-        try:
-            if self.jobs == 1:
-                self._run_serial(pending, journal, done)
-            else:
-                self._run_pool(pending, journal, done)
+            for index, trials in sorted(done.items()):
+                self.telemetry.record_outcomes(r for _, r in trials)
+                self.telemetry.emit(
+                    ShardFinished(
+                        shard=index, n_trials=len(trials), elapsed=0.0, resumed=True
+                    )
+                )
+            supervisor = ShardSupervisor(
+                self.config,
+                execute=execute_shard,
+                jobs=self.jobs,
+                detector=self.detector,
+                retry=self.retry,
+                shard_timeout=self.shard_timeout,
+                chaos=self.chaos,
+                telemetry=self.telemetry,
+                journal=journal,
+            )
+            failures = supervisor.run(pending, done)
         finally:
+            # The manifest snapshot must survive any failure mode — it is
+            # written first so a failing journal close cannot cost it, and
+            # best-effort so an unwritable manifest cannot mask the real
+            # exception unwinding through here.
+            if self.journal_path is not None:
+                try:
+                    self.telemetry.write_manifest(
+                        self.journal_path.with_name(
+                            self.journal_path.name + ".manifest.json"
+                        )
+                    )
+                except OSError:
+                    pass
             if journal is not None:
                 journal.close()
-            if self.journal_path is not None:
-                self.telemetry.write_manifest(
-                    self.journal_path.with_name(self.journal_path.name + ".manifest.json")
-                )
-        result = self._merge(plan, done)
+        result = self._merge(plan, done, failures)
         snap = self.telemetry.snapshot()
         self.telemetry.emit(
             CampaignFinished(
@@ -161,6 +225,7 @@ class CampaignEngine:
                 executed_trials=self.telemetry.executed_trials,
                 elapsed=snap.elapsed,
                 trials_per_sec=snap.trials_per_sec,
+                quarantined=len(failures),
             )
         )
         return result
@@ -181,64 +246,30 @@ class CampaignEngine:
             total_trials=plan.total_trials,
         )
 
-    def _finish_shard(
+    def _merge(
         self,
-        shard: ShardPlan,
-        trials: list[tuple[int, TrialRecord]],
-        elapsed: float,
-        journal: TrialJournal | None,
+        plan: CampaignPlan,
         done: dict[int, list[tuple[int, TrialRecord]]],
-    ) -> None:
-        if journal is not None:
-            journal.append_shard(shard.index, trials)
-        done[shard.index] = trials
-        self.telemetry.record_outcomes(r for _, r in trials)
-        self.telemetry.emit(
-            ShardFinished(shard=shard.index, n_trials=len(trials), elapsed=elapsed)
-        )
-
-    def _run_serial(self, pending, journal, done) -> None:
-        for shard in pending:
-            self.telemetry.emit(ShardStarted(shard=shard.index, n_trials=shard.n_trials))
-            t0 = time.perf_counter()
-            trials = execute_shard(self.config, shard, self.detector)
-            self._finish_shard(shard, trials, time.perf_counter() - t0, journal, done)
-
-    def _run_pool(self, pending, journal, done) -> None:
-        if not pending:
-            return
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
-            started = {}
-            futures = {}
-            for shard in pending:
-                self.telemetry.emit(
-                    ShardStarted(shard=shard.index, n_trials=shard.n_trials)
+        failures: dict[int, ShardFailure],
+    ) -> CampaignResult:
+        by_trial = merge_records(done)
+        if failures:
+            expected = plan.total_trials - sum(
+                plan.shards[i].n_trials for i in failures
+            )
+            if len(by_trial) != expected:
+                raise EngineError(
+                    f"degraded merge inconsistent: {len(by_trial)} trials for "
+                    f"{expected} expected outside quarantined shards"
                 )
-                started[shard.index] = time.perf_counter()
-                futures[
-                    pool.submit(execute_shard, self.config, shard, self.detector)
-                ] = shard
-            remaining = set(futures)
-            while remaining:
-                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    shard = futures[future]
-                    trials = future.result()  # propagate worker failures
-                    self._finish_shard(
-                        shard,
-                        trials,
-                        time.perf_counter() - started[shard.index],
-                        journal,
-                        done,
-                    )
-
-    def _merge(self, plan: CampaignPlan, done) -> CampaignResult:
-        by_trial: dict[int, TrialRecord] = {}
-        for trials in done.values():
-            for t, record in trials:
-                if t in by_trial:
-                    raise EngineError(f"trial {t} recorded by more than one shard")
-                by_trial[t] = record
+            records = tuple(record for _, record in sorted(by_trial.items()))
+            return DegradedCampaignResult(
+                config=self.config,
+                records=records,
+                planned_trials=plan.total_trials,
+                n_shards=plan.n_shards,
+                failures=tuple(failures[i] for i in sorted(failures)),
+            )
         if len(by_trial) != plan.total_trials:
             missing = sorted(set(range(plan.total_trials)) - set(by_trial))[:5]
             raise EngineError(

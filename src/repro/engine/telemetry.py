@@ -25,8 +25,12 @@ __all__ = [
     "CampaignStarted",
     "EngineTelemetry",
     "ProgressSnapshot",
+    "ShardFailed",
     "ShardFinished",
+    "ShardQuarantined",
+    "ShardRetried",
     "ShardStarted",
+    "WorkerCrashed",
     "stderr_progress",
 ]
 
@@ -64,6 +68,53 @@ class ShardFinished:
 
 
 @dataclass(frozen=True)
+class ShardFailed:
+    """One shard attempt failed (exception, timeout, lost worker, journal)."""
+
+    shard: int
+    #: 0-based attempt number that failed.
+    attempt: int
+    #: ``"exception" | "timeout" | "worker_lost" | "journal"``.
+    kind: str
+    error: str
+
+
+@dataclass(frozen=True)
+class ShardRetried:
+    """A failed shard was re-enqueued after its backoff delay."""
+
+    shard: int
+    #: 0-based attempt number about to run.
+    attempt: int
+    #: Seeded, deterministic backoff delay (seconds) before the attempt.
+    delay: float
+    #: Failure kind of the attempt being retried.
+    kind: str
+
+
+@dataclass(frozen=True)
+class WorkerCrashed:
+    """The process pool lost workers; every in-flight shard was re-enqueued."""
+
+    #: Shards whose in-flight execution was lost with the pool.
+    shards: tuple[int, ...]
+    #: ``"broken_pool"`` (worker died) or ``"watchdog_timeout"`` (hang).
+    kind: str
+
+
+@dataclass(frozen=True)
+class ShardQuarantined:
+    """A shard exhausted its retry budget; the campaign completes degraded."""
+
+    shard: int
+    #: Total attempts consumed (retry budget + 1).
+    attempts: int
+    #: Failure kind of the final attempt.
+    kind: str
+    error: str
+
+
+@dataclass(frozen=True)
 class CampaignFinished:
     """Emitted after the merge; the run's headline numbers."""
 
@@ -71,6 +122,8 @@ class CampaignFinished:
     executed_trials: int
     elapsed: float
     trials_per_sec: float
+    #: Shards that exhausted their retry budget (0 on a clean run).
+    quarantined: int = 0
 
 
 @dataclass(frozen=True)
@@ -95,7 +148,16 @@ class ProgressSnapshot:
         )
 
 
-Event = CampaignStarted | ShardStarted | ShardFinished | CampaignFinished
+Event = (
+    CampaignStarted
+    | ShardStarted
+    | ShardFinished
+    | ShardFailed
+    | ShardRetried
+    | WorkerCrashed
+    | ShardQuarantined
+    | CampaignFinished
+)
 
 
 class EngineTelemetry:
@@ -118,6 +180,10 @@ class EngineTelemetry:
         self.detected_by: Counter[str] = Counter()
         self.failure_class: Counter[str] = Counter()
         self.shard_log: list[ShardFinished] = []
+        self.retries = 0
+        self.worker_crashes = 0
+        self.failed_attempts: list[ShardFailed] = []
+        self.quarantined: list[ShardQuarantined] = []
 
     # -- event plumbing ------------------------------------------------------
 
@@ -138,6 +204,14 @@ class EngineTelemetry:
             if not event.resumed:
                 self.executed_trials += event.n_trials
             self.shard_log.append(event)
+        elif isinstance(event, ShardFailed):
+            self.failed_attempts.append(event)
+        elif isinstance(event, ShardRetried):
+            self.retries += 1
+        elif isinstance(event, WorkerCrashed):
+            self.worker_crashes += 1
+        elif isinstance(event, ShardQuarantined):
+            self.quarantined.append(event)
         for callback in self._callbacks:
             callback(event)
 
@@ -192,6 +266,20 @@ class EngineTelemetry:
                 "detected_by": dict(self.detected_by),
                 "failure_class": dict(self.failure_class),
             },
+            "failures": {
+                "retries": self.retries,
+                "worker_crashes": self.worker_crashes,
+                "failed_attempts": [
+                    {"shard": e.shard, "attempt": e.attempt,
+                     "kind": e.kind, "error": e.error}
+                    for e in self.failed_attempts
+                ],
+                "quarantined": [
+                    {"shard": e.shard, "attempts": e.attempts,
+                     "kind": e.kind, "error": e.error}
+                    for e in self.quarantined
+                ],
+            },
             "shards": [
                 {
                     "shard": s.shard,
@@ -216,11 +304,34 @@ def stderr_progress(telemetry: EngineTelemetry, *, stream=None) -> Callable[[Eve
         if isinstance(event, (ShardStarted, ShardFinished)):
             out.write("\r" + telemetry.snapshot().line())
             out.flush()
+        elif isinstance(event, ShardRetried):
+            out.write(
+                f"\n[engine] shard {event.shard} retry (attempt {event.attempt}, "
+                f"{event.kind}, backoff {event.delay:.2f}s)\n"
+            )
+            out.flush()
+        elif isinstance(event, WorkerCrashed):
+            shards = ", ".join(map(str, event.shards))
+            out.write(
+                f"\n[engine] worker crash ({event.kind}): "
+                f"re-enqueued shards {shards}\n"
+            )
+            out.flush()
+        elif isinstance(event, ShardQuarantined):
+            out.write(
+                f"\n[engine] shard {event.shard} QUARANTINED after "
+                f"{event.attempts} attempts: {event.error}\n"
+            )
+            out.flush()
         elif isinstance(event, CampaignFinished):
+            note = (
+                f", {event.quarantined} shards quarantined"
+                if event.quarantined else ""
+            )
             out.write(
                 f"\r[engine] done: {event.executed_trials} trials executed "
                 f"({event.total_trials} total) in {event.elapsed:.1f}s "
-                f"({event.trials_per_sec:.1f} trials/s)\n"
+                f"({event.trials_per_sec:.1f} trials/s){note}\n"
             )
             out.flush()
 

@@ -52,6 +52,15 @@ class JournalError(EngineError):
     """Malformed or mismatched trial journal (wrong campaign, bad format)."""
 
 
+class ChaosInjected(EngineError):
+    """An engine-level fault injected by a :class:`~repro.engine.chaos.ChaosPolicy`.
+
+    Raised inside workers (simulated crash) or around journal writes so the
+    supervisor's recovery paths can be exercised deterministically.  Seeing
+    this escape the engine means a recovery path failed to contain it.
+    """
+
+
 class SimulationEvent(Exception):
     """Base class for simulated architectural events.
 

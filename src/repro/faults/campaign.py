@@ -89,6 +89,15 @@ class CampaignResult:
         return len(self.records)
 
     @property
+    def degraded(self) -> bool:
+        """True when shards were quarantined and ``records`` is incomplete.
+
+        Always False here; the engine's ``DegradedCampaignResult`` overrides
+        it, so callers can branch on ``result.degraded`` uniformly.
+        """
+        return False
+
+    @property
     def manifested(self) -> tuple[TrialRecord, ...]:
         """Trials whose fault caused a failure or data corruption — the
         denominator of every coverage number in the paper."""

@@ -83,6 +83,78 @@ class TestCrashSafety:
             read_state(path)
 
 
+class TestSupersedingWrites:
+    def test_torn_tail_superseded_by_retried_append(self, tmp_path, records):
+        """A retry after a mid-append crash re-writes the shard; its
+        ``shard_begin`` marker discards the stale torn tail."""
+        path = tmp_path / "j.jsonl"
+        with TrialJournal.create(path, digest="d1", n_shards=1, total_trials=12) as j:
+            j.append_torn(0, indexed(records[:6]))
+            j.append_shard(0, indexed(records[:12]))
+        state = read_state(path)
+        assert state.completed_shards == {0}
+        assert not state.partial
+        assert [r for _, r in state.completed[0]] == list(records[:12])
+
+    def test_torn_tail_alone_reports_partial(self, tmp_path, records):
+        path = tmp_path / "j.jsonl"
+        with TrialJournal.create(path, digest="d1", n_shards=1, total_trials=12) as j:
+            j.append_torn(0, indexed(records[:6]))
+        state = read_state(path)
+        assert not state.completed
+        assert [t for t, _ in state.partial[0]] == list(range(6))
+
+    def test_duplicate_shard_done_latest_wins(self, tmp_path, records):
+        """Two complete recordings of the same shard (e.g. an append whose
+        fsync result was lost, then retried): the reader keeps the latest."""
+        path = tmp_path / "j.jsonl"
+        with TrialJournal.create(path, digest="d1", n_shards=1, total_trials=12) as j:
+            j.append_shard(0, indexed(records[:12]))
+            # Bypass the writer's double-append guard to forge the duplicate.
+            j.state.completed.pop(0)
+            j.append_shard(0, indexed(records[12:24], start=0))
+        state = read_state(path)
+        assert state.completed_shards == {0}
+        assert [r for _, r in state.completed[0]] == list(records[12:24])
+
+    def test_failed_marker_roundtrip_and_healing(self, tmp_path, records):
+        path = tmp_path / "j.jsonl"
+        with TrialJournal.create(path, digest="d1", n_shards=2, total_trials=24) as j:
+            j.append_failed(0, attempts=3, kind="timeout", error="hung")
+            j.append_shard(1, indexed(records[12:], start=12))
+        state = read_state(path)
+        assert state.completed_shards == {1}
+        assert state.failed[0] == {"attempts": 3, "kind": "timeout", "error": "hung"}
+        # A later successful recording clears the quarantine marker.
+        with TrialJournal.resume(path, digest="d1") as j:
+            j.append_shard(0, indexed(records[:12]))
+        state = read_state(path)
+        assert state.completed_shards == {0, 1}
+        assert not state.failed
+
+    def test_failed_marker_never_shadows_success(self, tmp_path, records):
+        path = tmp_path / "j.jsonl"
+        with TrialJournal.create(path, digest="d1", n_shards=1, total_trials=12) as j:
+            j.append_shard(0, indexed(records[:12]))
+        with open(path, "a") as fh:
+            fh.write(json.dumps({"kind": "shard_failed", "shard": 0,
+                                 "attempts": 1, "error_kind": "exception",
+                                 "error": "stale"}) + "\n")
+        state = read_state(path)
+        assert state.completed_shards == {0}
+        assert not state.failed
+
+
+class TestClose:
+    def test_close_is_idempotent(self, tmp_path, records):
+        path = tmp_path / "j.jsonl"
+        j = TrialJournal.create(path, digest="d1", n_shards=1, total_trials=12)
+        j.append_shard(0, indexed(records[:12]))
+        j.close()
+        j.close()  # second close must not raise on the closed handle
+        assert read_state(path).completed_shards == {0}
+
+
 class TestIdentity:
     def test_create_refuses_existing(self, tmp_path, records):
         path = tmp_path / "j.jsonl"

@@ -1,0 +1,319 @@
+"""ShardSupervisor: retry, backoff, watchdog, pool recovery, quarantine.
+
+The acceptance properties of the self-resilient engine live here:
+
+* a seeded chaos campaign (worker crash + hang + journal fault injected)
+  whose retries succeed completes with records **bit-identical** to the
+  undisturbed run;
+* when the retry budget is exhausted the campaign completes *degraded* with
+  accurate ``ShardQuarantined`` telemetry, journalled failure markers, and
+  every surviving shard's records intact;
+* a resume heals a degraded or journal-crashed campaign back to the full
+  bit-identical record sequence.
+
+The CI chaos job re-runs this file under several ``REPRO_CHAOS_SEED``
+values; every assertion must hold for any seed.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.engine import (
+    CampaignEngine,
+    ChaosPolicy,
+    DegradedCampaignResult,
+    EngineTelemetry,
+    RetryPolicy,
+    ShardQuarantined,
+    ShardRetried,
+    WorkerCrashed,
+    read_state,
+)
+from repro.errors import CampaignConfigError, JournalError
+from repro.faults import CampaignConfig, FaultInjectionCampaign
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+CONFIG = CampaignConfig(benchmarks=("mcf",), n_injections=24, seed=9)
+N_SHARDS = 3
+#: Zero backoff keeps the suite fast; the schedule itself is tested below.
+RETRY = RetryPolicy(max_retries=2, backoff_base=0.0, seed=CHAOS_SEED)
+
+
+@pytest.fixture(scope="module")
+def serial_records():
+    return FaultInjectionCampaign(CONFIG).run().records
+
+
+def shard_trials(serial_records, quarantined):
+    """Expected surviving records when ``quarantined`` shards are lost."""
+    from repro.engine import plan_campaign
+
+    plan = plan_campaign(CONFIG, N_SHARDS)
+    keep = []
+    for shard in plan.shards:
+        if shard.index in quarantined:
+            continue
+        start = shard.trial_start
+        keep.extend(serial_records[start:start + shard.n_trials])
+    return tuple(keep)
+
+
+class TestRetryPolicy:
+    def test_delay_is_deterministic_and_jittered(self):
+        policy = RetryPolicy(
+            backoff_base=1.0, backoff_factor=2.0, backoff_max=10.0,
+            jitter=0.5, seed=CHAOS_SEED,
+        )
+        for shard in range(4):
+            for attempt in range(1, 5):
+                d = policy.delay(shard, attempt)
+                assert d == policy.delay(shard, attempt)
+                cap = min(10.0, 1.0 * 2.0 ** (attempt - 1))
+                assert 0.5 * cap <= d <= cap
+
+    def test_first_attempt_has_no_delay(self):
+        assert RetryPolicy(seed=CHAOS_SEED).delay(0, 0) == 0.0
+
+    def test_cap_bounds_growth(self):
+        policy = RetryPolicy(
+            backoff_base=1.0, backoff_factor=10.0, backoff_max=3.0,
+            jitter=0.0, seed=CHAOS_SEED,
+        )
+        assert policy.delay(0, 6) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(CampaignConfigError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(CampaignConfigError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(CampaignConfigError):
+            RetryPolicy(backoff_factor=0.5)
+
+
+class TestTransientFaults:
+    """Faults on the first attempt only: every retry succeeds."""
+
+    def test_serial_crash_retry_is_bit_identical(self, serial_records):
+        chaos = ChaosPolicy(seed=CHAOS_SEED, crash_rate=1.0, only_attempt=0)
+        telemetry = EngineTelemetry()
+        result = CampaignEngine(
+            CONFIG, jobs=1, n_shards=N_SHARDS,
+            retry=RETRY, chaos=chaos, telemetry=telemetry,
+        ).run()
+        assert not result.degraded
+        assert result.records == serial_records
+        assert telemetry.retries == N_SHARDS  # one retry per shard
+        assert not telemetry.quarantined
+        retried = [e for e in telemetry.failed_attempts if e.kind == "exception"]
+        assert sorted(e.shard for e in retried) == list(range(N_SHARDS))
+
+    def test_pool_hard_crash_recovers_broken_pool(self, serial_records):
+        chaos = ChaosPolicy(
+            seed=CHAOS_SEED, hard_crash_rate=1.0, only_attempt=0, shards=(0,)
+        )
+        telemetry = EngineTelemetry()
+        events = []
+        telemetry.subscribe(events.append)
+        result = CampaignEngine(
+            CONFIG, jobs=2, n_shards=N_SHARDS,
+            retry=RETRY, chaos=chaos, telemetry=telemetry,
+        ).run()
+        assert result.records == serial_records
+        crashes = [e for e in events if isinstance(e, WorkerCrashed)]
+        assert crashes and all(e.kind == "broken_pool" for e in crashes)
+        assert any(0 in e.shards for e in crashes)
+        assert not telemetry.quarantined
+
+    def test_pool_hang_reclaimed_by_watchdog(self, serial_records):
+        chaos = ChaosPolicy(
+            seed=CHAOS_SEED, hang_rate=1.0, only_attempt=0, shards=(1,),
+            hang_seconds=60.0,
+        )
+        telemetry = EngineTelemetry()
+        events = []
+        telemetry.subscribe(events.append)
+        t0 = time.monotonic()
+        result = CampaignEngine(
+            CONFIG, jobs=2, n_shards=N_SHARDS,
+            retry=RETRY, chaos=chaos, telemetry=telemetry, shard_timeout=1.0,
+        ).run()
+        elapsed = time.monotonic() - t0
+        assert result.records == serial_records
+        assert elapsed < 30.0  # the watchdog, not the 60s hang, set the pace
+        crashes = [e for e in events if isinstance(e, WorkerCrashed)]
+        assert any(e.kind == "watchdog_timeout" and 1 in e.shards for e in crashes)
+        timeouts = [e for e in telemetry.failed_attempts if e.kind == "timeout"]
+        assert [e.shard for e in timeouts] == [1]
+
+    def test_journal_fault_retried_and_tail_superseded(
+        self, tmp_path, serial_records
+    ):
+        journal = tmp_path / "trials.jsonl"
+        chaos = ChaosPolicy(
+            seed=CHAOS_SEED, journal_truncate_rate=1.0, only_attempt=0
+        )
+        telemetry = EngineTelemetry()
+        result = CampaignEngine(
+            CONFIG, jobs=1, n_shards=N_SHARDS, journal_path=journal,
+            retry=RETRY, chaos=chaos, telemetry=telemetry,
+        ).run()
+        assert result.records == serial_records
+        state = read_state(journal)
+        assert sorted(state.completed) == list(range(N_SHARDS))
+        assert not state.partial  # torn tails superseded by the retried append
+        assert telemetry.retries == N_SHARDS
+        assert all(e.kind == "journal" for e in telemetry.failed_attempts)
+
+    def test_combined_chaos_campaign_is_bit_identical(self, serial_records):
+        """The headline acceptance: crash + hang + journal fault in one run."""
+        chaos = ChaosPolicy(
+            seed=CHAOS_SEED, crash_rate=0.5, hard_crash_rate=0.3,
+            hang_rate=0.3, journal_truncate_rate=0.4,
+            only_attempt=0, hang_seconds=60.0,
+        )
+        telemetry = EngineTelemetry()
+        result = CampaignEngine(
+            CONFIG, jobs=2, n_shards=N_SHARDS,
+            retry=RetryPolicy(max_retries=3, backoff_base=0.0, seed=CHAOS_SEED),
+            chaos=chaos, telemetry=telemetry, shard_timeout=1.5,
+        ).run()
+        assert not result.degraded
+        assert result.records == serial_records
+        assert not telemetry.quarantined
+
+
+class TestQuarantine:
+    """Persistent faults: the budget is exhausted, the campaign degrades."""
+
+    def test_degraded_result_carries_survivors_and_reports(self, serial_records):
+        chaos = ChaosPolicy(seed=CHAOS_SEED, crash_rate=1.0, shards=(1,))
+        telemetry = EngineTelemetry()
+        result = CampaignEngine(
+            CONFIG, jobs=1, n_shards=N_SHARDS,
+            retry=RETRY, chaos=chaos, telemetry=telemetry,
+        ).run()
+        assert isinstance(result, DegradedCampaignResult)
+        assert result.degraded
+        assert result.quarantined_shards == (1,)
+        # Survivors are bit-identical to the serial run at their positions.
+        assert result.records == shard_trials(serial_records, {1})
+        assert result.missing_trials == len(serial_records) - len(result.records)
+        assert "1/3 shards quarantined" in result.summary()
+        failure = result.failures[0]
+        assert failure.shard == 1
+        assert len(failure.attempts) == RETRY.max_attempts
+        assert failure.last.kind == "exception"
+
+    def test_quarantine_telemetry_and_manifest_are_accurate(self, serial_records):
+        chaos = ChaosPolicy(seed=CHAOS_SEED, crash_rate=1.0, shards=(0, 2))
+        telemetry = EngineTelemetry()
+        result = CampaignEngine(
+            CONFIG, jobs=1, n_shards=N_SHARDS,
+            retry=RETRY, chaos=chaos, telemetry=telemetry,
+        ).run()
+        assert result.quarantined_shards == (0, 2)
+        quarantined = {e.shard: e for e in telemetry.quarantined}
+        assert sorted(quarantined) == [0, 2]
+        assert all(e.attempts == RETRY.max_attempts for e in quarantined.values())
+        manifest = telemetry.manifest()
+        assert [q["shard"] for q in manifest["failures"]["quarantined"]] == [0, 2]
+        assert manifest["failures"]["retries"] == 2 * (RETRY.max_attempts - 1)
+
+    def test_pool_quarantine_keeps_other_shards_journalled(
+        self, tmp_path, serial_records
+    ):
+        """The lost-shard fix: batch-mates of a failing shard stay durable."""
+        journal = tmp_path / "trials.jsonl"
+        chaos = ChaosPolicy(seed=CHAOS_SEED, crash_rate=1.0, shards=(2,))
+        result = CampaignEngine(
+            CONFIG, jobs=2, n_shards=N_SHARDS, journal_path=journal,
+            retry=RETRY, chaos=chaos,
+        ).run()
+        assert result.degraded and result.quarantined_shards == (2,)
+        state = read_state(journal)
+        assert sorted(state.completed) == [0, 1]
+        assert sorted(state.failed) == [2]
+        assert state.failed[2]["attempts"] == RETRY.max_attempts
+
+    def test_resume_heals_a_degraded_campaign(self, tmp_path, serial_records):
+        journal = tmp_path / "trials.jsonl"
+        chaos = ChaosPolicy(seed=CHAOS_SEED, crash_rate=1.0, shards=(1,))
+        degraded = CampaignEngine(
+            CONFIG, jobs=1, n_shards=N_SHARDS, journal_path=journal,
+            retry=RETRY, chaos=chaos,
+        ).run()
+        assert degraded.degraded
+        healed = CampaignEngine(
+            CONFIG, jobs=1, n_shards=N_SHARDS, journal_path=journal,
+        ).run(resume=True)
+        assert not healed.degraded
+        assert healed.records == serial_records
+        state = read_state(journal)
+        assert sorted(state.completed) == list(range(N_SHARDS))
+        assert not state.failed
+
+    def test_quarantined_event_emitted_with_final_error(self):
+        chaos = ChaosPolicy(seed=CHAOS_SEED, crash_rate=1.0, shards=(0,))
+        telemetry = EngineTelemetry()
+        events = []
+        telemetry.subscribe(events.append)
+        CampaignEngine(
+            CONFIG, jobs=1, n_shards=N_SHARDS,
+            retry=RETRY, chaos=chaos, telemetry=telemetry,
+        ).run()
+        quarantined = [e for e in events if isinstance(e, ShardQuarantined)]
+        assert len(quarantined) == 1
+        assert quarantined[0].shard == 0
+        assert "ChaosInjected" in quarantined[0].error
+        retried = [e for e in events if isinstance(e, ShardRetried)]
+        assert [e.attempt for e in retried] == [1, 2]
+
+
+class TestJournalFatality:
+    def test_unwritable_journal_aborts_leaving_partial_tail(
+        self, tmp_path, serial_records
+    ):
+        """Kill mid-append (via chaos): the tail is partial, resume re-runs
+        the shard to a bit-identical merged result."""
+        journal = tmp_path / "trials.jsonl"
+        chaos = ChaosPolicy(seed=CHAOS_SEED, journal_truncate_rate=1.0)
+        with pytest.raises(JournalError, match="journal append"):
+            CampaignEngine(
+                CONFIG, jobs=1, n_shards=N_SHARDS, journal_path=journal,
+                retry=RetryPolicy(max_retries=1, backoff_base=0.0, seed=CHAOS_SEED),
+                chaos=chaos,
+            ).run()
+        state = read_state(journal)
+        assert not state.completed
+        assert 0 in state.partial  # the torn shard is visible, not corrupt
+        # The manifest snapshot survived the failed run (written in finally).
+        assert (tmp_path / "trials.jsonl.manifest.json").exists()
+        healed = CampaignEngine(
+            CONFIG, jobs=1, n_shards=N_SHARDS, journal_path=journal,
+        ).run(resume=True)
+        assert healed.records == serial_records
+
+    def test_manifest_written_when_resumed_run_fails_early(
+        self, tmp_path, serial_records
+    ):
+        """A subscriber exploding on the resumed-shard replay must still
+        leave a manifest next to the journal."""
+        journal = tmp_path / "trials.jsonl"
+        CampaignEngine(CONFIG, jobs=1, n_shards=N_SHARDS, journal_path=journal).run()
+        manifest = tmp_path / "trials.jsonl.manifest.json"
+        manifest.unlink()
+        telemetry = EngineTelemetry()
+
+        def explode(event):
+            raise KeyboardInterrupt
+
+        telemetry.subscribe(explode)
+        with pytest.raises(KeyboardInterrupt):
+            CampaignEngine(
+                CONFIG, jobs=1, n_shards=N_SHARDS, journal_path=journal,
+                telemetry=telemetry,
+            ).run(resume=True)
+        assert manifest.exists()

@@ -7,8 +7,12 @@ from repro.engine import (
     CampaignFinished,
     CampaignStarted,
     EngineTelemetry,
+    ShardFailed,
     ShardFinished,
+    ShardQuarantined,
+    ShardRetried,
     ShardStarted,
+    WorkerCrashed,
     stderr_progress,
 )
 from repro.faults import CampaignConfig, FaultInjectionCampaign
@@ -70,6 +74,55 @@ class TestAggregation:
         assert [type(e).__name__ for e in seen] == [
             "CampaignStarted", "ShardStarted", "ShardFinished",
         ]
+
+
+class TestFailureAccounting:
+    def drive_failures(self, t):
+        t.emit(CampaignStarted(total_trials=100, n_shards=4, jobs=2))
+        t.emit(ShardFailed(shard=1, attempt=0, kind="exception", error="boom"))
+        t.emit(ShardRetried(shard=1, attempt=1, delay=0.1, kind="exception"))
+        t.emit(WorkerCrashed(shards=(2, 3), kind="broken_pool"))
+        t.emit(ShardFailed(shard=2, attempt=0, kind="worker_lost", error="lost"))
+        t.emit(ShardQuarantined(shard=2, attempts=3, kind="worker_lost",
+                                error="lost"))
+
+    def test_events_fold_into_counters(self):
+        t = EngineTelemetry(clock=FakeClock())
+        self.drive_failures(t)
+        assert t.retries == 1
+        assert t.worker_crashes == 1
+        assert [e.shard for e in t.failed_attempts] == [1, 2]
+        assert [e.shard for e in t.quarantined] == [2]
+
+    def test_manifest_failures_section(self, tmp_path):
+        t = EngineTelemetry(clock=FakeClock())
+        self.drive_failures(t)
+        path = tmp_path / "manifest.json"
+        t.write_manifest(path)
+        failures = json.loads(path.read_text())["failures"]
+        assert failures["retries"] == 1
+        assert failures["worker_crashes"] == 1
+        assert failures["failed_attempts"] == [
+            {"shard": 1, "attempt": 0, "kind": "exception", "error": "boom"},
+            {"shard": 2, "attempt": 0, "kind": "worker_lost", "error": "lost"},
+        ]
+        assert failures["quarantined"] == [
+            {"shard": 2, "attempts": 3, "kind": "worker_lost", "error": "lost"},
+        ]
+
+    def test_progress_line_narrates_failures(self):
+        t = EngineTelemetry(clock=FakeClock())
+        out = io.StringIO()
+        t.subscribe(stderr_progress(t, stream=out))
+        self.drive_failures(t)
+        t.emit(CampaignFinished(total_trials=100, executed_trials=75,
+                                elapsed=5.0, trials_per_sec=15.0,
+                                quarantined=1))
+        text = out.getvalue()
+        assert "shard 1 retry (attempt 1" in text
+        assert "worker crash" in text
+        assert "shard 2 QUARANTINED after 3 attempts" in text
+        assert "1 shards quarantined" in text
 
 
 class TestManifest:

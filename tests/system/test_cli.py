@@ -99,6 +99,26 @@ class TestExecution:
         assert "trials durable (100%)" in reread
         assert first.split("Fig. 8")[1] == reread.split("Fig. 8")[1]
 
+    def test_campaign_chaos_recovers_to_serial_figures(self, capsys):
+        """Transient chaos crashes: retries succeed, figures match serial."""
+        argv = ["campaign", "--injections", "80", "--scale", "0.03", "--seed", "2"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--chaos", "crash=0.5,seed=2", "--retries", "6"]) == 0
+        captured = capsys.readouterr()
+        assert serial.split("Fig. 8")[1] == captured.out.split("Fig. 8")[1]
+        assert "retry" in captured.err
+
+    def test_campaign_exhausted_budget_exits_degraded(self, capsys):
+        """Persistent chaos: quarantine everything, exit 3 with a summary."""
+        assert main(["campaign", "--injections", "40", "--scale", "0.03",
+                     "--seed", "2", "--chaos", "crash=1.0,seed=1",
+                     "--retries", "1"]) == 3
+        captured = capsys.readouterr()
+        assert "QUARANTINED" in captured.err
+        assert "DEGRADED:" in captured.err
+        assert "shards quarantined" in captured.err
+
     def test_campaign_resume_requires_journal(self, capsys):
         assert main(["campaign", "--resume"]) == 2
         assert "--resume requires --journal" in capsys.readouterr().err
