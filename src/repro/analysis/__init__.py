@@ -13,9 +13,11 @@ from repro.analysis.coverage import (
     undetected_breakdown,
 )
 from repro.analysis.journals import (
+    dataset_from_journal,
     journal_progress,
     merge_journals,
     records_from_journal,
+    sample_journal_progress,
 )
 from repro.analysis.latency import LatencyStudy
 from repro.analysis.overhead import OverheadStudy, PerfOverheadModel
@@ -43,6 +45,7 @@ __all__ = [
     "ascii_stacked_bars",
     "coverage_by_benchmark",
     "coverage_by_technique",
+    "dataset_from_journal",
     "format_percent",
     "bit_band_sensitivity",
     "journal_progress",
@@ -50,5 +53,6 @@ __all__ = [
     "merge_journals",
     "records_from_journal",
     "register_sensitivity",
+    "sample_journal_progress",
     "undetected_breakdown",
 ]

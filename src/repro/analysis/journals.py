@@ -12,11 +12,18 @@ from __future__ import annotations
 from collections import Counter
 from pathlib import Path
 
-from repro.engine.journal import read_state
+from repro.engine.journal import SampleJournal, read_state
 from repro.errors import JournalError
 from repro.faults.outcomes import TrialRecord
+from repro.ml.dataset import Dataset
 
-__all__ = ["journal_progress", "merge_journals", "records_from_journal"]
+__all__ = [
+    "dataset_from_journal",
+    "journal_progress",
+    "merge_journals",
+    "records_from_journal",
+    "sample_journal_progress",
+]
 
 
 def records_from_journal(
@@ -72,6 +79,66 @@ def merge_journals(paths: list[str | Path]) -> tuple[TrialRecord, ...]:
             for t, record in trials:
                 by_trial[t] = record
     return tuple(record for _, record in sorted(by_trial.items()))
+
+
+def dataset_from_journal(
+    path: str | Path, *, include_partial: bool = False
+) -> Dataset:
+    """Rebuild a labeled dataset from a training sample journal.
+
+    The analysis-side counterpart of engine-backed
+    :func:`~repro.xentry.training.collect_dataset`: samples are ordered by
+    global run index, so a journal of a *finished* collection reconstructs
+    exactly the dataset the collection returned.  ``include_partial`` also
+    admits samples from shards that never reached their completion marker —
+    useful for peeking at an in-flight or killed collection, but such a
+    dataset is truncated and its class balance untrustworthy for training.
+    """
+    state = SampleJournal.read(path)
+    if state is None:
+        raise JournalError(f"{path}: no sample journal found")
+    by_run: dict[int, tuple] = {}
+    sources = list(state.completed.values())
+    if include_partial:
+        sources.extend(state.partial.values())
+    for items in sources:
+        for run, sample in items:
+            by_run[run] = sample
+    samples = []
+    labels = []
+    for _, (features, label) in sorted(by_run.items()):
+        samples.append(features)
+        labels.append(label)
+    return Dataset.from_samples(samples, labels)
+
+
+def sample_journal_progress(path: str | Path) -> dict:
+    """Summarize a sample journal: progress plus class balance.
+
+    Mirrors :func:`journal_progress` for training collections.  Note
+    ``total_runs`` counts *planned activations*; the injection stream yields
+    at most one sample per activation, so ``done_samples`` can legitimately
+    trail it even when every shard is complete.
+    """
+    state = SampleJournal.read(path)
+    if state is None:
+        raise JournalError(f"{path}: no sample journal found")
+    labels: Counter[str] = Counter()
+    for items in state.completed.values():
+        for _, (_features, label) in items:
+            labels["incorrect" if label else "correct"] += 1
+    done_shards = sorted(state.completed_shards)
+    return {
+        "total_runs": state.total_trials,
+        "done_samples": state.completed_trials,
+        "n_shards": state.n_shards,
+        "completed_shards": done_shards,
+        "partial_samples": sum(len(v) for v in state.partial.values()),
+        "fraction_shards_done": (
+            len(done_shards) / state.n_shards if state.n_shards else 0.0
+        ),
+        "labels": dict(labels),
+    }
 
 
 def journal_progress(path: str | Path) -> dict:

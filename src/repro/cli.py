@@ -6,6 +6,7 @@ evaluation artifacts::
     repro-xentry info                      # platform inventory
     repro-xentry rates [--mode pv|hvm]     # Fig. 3 activation-rate table
     repro-xentry train [--scale 3]         # Section III.B classifier pipeline
+    repro-xentry train --jobs 4 --journal-dir runs --save-model model.json
     repro-xentry campaign [--injections N] # Figs. 8-10 + Table II
     repro-xentry campaign --jobs 4 --journal run.jsonl [--resume]
     repro-xentry campaign --jobs 4 --retries 3 --shard-timeout 600 \
@@ -22,12 +23,14 @@ import argparse
 import sys
 import time
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.analysis import (
     BoxStats,
     LatencyStudy,
     PerfOverheadModel,
     coverage_by_benchmark,
+    dataset_from_journal,
     journal_progress,
     long_latency_breakdown,
     records_from_journal,
@@ -45,7 +48,7 @@ from repro.errors import CampaignConfigError
 from repro.faults import CampaignConfig, FaultInjectionCampaign
 from repro.hypervisor import ExitCategory, REGISTRY, XenHypervisor
 from repro.ml import compile_tree
-from repro.persist import load_records, save_records, save_rules
+from repro.persist import load_records, save_model, save_records, save_rules
 from repro.workloads import BENCHMARKS, VirtMode, WorkloadGenerator
 from repro.xentry import (
     RecoveryCostModel,
@@ -92,22 +95,41 @@ def _cmd_rates(args: argparse.Namespace) -> int:
 
 
 def _train(args: argparse.Namespace):
-    train = collect_dataset(
-        TrainingConfig(fault_free_runs=int(2000 * args.scale),
-                       injection_runs=int(7800 * args.scale), seed=args.seed),
-        stream="train",
-    )
-    test = collect_dataset(
-        TrainingConfig(fault_free_runs=int(1000 * args.scale),
-                       injection_runs=int(3900 * args.scale), seed=args.seed),
-        stream="test",
-    )
-    return train, test
+    """Collect train+test sets, engine-backed (``--jobs``/``--journal-dir``)."""
+    jobs = getattr(args, "jobs", 1)
+    journal_dir = getattr(args, "journal_dir", None)
+    resume = bool(journal_dir) and getattr(args, "resume", False)
+    sets = {}
+    for stream, free, inj in (("train", 2000, 7800), ("test", 1000, 3900)):
+        config = TrainingConfig(
+            fault_free_runs=int(free * args.scale),
+            injection_runs=int(inj * args.scale),
+            seed=args.seed,
+        )
+        kwargs: dict = {}
+        if journal_dir:
+            directory = Path(journal_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            telemetry = EngineTelemetry()
+            telemetry.subscribe(stderr_progress(telemetry))
+            kwargs = {
+                "journal_path": directory / f"{stream}.samples.jsonl",
+                "resume": resume,
+                "telemetry": telemetry,
+            }
+        sets[stream] = collect_dataset(config, stream=stream, jobs=jobs, **kwargs)
+    return sets["train"], sets["test"]
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
     t0 = time.time()
-    train, test = _train(args)
+    if args.datasets_from:
+        directory = Path(args.datasets_from)
+        train = dataset_from_journal(directory / "train.samples.jsonl")
+        test = dataset_from_journal(directory / "test.samples.jsonl")
+        print(f"datasets rebuilt from sample journals in {directory}")
+    else:
+        train, test = _train(args)
     print(f"train: {train.describe()}")
     print(f"test:  {test.describe()}")
     models = {}
@@ -117,6 +139,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
         print(models[algo].confusion.report(algo))
     print(f"\n(paper: random tree 98.6% vs decision tree 96.1%; "
           f"elapsed {time.time() - t0:.0f}s)")
+    if args.journal_dir:
+        print(f"sample journals at {args.journal_dir}/"
+              f"{{train,test}}.samples.jsonl (+ .manifest.json)")
+    if args.save_model:
+        save_model(models["random_tree"], args.save_model)
+        print(f"trained model (rules + evaluation) written to {args.save_model}")
     if args.save_rules:
         save_rules(compile_tree(models["random_tree"].classifier), args.save_rules)
         print(f"deployable rule table written to {args.save_rules}")
@@ -265,6 +293,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("train", help="Section III.B classifier pipeline", parents=[common])
     p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for sample collection "
+                        "(default: 1, serial; datasets are bit-identical)")
+    p.add_argument("--journal-dir", metavar="DIR",
+                   help="journal collected samples to DIR/{train,test}"
+                        ".samples.jsonl (crash-safe, resumable)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume collection from --journal-dir, "
+                        "re-running only missing shards")
+    p.add_argument("--datasets-from", metavar="DIR",
+                   help="skip collection; rebuild datasets from the sample "
+                        "journals in DIR")
+    p.add_argument("--save-model", metavar="PATH",
+                   help="write the random-tree model (compiled rules + "
+                        "held-out evaluation) as JSON")
     p.add_argument("--save-rules", metavar="PATH",
                    help="write the deployable rule table as JSON")
     p.set_defaults(func=_cmd_train)

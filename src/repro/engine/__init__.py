@@ -20,13 +20,21 @@ from repro.engine.chaos import (
     ShardChaos,
     parse_chaos_spec,
 )
-from repro.engine.journal import JournalState, TrialJournal, read_state
+from repro.engine.journal import (
+    JournalState,
+    SampleJournal,
+    TrialJournal,
+    read_state,
+)
 from repro.engine.planner import (
     BenchmarkSlice,
     CampaignPlan,
     ShardPlan,
+    TrainingShard,
     config_digest,
+    payload_digest,
     plan_campaign,
+    plan_training_shards,
 )
 from repro.engine.pool import CampaignEngine, execute_shard
 from repro.engine.supervisor import (
@@ -64,6 +72,7 @@ __all__ = [
     "JournalState",
     "ProgressSnapshot",
     "RetryPolicy",
+    "SampleJournal",
     "ShardChaos",
     "ShardFailed",
     "ShardFailure",
@@ -73,12 +82,15 @@ __all__ = [
     "ShardRetried",
     "ShardStarted",
     "ShardSupervisor",
+    "TrainingShard",
     "TrialJournal",
     "WorkerCrashed",
     "config_digest",
     "execute_shard",
     "parse_chaos_spec",
+    "payload_digest",
     "plan_campaign",
+    "plan_training_shards",
     "read_state",
     "stderr_progress",
 ]

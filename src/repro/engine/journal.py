@@ -1,18 +1,22 @@
-"""Crash-safe trial journal: durable campaign progress as JSON lines.
+"""Crash-safe sharded journals: durable engine progress as JSON lines.
 
 The journal is the engine's write-ahead log.  Each completed shard is
-appended as one batch — its trial records followed by a ``shard_done``
+appended as one batch — its payload lines followed by a ``shard_done``
 marker — and the file is fsync'd before the shard is considered durable.
-A campaign killed mid-flight therefore leaves a journal whose completed
-shards are fully recorded and whose in-flight shard is at worst a partial
-tail; on resume the engine skips every shard with a marker and re-runs the
-rest, so the merged result has no duplicated and no missing trials.
+A run killed mid-flight therefore leaves a journal whose completed shards
+are fully recorded and whose in-flight shard is at worst a partial tail;
+on resume the engine skips every shard with a marker and re-runs the rest,
+so the merged result has no duplicated and no missing items.
 
-Line kinds::
+Two payload kinds share the machinery: :class:`TrialJournal` records
+fault-injection trials (``xentry-journal-v1``), and :class:`SampleJournal`
+records labeled training samples from engine-backed dataset collection
+(``xentry-samples-v1``).  Subclasses differ only in their header format
+string and their payload codec; the line structure is identical::
 
     {"format": "xentry-journal-v1", "digest": ..., "n_shards": N, "total_trials": T}
     {"kind": "shard_begin", "shard": 3}                            # append started
-    {"kind": "trial", "shard": 3, "trial": 1287, "rec": {...}}     # one per trial
+    {"kind": "trial", "shard": 3, "trial": 1287, "rec": {...}}     # one per item
     {"kind": "shard_done", "shard": 3, "n_trials": 96}             # durability marker
     {"kind": "shard_failed", "shard": 3, "attempts": 3, ...}       # quarantined
 
@@ -37,9 +41,26 @@ from repro.errors import JournalError
 from repro.faults.outcomes import TrialRecord
 from repro.persist import _record_from_dict, _record_to_dict
 
-__all__ = ["JOURNAL_FORMAT", "JournalState", "TrialJournal", "read_state"]
+__all__ = [
+    "JOURNAL_FORMAT",
+    "SAMPLE_JOURNAL_FORMAT",
+    "JournalState",
+    "SampleJournal",
+    "TrialJournal",
+    "read_state",
+]
 
 JOURNAL_FORMAT = "xentry-journal-v1"
+SAMPLE_JOURNAL_FORMAT = "xentry-samples-v1"
+
+
+def _sample_to_dict(sample: tuple[tuple[int, ...], int]) -> dict:
+    features, label = sample
+    return {"x": [int(v) for v in features], "y": int(label)}
+
+
+def _sample_from_dict(data: dict) -> tuple[tuple[int, ...], int]:
+    return tuple(int(v) for v in data["x"]), int(data["y"])
 
 
 @dataclass
@@ -73,9 +94,18 @@ class TrialJournal:
 
     Open with :meth:`create` for a fresh campaign or :meth:`resume` to
     continue one; both return a journal whose :meth:`append_shard` durably
-    records a finished shard.  Use :func:`read_state` to inspect a journal
-    without holding it open.
+    records a finished shard.  Use :func:`read_state` (or the :meth:`read`
+    classmethod on a subclass) to inspect a journal without holding it open.
+
+    Subclasses swap the header format string and the payload codec to
+    journal other item kinds over the same crash-safety machinery.
     """
+
+    #: Header format string; a journal of a different format is rejected.
+    FORMAT = JOURNAL_FORMAT
+    #: Payload codec: item -> JSON-able dict and back.
+    _encode = staticmethod(_record_to_dict)
+    _decode = staticmethod(_record_from_dict)
 
     def __init__(self, path: str | Path, state: JournalState, *, _fh) -> None:
         self.path = Path(path)
@@ -96,7 +126,7 @@ class TrialJournal:
             )
         fh = open(path, "a")
         header = {
-            "format": JOURNAL_FORMAT,
+            "format": cls.FORMAT,
             "digest": digest,
             "n_shards": n_shards,
             "total_trials": total_trials,
@@ -110,7 +140,7 @@ class TrialJournal:
     @classmethod
     def resume(cls, path: str | Path, *, digest: str) -> "TrialJournal":
         """Reopen an existing journal, validating it belongs to ``digest``."""
-        state = read_state(path)
+        state = cls.read(path)
         if state is None:
             raise JournalError(f"{path}: no journal to resume")
         if state.digest != digest:
@@ -120,16 +150,21 @@ class TrialJournal:
             )
         return cls(path, state, _fh=open(path, "a"))
 
+    @classmethod
+    def read(cls, path: str | Path) -> JournalState | None:
+        """Parse a journal of this class's format without holding it open."""
+        return _read_state(path, fmt=cls.FORMAT, decode=cls._decode)
+
     # -- writing -------------------------------------------------------------
 
-    @staticmethod
+    @classmethod
     def _trial_lines(
-        shard_index: int, trials: list[tuple[int, TrialRecord]]
+        cls, shard_index: int, trials: list[tuple[int, TrialRecord]]
     ) -> list[str]:
         return [
             json.dumps(
                 {"kind": "trial", "shard": shard_index, "trial": t,
-                 "rec": _record_to_dict(record)}
+                 "rec": cls._encode(record)}
             )
             for t, record in trials
         ]
@@ -208,13 +243,34 @@ class TrialJournal:
         self.close()
 
 
+class SampleJournal(TrialJournal):
+    """Sharded journal of labeled training samples.
+
+    The durable artifact of engine-backed :func:`~repro.xentry.training.
+    collect_dataset`: each item is a ``(features, label)`` pair, journalled
+    per collection shard with the same crash-safety and resume semantics as
+    campaign trials.  ``total_trials`` in the header counts *planned
+    activations* — the injection stream yields at most one sample per
+    activation, so a shard's recorded count may be smaller than its plan.
+    """
+
+    FORMAT = SAMPLE_JOURNAL_FORMAT
+    _encode = staticmethod(_sample_to_dict)
+    _decode = staticmethod(_sample_from_dict)
+
+
 def read_state(path: str | Path) -> JournalState | None:
-    """Parse a journal file; ``None`` when it is missing or empty.
+    """Parse a *trial* journal file; ``None`` when it is missing or empty.
 
     Tolerates a truncated trailing line (crash mid-append); everything before
     it parses normally.  Shards recorded more than once (a shard re-run after
-    an aborted resume) keep their latest complete recording.
+    an aborted resume) keep their latest complete recording.  For sample
+    journals use :meth:`SampleJournal.read`.
     """
+    return _read_state(path, fmt=JOURNAL_FORMAT, decode=_record_from_dict)
+
+
+def _read_state(path: str | Path, *, fmt: str, decode) -> JournalState | None:
     path = Path(path)
     if not path.exists() or path.stat().st_size == 0:
         return None
@@ -223,8 +279,8 @@ def read_state(path: str | Path) -> JournalState | None:
             header = json.loads(fh.readline())
         except json.JSONDecodeError as exc:
             raise JournalError(f"{path}: unreadable journal header") from exc
-        if header.get("format") != JOURNAL_FORMAT:
-            raise JournalError(f"{path}: not a {JOURNAL_FORMAT} file")
+        if header.get("format") != fmt:
+            raise JournalError(f"{path}: not a {fmt} file")
         state = JournalState(
             digest=header["digest"],
             n_shards=int(header["n_shards"]),
@@ -241,7 +297,7 @@ def read_state(path: str | Path) -> JournalState | None:
             kind = entry.get("kind")
             if kind == "trial":
                 pending.setdefault(entry["shard"], []).append(
-                    (entry["trial"], _record_from_dict(entry["rec"]))
+                    (entry["trial"], decode(entry["rec"]))
                 )
             elif kind == "shard_begin":
                 # A fresh append supersedes any torn tail this shard left

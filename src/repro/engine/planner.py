@@ -24,11 +24,26 @@ __all__ = [
     "BenchmarkSlice",
     "CampaignPlan",
     "ShardPlan",
+    "TrainingShard",
     "config_digest",
+    "payload_digest",
     "plan_campaign",
+    "plan_training_shards",
 ]
 
 PLAN_FORMAT = "xentry-plan-v1"
+
+
+def payload_digest(payload: dict) -> str:
+    """Stable fingerprint of a JSON-able identity payload.
+
+    The shared hashing primitive behind :func:`config_digest` and the
+    training-collection digest: canonical JSON (sorted keys, no whitespace)
+    hashed with blake2b, so two payloads digest equal iff they describe the
+    same planned work.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(blob.encode(), digest_size=16).hexdigest()
 
 
 def config_digest(config: CampaignConfig) -> str:
@@ -59,8 +74,7 @@ def config_digest(config: CampaignConfig) -> str:
         # invariant under retries and injected engine faults, so a journal
         # from a chaos run resumes interchangeably with a clean one.
     }
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.blake2b(blob.encode(), digest_size=16).hexdigest()
+    return payload_digest(payload)
 
 
 @dataclass(frozen=True)
@@ -167,3 +181,74 @@ def plan_campaign(config: CampaignConfig, n_shards: int) -> CampaignPlan:
                 )
         shards.append(ShardPlan(index=k, slices=tuple(slices)))
     return CampaignPlan(config=config, shards=tuple(shards), digest=config_digest(config))
+
+
+# -- training-collection shards ------------------------------------------------
+
+#: The two independent sample streams of one benchmark's collection.
+TRAINING_PARTS = ("free", "inj")
+
+
+@dataclass(frozen=True)
+class TrainingShard:
+    """One independently executable chunk of a training-set collection.
+
+    A collection run is cut per ``(benchmark, part)`` pair — the fault-free
+    activation stream and the injection stream each start from a freshly
+    reset hypervisor and draw from their own named RNG streams, so every
+    shard can run in any process at any time and produce exactly the samples
+    the serial collection would have produced at that position.  Shards are
+    ordered benchmark-major, ``free`` before ``inj``, matching the serial
+    loop; concatenating shard outputs by index reconstructs the serial
+    sample sequence bit for bit.
+    """
+
+    index: int
+    benchmark: str
+    #: Position of the benchmark in the config's benchmark tuple.
+    benchmark_index: int
+    #: ``"free"`` (fault-free stream) or ``"inj"`` (injection stream).
+    part: str
+    #: Activations this shard will execute (samples produced may be fewer:
+    #: exception-killed and data-only-divergent injections yield none).
+    n_runs: int
+    #: Global index of this shard's first activation; samples are journalled
+    #: at ``run_start + k`` so indices are unique and ordered across shards.
+    run_start: int = 0
+
+    @property
+    def n_trials(self) -> int:
+        """Planned work units — the supervisor/telemetry progress protocol."""
+        return self.n_runs
+
+
+def plan_training_shards(
+    benchmarks: tuple[str, ...], fault_free_runs: int, injection_runs: int
+) -> tuple[TrainingShard, ...]:
+    """Cut a training collection into per-(benchmark, part) shards.
+
+    Run counts are divided per benchmark exactly as the serial collector
+    divides them (floor division, minimum one), so the plan is the single
+    source of truth for both execution paths.
+    """
+    if not benchmarks:
+        raise CampaignConfigError("training plan needs at least one benchmark")
+    per_free = max(1, fault_free_runs // len(benchmarks))
+    per_inj = max(1, injection_runs // len(benchmarks))
+    shards = []
+    run_start = 0
+    for bidx, benchmark in enumerate(benchmarks):
+        for part in TRAINING_PARTS:
+            n_runs = per_free if part == "free" else per_inj
+            shards.append(
+                TrainingShard(
+                    index=len(shards),
+                    benchmark=benchmark,
+                    benchmark_index=bidx,
+                    part=part,
+                    n_runs=n_runs,
+                    run_start=run_start,
+                )
+            )
+            run_start += n_runs
+    return tuple(shards)

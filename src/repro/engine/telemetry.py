@@ -179,6 +179,8 @@ class EngineTelemetry:
         self.done_shards = 0
         self.detected_by: Counter[str] = Counter()
         self.failure_class: Counter[str] = Counter()
+        #: Class balance of journalled training samples (sample streams only).
+        self.label_counts: Counter[str] = Counter()
         self.shard_log: list[ShardFinished] = []
         self.retries = 0
         self.worker_crashes = 0
@@ -215,11 +217,20 @@ class EngineTelemetry:
         for callback in self._callbacks:
             callback(event)
 
-    def record_outcomes(self, records: Iterable[TrialRecord]) -> None:
-        """Fold per-trial outcome counters (detection technique, consequence)."""
+    def record_outcomes(self, records: Iterable) -> None:
+        """Fold per-item outcome counters.
+
+        Campaign trials feed the detection-technique and consequence
+        counters; training samples — ``(features, label)`` pairs from a
+        sample stream — feed the class-balance counter instead.
+        """
         for record in records:
-            self.detected_by[record.detected_by.value] += 1
-            self.failure_class[record.failure_class.value] += 1
+            if isinstance(record, TrialRecord):
+                self.detected_by[record.detected_by.value] += 1
+                self.failure_class[record.failure_class.value] += 1
+            else:
+                _features, label = record
+                self.label_counts["incorrect" if label else "correct"] += 1
 
     # -- derived views -------------------------------------------------------
 
@@ -265,6 +276,7 @@ class EngineTelemetry:
             "outcomes": {
                 "detected_by": dict(self.detected_by),
                 "failure_class": dict(self.failure_class),
+                "labels": dict(self.label_counts),
             },
             "failures": {
                 "retries": self.retries,

@@ -34,13 +34,27 @@ class ConfusionMatrix:
 
     @property
     def accuracy(self) -> float:
+        """Fraction classified correctly; 0.0 on an empty matrix.
+
+        The empty case is deliberate, not accidental: a detector evaluated
+        on nothing has demonstrated no accuracy, and every derived rate here
+        follows the same convention — an empty denominator claims nothing
+        (0.0) rather than raising or returning NaN, so report pipelines
+        degrade quietly on truncated populations.
+        """
         if self.total == 0:
             return 0.0
         return (self.true_positive + self.true_negative) / self.total
 
     @property
     def false_positive_rate(self) -> float:
-        """FP / all-correct: the unnecessary-recovery rate of Section VI."""
+        """FP / all-correct: the unnecessary-recovery rate of Section VI.
+
+        With zero correct samples there is no population that could be
+        falsely flagged, so the rate is 0.0 (no needless recovery happened
+        or could have) — pinned by test, see :meth:`accuracy` for the
+        empty-denominator convention.
+        """
         n_correct = self.true_negative + self.false_positive
         return self.false_positive / n_correct if n_correct else 0.0
 
@@ -72,7 +86,13 @@ class ConfusionMatrix:
 
 
 def evaluate(y_true: np.ndarray, y_pred: np.ndarray) -> ConfusionMatrix:
-    """Compute the confusion matrix of predictions against ground truth."""
+    """Compute the confusion matrix of predictions against ground truth.
+
+    Empty inputs are legal and produce the all-zero matrix (every derived
+    rate is then 0.0 by the empty-denominator convention documented on
+    :class:`ConfusionMatrix`); mismatched shapes raise
+    :class:`~repro.errors.DatasetError`.
+    """
     y_true = np.asarray(y_true)
     y_pred = np.asarray(y_pred)
     if y_true.shape != y_pred.shape:

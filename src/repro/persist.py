@@ -1,11 +1,13 @@
 """Persistence: deployable rule tables, campaign records, datasets.
 
-Three artifact kinds cross process boundaries in a real deployment of this
+Four artifact kinds cross process boundaries in a real deployment of this
 system, and each gets a stable on-disk format:
 
 * **compiled rule tables** (JSON) — the artifact that would be compiled into
   the hypervisor; training happens offline (the paper trains in WEKA from
   Simics traces, then implements the rules in Xen);
+* **trained models** (JSON) — a rule table bundled with the held-out
+  evaluation it shipped with (``repro-xentry train --save-model``);
 * **campaign records** (JSON lines) — one fault-injection trial per line, so
   multi-hour campaigns can be analyzed incrementally and merged;
 * **datasets** (``.npz``) — labeled feature matrices for re-training.
@@ -16,6 +18,7 @@ from __future__ import annotations
 import json
 import os
 from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -32,8 +35,11 @@ from repro.ml.dataset import Dataset
 from repro.ml.export import CompiledRules
 
 __all__ = [
+    "ModelArtifact",
     "save_rules",
     "load_rules",
+    "save_model",
+    "load_model",
     "save_records",
     "load_records",
     "append_records_jsonl",
@@ -43,6 +49,7 @@ __all__ = [
 ]
 
 _RULES_FORMAT = "xentry-rules-v1"
+_MODEL_FORMAT = "xentry-model-v1"
 _RECORDS_FORMAT = "xentry-records-v1"
 
 
@@ -68,6 +75,10 @@ def load_rules(path: str | Path) -> CompiledRules:
     payload = json.loads(Path(path).read_text())
     if payload.get("format") != _RULES_FORMAT:
         raise DatasetError(f"{path}: not a {_RULES_FORMAT} file")
+    return _rules_from_payload(payload)
+
+
+def _rules_from_payload(payload: dict) -> CompiledRules:
     return CompiledRules(
         feature=np.array(payload["feature"], dtype=np.int16),
         threshold=np.array(payload["threshold"], dtype=np.int64),
@@ -75,6 +86,77 @@ def load_rules(path: str | Path) -> CompiledRules:
         right=np.array(payload["right"], dtype=np.int32),
         prediction=np.array(payload["prediction"], dtype=np.int8),
         feature_names=tuple(payload["feature_names"]),
+    )
+
+
+# -- trained models -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ModelArtifact:
+    """A trained model loaded back from disk: rules + evaluation metadata.
+
+    The deployable half of a :class:`~repro.xentry.training.TrainedModel`
+    (the fitted Python tree object does not round-trip, the compiled table
+    does) plus the held-out evaluation it shipped with.  Implements the
+    detector protocol, so a loaded artifact drops straight into campaigns.
+    """
+
+    name: str
+    rules: CompiledRules
+    evaluation: dict
+
+    def flags_incorrect(self, features) -> bool:
+        """Detector protocol: delegate to the compiled rule table."""
+        return self.rules.flags_incorrect(features)
+
+
+def save_model(model, path: str | Path) -> None:
+    """Serialize a trained model (duck-typed ``TrainedModel``) as JSON.
+
+    Stores the compiled rule table plus the evaluation headline — confusion
+    counts, accuracy, detection/false-positive rates, and the train/test set
+    summaries — so a saved model documents the numbers it was shipped with.
+    """
+    rules = model.rules
+    if rules is None:
+        raise DatasetError("model has no compiled rules to save")
+    confusion = model.confusion
+    payload = {
+        "format": _MODEL_FORMAT,
+        "name": model.name,
+        "feature_names": list(rules.feature_names),
+        "feature": rules.feature.tolist(),
+        "threshold": rules.threshold.tolist(),
+        "left": rules.left.tolist(),
+        "right": rules.right.tolist(),
+        "prediction": rules.prediction.tolist(),
+        "evaluation": {
+            "train": model.train_set.describe(),
+            "test": model.test_set.describe(),
+            "accuracy": confusion.accuracy,
+            "detection_rate": confusion.detection_rate,
+            "false_positive_rate": confusion.false_positive_rate,
+            "confusion": {
+                "true_negative": confusion.true_negative,
+                "false_positive": confusion.false_positive,
+                "false_negative": confusion.false_negative,
+                "true_positive": confusion.true_positive,
+            },
+        },
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_model(path: str | Path) -> ModelArtifact:
+    """Load a model saved by :func:`save_model`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != _MODEL_FORMAT:
+        raise DatasetError(f"{path}: not a {_MODEL_FORMAT} file")
+    return ModelArtifact(
+        name=payload["name"],
+        rules=_rules_from_payload(payload),
+        evaluation=payload["evaluation"],
     )
 
 

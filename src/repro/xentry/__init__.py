@@ -23,7 +23,9 @@ from repro.xentry.training import (
     TrainedModel,
     TrainingConfig,
     collect_dataset,
+    execute_training_shard,
     train_and_evaluate,
+    training_digest,
 )
 from repro.xentry.transition import VMTransitionDetector
 
@@ -48,5 +50,7 @@ __all__ = [
     "Xentry",
     "collect_dataset",
     "estimate_recovery_overhead",
+    "execute_training_shard",
     "train_and_evaluate",
+    "training_digest",
 ]

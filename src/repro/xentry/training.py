@@ -21,23 +21,50 @@ This module reproduces that pipeline on the simulated platform:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro import rng as rng_mod
-from repro.errors import CampaignConfigError, SimulationLimitExceeded
+from repro.engine.chaos import ChaosPolicy, ChaosTripwire
+from repro.engine.journal import SampleJournal
+from repro.engine.planner import TrainingShard, payload_digest, plan_training_shards
+from repro.engine.supervisor import RetryPolicy, ShardSupervisor
+from repro.engine.telemetry import (
+    CampaignFinished,
+    CampaignStarted,
+    EngineTelemetry,
+    ShardFinished,
+)
+from repro.errors import (
+    CampaignConfigError,
+    EngineError,
+    JournalError,
+    SimulationLimitExceeded,
+)
 from repro.faults.model import FaultModel
 from repro.faults.propagation import capture_golden, compute_divergence
 from repro.hypervisor.xen import XenHypervisor
 from repro.machine.exceptions import AssertionViolation, HardwareException
 from repro.ml.dataset import CORRECT, Dataset, INCORRECT
 from repro.ml.decision_tree import DecisionTreeClassifier
+from repro.ml.export import CompiledRules, compile_tree
 from repro.ml.metrics import ConfusionMatrix, evaluate
 from repro.ml.random_tree import RandomTreeClassifier
 from repro.workloads.base import VirtMode
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.suite import BENCHMARK_NAMES, get_profile
 
-__all__ = ["TrainingConfig", "TrainedModel", "collect_dataset", "train_and_evaluate"]
+__all__ = [
+    "TrainingConfig",
+    "TrainedModel",
+    "collect_dataset",
+    "execute_training_shard",
+    "train_and_evaluate",
+    "training_digest",
+]
+
+TRAINING_PLAN_FORMAT = "xentry-training-v1"
 
 
 @dataclass(frozen=True)
@@ -62,81 +89,295 @@ class TrainingConfig:
             raise CampaignConfigError("run counts must be positive")
 
 
+def training_digest(config: TrainingConfig, stream: str = "train") -> str:
+    """Stable fingerprint of everything that shapes a collection's samples.
+
+    The sample journal stores it so a resume against a different collection
+    (different seed, benchmarks, stream, ...) is rejected instead of silently
+    merging unrelated samples.
+    """
+    payload = {
+        "format": TRAINING_PLAN_FORMAT,
+        "stream": stream,
+        "benchmarks": list(config.benchmarks),
+        "mode": config.mode.value,
+        "fault_free_runs": config.fault_free_runs,
+        "injection_runs": config.injection_runs,
+        "seed": config.seed,
+        "n_domains": config.n_domains,
+        "fault_registers": list(config.fault_model.registers),
+        "fault_bits": list(config.fault_model.bits),
+    }
+    return payload_digest(payload)
+
+
+Sample = tuple[tuple[int, ...], int]
+
+
+def _collect_free_part(
+    hv: XenHypervisor,
+    generator: WorkloadGenerator,
+    shard: TrainingShard,
+    stream: str,
+    tripwire: ChaosTripwire | None,
+) -> list[Sample]:
+    """Fault-free stream: evolving state, every transition labeled CORRECT."""
+    items: list[Sample] = []
+    for activation in generator.activations(shard.n_runs, stream=f"{stream}.free"):
+        result = hv.execute(activation)
+        items.append((result.features, CORRECT))
+        if tripwire is not None:
+            tripwire.step()
+    return items
+
+
+def _collect_inj_part(
+    hv: XenHypervisor,
+    config: TrainingConfig,
+    generator: WorkloadGenerator,
+    shard: TrainingShard,
+    stream: str,
+    tripwire: ChaosTripwire | None,
+) -> list[Sample]:
+    """Injection stream: golden/faulty pairs, at most one sample per run."""
+    fault_rng = rng_mod.stream(config.seed, stream, "faults", shard.benchmark)
+    items: list[Sample] = []
+    for activation in generator.activations(shard.n_runs, stream=f"{stream}.inj"):
+        golden = capture_golden(hv, activation)
+        hv.restore(golden.checkpoint)
+        fault = config.fault_model.sample(fault_rng, golden.result.instructions)
+        hv.cpu.schedule_register_flip(
+            fault.dynamic_index, fault.register, fault.bit
+        )
+        try:
+            faulty = hv.execute(activation)
+        except (HardwareException, AssertionViolation, SimulationLimitExceeded):
+            # Never reached VM entry: no transition sample to learn from.
+            faulty = None
+        if faulty is not None:
+            divergence = compute_divergence(hv, activation, golden, faulty)
+            if divergence.path_changed:
+                # Incorrect control flow: the class VM transition detection
+                # is designed to recognize (Section III.B).
+                items.append((faulty.features, INCORRECT))
+            elif not divergence.any:
+                # Fully masked fault: indistinguishable from correct — a
+                # legitimate correct sample.
+                items.append((faulty.features, CORRECT))
+            # Data-only divergence is excluded: by construction it leaves
+            # the control-flow features untouched, so it carries no signal
+            # and would only poison the classes (these faults are the
+            # paper's undetected Table II population, not training material).
+        # However the injection ended — killed by an exception, diverged, or
+        # masked — advance the stream from uncorrupted state: restore the
+        # golden checkpoint and re-execute the activation fault-free, so the
+        # next golden capture sees an evolved (never corrupted, never
+        # stalled) state stream.
+        hv.restore(golden.checkpoint)
+        hv.execute(activation)
+        if tripwire is not None:
+            tripwire.step()
+    return items
+
+
+def execute_training_shard(
+    config: TrainingConfig,
+    shard: TrainingShard,
+    detector=None,
+    *,
+    chaos: ChaosPolicy | None = None,
+    attempt: int = 0,
+    allow_hard: bool = True,
+    stream: str = "train",
+    hypervisor: XenHypervisor | None = None,
+) -> list[tuple[int, Sample]]:
+    """Run one collection shard and return ``(global run index, sample)``.
+
+    Module-level so a process pool can pickle it; workers rebuild their own
+    hypervisor from the config.  Every shard starts from post-boot state
+    (``hv.reset()``) and draws from RNG streams named by ``(seed, stream,
+    benchmark, part)``, so shards execute in any process, in any order, and
+    still produce exactly the samples the serial collection would have
+    produced at those positions.  ``detector`` is the supervisor protocol
+    slot — collection deploys no detector, the argument is ignored.
+    """
+    tripwire = None
+    if chaos is not None:
+        plan = chaos.plan(shard.index, attempt, allow_hard=allow_hard)
+        if not plan.quiet:
+            tripwire = ChaosTripwire(plan)
+            tripwire.step()  # faults positioned "before the first run"
+    hv = hypervisor or XenHypervisor(n_domains=config.n_domains, seed=config.seed)
+    generator = WorkloadGenerator(
+        get_profile(shard.benchmark), config.mode,
+        seed=rng_mod.derive_seed(config.seed, stream, shard.benchmark),
+        n_domains=config.n_domains,
+    )
+    hv.reset()
+    if shard.part == "free":
+        items = _collect_free_part(hv, generator, shard, stream, tripwire)
+    else:
+        items = _collect_inj_part(hv, config, generator, shard, stream, tripwire)
+    return [(shard.run_start + k, sample) for k, sample in enumerate(items)]
+
+
 def collect_dataset(
     config: TrainingConfig,
     *,
     hypervisor: XenHypervisor | None = None,
     stream: str = "train",
+    jobs: int = 1,
+    journal_path: str | Path | None = None,
+    resume: bool = False,
+    telemetry: EngineTelemetry | None = None,
+    retry: RetryPolicy | None = None,
+    shard_timeout: float | None = None,
+    chaos: ChaosPolicy | None = None,
 ) -> Dataset:
-    """Collect one labeled dataset (pass a different ``stream`` for test)."""
-    hv = hypervisor or XenHypervisor(n_domains=config.n_domains, seed=config.seed)
+    """Collect one labeled dataset (pass a different ``stream`` for test).
+
+    Collection runs on the campaign engine: the run is cut into one shard
+    per ``(benchmark, part)`` pair (:func:`plan_training_shards`), executed
+    by a :class:`ShardSupervisor` — inline when ``jobs=1``, over a process
+    pool otherwise — with the engine's retry/backoff, watchdog and telemetry
+    semantics.  With ``journal_path`` every finished shard is durably
+    journalled (:class:`SampleJournal`) and ``resume=True`` finishes a
+    killed collection, re-running only the missing shards.  The merged
+    dataset is bit-identical to a serial collection of the same seed,
+    whatever the job count, supervision, or resume history.
+
+    ``hypervisor`` is honored on the inline path only; pool workers rebuild
+    their own (bit-identical: every shard starts from post-boot state).
+    Unlike campaigns, a collection with quarantined shards raises
+    :class:`EngineError` instead of returning degraded data — a silently
+    truncated training set skews the class balance it exists to provide.
+    """
+    if jobs < 1:
+        raise EngineError("jobs must be positive")
+    if resume and journal_path is None:
+        raise EngineError("resume requires a journal_path")
+    shards = plan_training_shards(
+        config.benchmarks, config.fault_free_runs, config.injection_runs
+    )
+    digest = training_digest(config, stream)
+    total_runs = sum(s.n_runs for s in shards)
+    telemetry = telemetry or EngineTelemetry()
+    journal: SampleJournal | None = None
+    if journal_path is not None:
+        journal = _open_sample_journal(
+            journal_path, digest=digest, n_shards=len(shards),
+            total_runs=total_runs, resume=resume,
+        )
+    done: dict[int, list[tuple[int, Sample]]] = (
+        dict(journal.state.completed) if journal is not None else {}
+    )
+    failures = {}
+    try:
+        pending = [s for s in shards if s.index not in done]
+        telemetry.emit(
+            CampaignStarted(
+                total_trials=total_runs,
+                n_shards=len(shards),
+                jobs=jobs,
+                resumed_shards=len(done),
+            )
+        )
+        for index, items in sorted(done.items()):
+            telemetry.record_outcomes(sample for _, sample in items)
+            telemetry.emit(
+                ShardFinished(
+                    shard=index, n_trials=len(items), elapsed=0.0, resumed=True
+                )
+            )
+        execute = functools.partial(execute_training_shard, stream=stream)
+        if jobs == 1 and hypervisor is not None:
+            execute = functools.partial(execute, hypervisor=hypervisor)
+        supervisor = ShardSupervisor(
+            config,
+            execute=execute,
+            jobs=jobs,
+            detector=None,
+            retry=retry or RetryPolicy(seed=config.seed),
+            shard_timeout=shard_timeout,
+            chaos=chaos,
+            telemetry=telemetry,
+            journal=journal,
+        )
+        failures = supervisor.run(pending, done)
+    finally:
+        # Manifest first (observability must survive failures), best-effort
+        # so an unwritable manifest cannot mask the exception unwinding here.
+        if journal_path is not None:
+            try:
+                telemetry.write_manifest(
+                    Path(journal_path).with_name(
+                        Path(journal_path).name + ".manifest.json"
+                    )
+                )
+            except OSError:
+                pass
+        if journal is not None:
+            journal.close()
+    if failures:
+        detail = "; ".join(
+            f"shard {i} ({shards[i].benchmark}/{shards[i].part}): "
+            f"{f.last.kind} after {len(f.attempts)} attempts"
+            for i, f in sorted(failures.items())
+        )
+        raise EngineError(
+            f"training collection lost {len(failures)}/{len(shards)} shards "
+            f"to quarantine — a truncated dataset would skew the class "
+            f"balance, refusing to return it ({detail})"
+        )
     samples: list[tuple[int, ...]] = []
     labels: list[int] = []
-    per_bench_free = max(1, config.fault_free_runs // len(config.benchmarks))
-    per_bench_inj = max(1, config.injection_runs // len(config.benchmarks))
-    for benchmark in config.benchmarks:
-        generator = WorkloadGenerator(
-            get_profile(benchmark), config.mode,
-            seed=rng_mod.derive_seed(config.seed, stream, benchmark),
-            n_domains=config.n_domains,
+    for index in sorted(done):
+        for _, (features, label) in sorted(done[index]):
+            samples.append(features)
+            labels.append(label)
+    snap = telemetry.snapshot()
+    telemetry.emit(
+        CampaignFinished(
+            total_trials=total_runs,
+            executed_trials=telemetry.executed_trials,
+            elapsed=snap.elapsed,
+            trials_per_sec=snap.trials_per_sec,
         )
-        # Fault-free stream: evolving state, label CORRECT.
-        hv.reset()
-        for activation in generator.activations(per_bench_free, stream=f"{stream}.free"):
-            result = hv.execute(activation)
-            samples.append(result.features)
-            labels.append(CORRECT)
-        # Injection stream: golden/faulty pairs.
-        fault_rng = rng_mod.stream(config.seed, stream, "faults", benchmark)
-        hv.reset()
-        injected = 0
-        for activation in generator.activations(per_bench_inj, stream=f"{stream}.inj"):
-            if injected >= per_bench_inj:
-                break
-            golden = capture_golden(hv, activation)
-            hv.restore(golden.checkpoint)
-            fault = config.fault_model.sample(fault_rng, golden.result.instructions)
-            hv.cpu.schedule_register_flip(
-                fault.dynamic_index, fault.register, fault.bit
-            )
-            injected += 1
-            try:
-                faulty = hv.execute(activation)
-            except (HardwareException, AssertionViolation, SimulationLimitExceeded):
-                # Never reached VM entry: no transition sample to learn from.
-                hv.restore(golden.checkpoint)
-                continue
-            divergence = compute_divergence(hv, activation, golden, faulty)
-            if divergence.path_changed:
-                # Incorrect control flow: the class VM transition detection
-                # is designed to recognize (Section III.B).
-                samples.append(faulty.features)
-                labels.append(INCORRECT)
-            elif not divergence.any:
-                # Fully masked fault: indistinguishable from correct — a
-                # legitimate correct sample.
-                samples.append(faulty.features)
-                labels.append(CORRECT)
-            # Data-only divergence is excluded: by construction it leaves the
-            # control-flow features untouched, so it carries no signal and
-            # would only poison the classes (these faults are the paper's
-            # undetected Table II population, not training material).
-            # Leave the golden state in place so the stream keeps evolving
-            # from uncorrupted state.
-            hv.restore(golden.checkpoint)
-            hv.execute(activation)
+    )
     return Dataset.from_samples(samples, labels)
+
+
+def _open_sample_journal(
+    path: str | Path, *, digest: str, n_shards: int, total_runs: int, resume: bool
+) -> SampleJournal:
+    existing = SampleJournal.read(path)
+    if existing is not None and not resume:
+        raise JournalError(
+            f"{path}: journal exists; pass resume=True (--resume) to "
+            "continue it or remove the file"
+        )
+    if resume and existing is not None:
+        return SampleJournal.resume(path, digest=digest)
+    return SampleJournal.create(
+        path, digest=digest, n_shards=n_shards, total_trials=total_runs
+    )
 
 
 @dataclass(frozen=True)
 class TrainedModel:
-    """A trained classifier with its held-out evaluation."""
+    """A trained classifier with its held-out evaluation.
+
+    ``rules`` is the classifier lowered to a flat comparison table
+    (:func:`repro.ml.export.compile_tree`) — the deployable artifact, and
+    the one evaluation runs through (vectorized batch traversal).
+    """
 
     name: str
     classifier: DecisionTreeClassifier
     train_set: Dataset
     test_set: Dataset
     confusion: ConfusionMatrix
+    rules: CompiledRules | None = None
 
     @property
     def accuracy(self) -> float:
@@ -186,11 +427,16 @@ def train_and_evaluate(
             f"unknown algorithm {algorithm!r} (random_tree or decision_tree)"
         )
     classifier.fit(train_set.oversampled(INCORRECT, incorrect_oversample))
-    confusion = evaluate(test_set.y, classifier.predict(test_set.X))
+    # Evaluate through the compiled batch path — the deployable artifact is
+    # what gets scored, and the batch traversal is bit-identical to the
+    # per-row tree walk (property-tested), just vectorized.
+    rules = compile_tree(classifier)
+    confusion = evaluate(test_set.y, rules.predict_batch(test_set.X))
     return TrainedModel(
         name=algorithm,
         classifier=classifier,
         train_set=train_set,
         test_set=test_set,
         confusion=confusion,
+        rules=rules,
     )

@@ -52,6 +52,18 @@ class TestCdf:
         with pytest.raises(CampaignConfigError):
             cdf.percentile(1.5)
 
+    def test_percentile_rejects_negative_quantile(self):
+        cdf = Cdf.from_samples([1, 2, 3])
+        with pytest.raises(CampaignConfigError):
+            cdf.percentile(-0.5)
+
+    def test_percentile_smallest_quantile_hits_minimum(self):
+        # Any q in (0, 1/n] must return the smallest sample, never
+        # underflow the value array.
+        cdf = Cdf.from_samples([10, 20, 30, 40])
+        assert cdf.percentile(1e-9) == 10
+        assert cdf.percentile(0.25) == 10
+
     def test_table_pairs(self):
         cdf = Cdf.from_samples([100, 200, 700])
         table = cdf.table([100, 700])

@@ -1,0 +1,154 @@
+"""Vectorized batch inference: oracle equivalence, edge cases, tie-break.
+
+``CompiledRules.predict`` (one :meth:`classify` walk per row) is the
+differential oracle; ``predict_batch`` must be bit-identical to it on every
+input — labels *and* traversal comparison counts — for single trees and for
+the forest's matrix-reduction vote.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DatasetError, NotFittedError
+from repro.ml import (
+    CORRECT,
+    CompiledRules,
+    Dataset,
+    DecisionTreeClassifier,
+    INCORRECT,
+    RandomForestClassifier,
+    compile_tree,
+    evaluate,
+)
+
+_LEAF = -1
+
+
+@st.composite
+def labeled_dataset(draw):
+    n = draw(st.integers(min_value=4, max_value=60))
+    X = np.array(
+        draw(
+            st.lists(
+                st.tuples(*([st.integers(0, 200)] * 5)), min_size=n, max_size=n
+            )
+        ),
+        dtype=np.int64,
+    )
+    y = np.array(
+        draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)), dtype=np.int8
+    )
+    return Dataset(X, y)
+
+
+def leaf_rules(prediction: int) -> CompiledRules:
+    """A single-leaf rule table that always predicts ``prediction``."""
+    return CompiledRules(
+        feature=np.array([_LEAF], dtype=np.int16),
+        threshold=np.array([0], dtype=np.int64),
+        left=np.array([0], dtype=np.int32),
+        right=np.array([0], dtype=np.int32),
+        prediction=np.array([prediction], dtype=np.int8),
+        feature_names=("f0", "f1", "f2", "f3", "f4"),
+    )
+
+
+class TestTreeBatchEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(ds=labeled_dataset())
+    def test_batch_labels_match_per_row_oracle(self, ds):
+        rules = compile_tree(DecisionTreeClassifier(max_depth=8).fit(ds))
+        assert (rules.predict_batch(ds.X) == rules.predict(ds.X)).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(ds=labeled_dataset())
+    def test_batch_comparisons_match_per_row_walks(self, ds):
+        rules = compile_tree(DecisionTreeClassifier(max_depth=8).fit(ds))
+        labels, comparisons = rules.classify_batch(ds.X)
+        expected = [rules.classify(row) for row in ds.X]
+        assert list(labels) == [label for label, _ in expected]
+        assert list(comparisons) == [c for _, c in expected]
+
+    @settings(max_examples=20, deadline=None)
+    @given(ds=labeled_dataset())
+    def test_forest_batch_matches_per_row_oracle(self, ds):
+        forest = RandomForestClassifier(n_trees=5, max_depth=6, seed=3).fit(ds)
+        assert (forest.predict_batch(ds.X) == forest.predict(ds.X)).all()
+
+    def test_mean_traversal_depth_bounded_by_max_depth(self):
+        X = np.arange(50, dtype=np.int64).reshape(10, 5)
+        ds = Dataset(X, (X[:, 0] > 22).astype(np.int8))
+        rules = compile_tree(DecisionTreeClassifier(max_depth=4).fit(ds))
+        assert 0.0 < rules.mean_traversal_depth(ds.X) <= rules.max_depth
+
+
+class TestEmptyInputs:
+    def test_tree_batch_on_empty_matrix(self):
+        rules = leaf_rules(CORRECT)
+        empty = np.empty((0, 5), dtype=np.int64)
+        labels, comparisons = rules.classify_batch(empty)
+        assert labels.shape == comparisons.shape == (0,)
+        assert len(rules.predict(empty)) == len(rules.predict_batch(empty)) == 0
+        assert rules.mean_traversal_depth(empty) == 0.0
+
+    def test_fitted_forest_on_empty_matrix(self):
+        ds = Dataset(
+            np.arange(40, dtype=np.int64).reshape(8, 5),
+            np.array([0, 1] * 4, dtype=np.int8),
+        )
+        forest = RandomForestClassifier(n_trees=3, seed=1).fit(ds)
+        empty = np.empty((0, 5), dtype=np.int64)
+        assert len(forest.predict(empty)) == len(forest.predict_batch(empty)) == 0
+
+    def test_unfitted_forest_raises_even_on_empty(self):
+        forest = RandomForestClassifier(n_trees=3)
+        empty = np.empty((0, 5), dtype=np.int64)
+        with pytest.raises(NotFittedError):
+            forest.predict(empty)
+        with pytest.raises(NotFittedError):
+            forest.predict_batch(empty)
+
+    def test_evaluate_on_empty_arrays(self):
+        cm = evaluate(np.empty(0, dtype=np.int8), np.empty(0, dtype=np.int8))
+        assert cm.total == 0
+        assert cm.accuracy == 0.0
+        assert cm.false_positive_rate == 0.0
+        assert cm.detection_rate == 0.0
+
+    def test_evaluate_shape_mismatch(self):
+        with pytest.raises(DatasetError, match="shape mismatch"):
+            evaluate(np.zeros(3, dtype=np.int8), np.zeros(2, dtype=np.int8))
+
+    def test_false_positive_rate_with_zero_correct_samples(self):
+        ones = np.ones(4, dtype=np.int8)
+        cm = evaluate(ones, ones)  # all-incorrect ground truth
+        assert cm.false_positive_rate == 0.0
+        assert cm.detection_rate == 1.0
+
+
+class TestForestTieBreak:
+    def _split_jury(self) -> RandomForestClassifier:
+        """An even forest whose members disagree 1-1 on every input."""
+        forest = RandomForestClassifier(n_trees=2)
+        forest._rules = [leaf_rules(CORRECT), leaf_rules(INCORRECT)]
+        return forest
+
+    def test_tie_breaks_toward_correct_per_row(self):
+        forest = self._split_jury()
+        assert forest.predict_one((1, 2, 3, 4, 5)) == CORRECT
+        assert not forest.flags_incorrect((1, 2, 3, 4, 5))
+
+    def test_tie_breaks_toward_correct_in_batch(self):
+        forest = self._split_jury()
+        X = np.arange(20, dtype=np.int64).reshape(4, 5)
+        assert (forest.predict(X) == CORRECT).all()
+        assert (forest.predict_batch(X) == CORRECT).all()
+
+    def test_strict_majority_still_flags(self):
+        forest = RandomForestClassifier(n_trees=2)
+        forest._rules = [leaf_rules(INCORRECT), leaf_rules(INCORRECT)]
+        X = np.arange(10, dtype=np.int64).reshape(2, 5)
+        assert (forest.predict_batch(X) == INCORRECT).all()
+        assert forest.predict_one((0, 0, 0, 0, 0)) == INCORRECT

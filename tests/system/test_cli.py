@@ -16,6 +16,9 @@ class TestParser:
             ["info"],
             ["rates", "--mode", "pv", "--seconds", "10"],
             ["train", "--scale", "0.05"],
+            ["train", "--scale", "0.05", "--jobs", "2",
+             "--journal-dir", "runs", "--resume"],
+            ["train", "--datasets-from", "runs", "--save-model", "m.json"],
             ["campaign", "--injections", "100"],
             ["campaign", "--injections", "100", "--jobs", "4",
              "--journal", "j.jsonl", "--resume"],
@@ -131,3 +134,37 @@ class TestExecution:
 
         rules = load_rules(path)
         assert rules.n_nodes >= 1
+
+    def test_train_jobs_matches_serial(self, capsys):
+        """--jobs 2 through the CLI reports identical classifier figures."""
+        argv = ["train", "--scale", "0.03", "--seed", "2"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        pooled = capsys.readouterr().out
+        # Everything between the dataset summaries and the timing footer —
+        # class counts and both confusion reports — must match exactly.
+        assert serial.split("(paper")[0] == pooled.split("(paper")[0]
+
+    def test_train_journal_rebuild_and_model(self, capsys, tmp_path):
+        """Journalled collection, offline re-training from the journals, and
+        the saved model artifact all agree."""
+        journal_dir = str(tmp_path / "runs")
+        model_path = str(tmp_path / "model.json")
+        assert main(["train", "--scale", "0.03", "--seed", "2",
+                     "--journal-dir", journal_dir,
+                     "--save-model", model_path]) == 0
+        first = capsys.readouterr().out
+        assert "sample journals at" in first
+        assert (tmp_path / "runs" / "train.samples.jsonl").exists()
+        assert (tmp_path / "runs" / "train.samples.jsonl.manifest.json").exists()
+        assert main(["train", "--datasets-from", journal_dir]) == 0
+        rebuilt = capsys.readouterr().out
+        assert "rebuilt from sample journals" in rebuilt
+        assert first.split("(paper")[0].split("train:")[1] == \
+            rebuilt.split("(paper")[0].split("train:")[1]
+        from repro.persist import load_model
+
+        artifact = load_model(model_path)
+        assert artifact.name == "random_tree"
+        assert 0.0 < artifact.evaluation["accuracy"] <= 1.0

@@ -16,16 +16,19 @@ from repro.faults.outcomes import (
 )
 from repro.ml import Dataset, DecisionTreeClassifier, compile_tree
 from repro.persist import (
+    ModelArtifact,
     append_records_jsonl,
     iter_records_jsonl,
     load_dataset,
+    load_model,
     load_records,
     load_rules,
     save_dataset,
+    save_model,
     save_records,
     save_rules,
 )
-from repro.xentry import VMTransitionDetector
+from repro.xentry import VMTransitionDetector, train_and_evaluate
 
 from tests.ml.test_trees import separable_dataset
 
@@ -53,6 +56,50 @@ class TestRules:
         path.write_text(json.dumps({"format": "something-else"}))
         with pytest.raises(DatasetError):
             load_rules(path)
+
+
+class TestModels:
+    @pytest.fixture(scope="class")
+    def model(self):
+        train = separable_dataset(300, seed=5)
+        test = separable_dataset(150, seed=6)
+        return train_and_evaluate(train, test, algorithm="decision_tree", seed=1)
+
+    def test_roundtrip_preserves_rules_and_evaluation(self, tmp_path, model):
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert isinstance(loaded, ModelArtifact)
+        assert loaded.name == "decision_tree"
+        X = model.test_set.X
+        assert (loaded.rules.predict_batch(X) == model.rules.predict_batch(X)).all()
+        assert loaded.evaluation["accuracy"] == model.accuracy
+        assert (
+            loaded.evaluation["false_positive_rate"] == model.false_positive_rate
+        )
+        counts = loaded.evaluation["confusion"]
+        assert sum(counts.values()) == model.confusion.total
+
+    def test_loaded_artifact_is_a_detector(self, tmp_path, model):
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        artifact = load_model(path)
+        features = tuple(int(v) for v in model.test_set.X[0])
+        assert artifact.flags_incorrect(features) == model.rules.flags_incorrect(
+            features
+        )
+
+    def test_format_guard(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "xentry-rules-v1"}))
+        with pytest.raises(DatasetError, match="xentry-model-v1"):
+            load_model(path)
+
+    def test_model_without_rules_rejected(self, tmp_path, model):
+        from dataclasses import replace
+
+        with pytest.raises(DatasetError, match="no compiled rules"):
+            save_model(replace(model, rules=None), tmp_path / "model.json")
 
 
 class TestRecords:

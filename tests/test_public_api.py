@@ -31,12 +31,14 @@ PACKAGES = {
         "CampaignEngine", "CampaignPlan", "ShardPlan", "BenchmarkSlice",
         "plan_campaign", "config_digest", "execute_shard",
         "TrialJournal", "JournalState", "read_state",
+        "SampleJournal", "TrainingShard", "plan_training_shards", "payload_digest",
         "EngineTelemetry", "ProgressSnapshot", "stderr_progress",
         "CampaignStarted", "ShardStarted", "ShardFinished", "CampaignFinished",
     ),
     "repro.xentry": (
         "Xentry", "VMTransitionDetector", "RuntimeDetector", "FeatureVector",
         "TrainingConfig", "collect_dataset", "train_and_evaluate",
+        "execute_training_shard", "training_digest",
         "RecoveryCostModel", "RecoveryManager", "estimate_recovery_overhead",
         "DetectionCostModel", "ShimInterceptor",
     ),
@@ -47,6 +49,7 @@ PACKAGES = {
     "repro.analysis": (
         "BoxStats", "Cdf", "ComparisonTable", "LatencyStudy",
         "PerfOverheadModel", "coverage_by_technique", "undetected_breakdown",
+        "dataset_from_journal", "sample_journal_progress",
     ),
     "repro.system": ("VirtualPlatform", "PlatformConfig"),
 }

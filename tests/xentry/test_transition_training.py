@@ -3,10 +3,12 @@
 import numpy as np
 import pytest
 
+from repro import rng as rng_mod
 from repro.errors import CampaignConfigError, NotFittedError
-from repro.faults.outcomes import DetectionTechnique
+from repro.faults.outcomes import DetectionTechnique, FaultSpec
 from repro.hypervisor import Activation, REGISTRY, XenHypervisor
 from repro.ml import CORRECT, Dataset, DecisionTreeClassifier, INCORRECT
+from repro.workloads import VirtMode, WorkloadGenerator, get_profile
 from repro.xentry import (
     ProtectionVerdict,
     TrainingConfig,
@@ -94,6 +96,91 @@ class TestTrainingPipeline:
     def test_config_validation(self):
         with pytest.raises(CampaignConfigError):
             TrainingConfig(fault_free_runs=0)
+
+
+class AlternatingKillFaultModel:
+    """Deterministic fault schedule: odd draws kill, even draws never fire.
+
+    The killing spec (rbp bit 44 at dynamic index 3) derails the globals
+    base early enough that every activation dies on a hardware exception
+    before VM entry; the inert spec schedules its flip beyond any run
+    length, so the faulty run is bit-identical to the golden run (fully
+    masked -> a CORRECT sample whose features equal the fault-free stream's
+    features at that position).
+    """
+
+    registers = ("rbp",)
+    bits = (44, 44)
+
+    def __init__(self):
+        self.calls = 0
+
+    def sample(self, rng, run_length):
+        self.calls += 1
+        if self.calls % 2 == 1:
+            return FaultSpec(register="rbp", bit=44, dynamic_index=3)
+        return FaultSpec(register="rbp", bit=44, dynamic_index=1_000_000_000)
+
+
+class TestStreamBugfixes:
+    """Regressions for the collect_dataset state-stream corruption bugs."""
+
+    N_INJ = 20
+
+    def _config(self):
+        return TrainingConfig(
+            benchmarks=("mcf",), fault_free_runs=1, injection_runs=self.N_INJ,
+            seed=11, fault_model=AlternatingKillFaultModel(),
+        )
+
+    def _fault_free_stream(self, config, part, n):
+        """Features of executing the named activation stream fault-free."""
+        hv = XenHypervisor(n_domains=config.n_domains, seed=config.seed)
+        generator = WorkloadGenerator(
+            get_profile("mcf"), config.mode,
+            seed=rng_mod.derive_seed(config.seed, "train", "mcf"),
+            n_domains=config.n_domains,
+        )
+        hv.reset()
+        return [
+            hv.execute(a).features
+            for a in generator.activations(n, stream=f"train.{part}")
+        ]
+
+    def test_exception_killed_injections_do_not_stall_the_stream(self):
+        """The golden stream keeps evolving across exception-killed runs.
+
+        Every odd injection dies on a hardware exception (no sample); every
+        even injection is fully masked, so its sample features ARE the
+        fault-free stream's features at that position.  Before the fix the
+        exception path restored the checkpoint without re-executing, so the
+        stream froze at the first kill and every later masked sample
+        repeated stale state.
+        """
+        config = self._config()
+        ds = collect_dataset(config)
+        free = self._fault_free_stream(config, "free", 1)
+        inj = self._fault_free_stream(config, "inj", self.N_INJ)
+        expected = free + [inj[i] for i in range(1, self.N_INJ, 2)]
+        assert [tuple(row) for row in ds.X.tolist()] == [
+            tuple(int(v) for v in f) for f in expected
+        ]
+        assert (ds.y == CORRECT).all()
+        # The masked samples must not all repeat one stale state vector.
+        masked = ds.X[1:]
+        assert len(np.unique(masked, axis=0)) > 1
+
+    def test_every_planned_injection_is_executed(self):
+        """The dead `injected >= per_bench_inj` guard is gone: the stream
+        drives exactly one injection per planned activation, and killed
+        injections still consume their activation (they just yield no
+        sample)."""
+        config = self._config()
+        ds = collect_dataset(config)
+        assert config.fault_model.calls == self.N_INJ
+        # 1 fault-free sample + one masked sample per even-indexed run;
+        # the 10 killed runs contribute activations but no samples.
+        assert len(ds) == 1 + self.N_INJ // 2
 
 
 class TestXentryFramework:
