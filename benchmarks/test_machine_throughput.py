@@ -8,11 +8,15 @@ to ``BENCH_machine.json`` next to this file (override with
 ``REPRO_BENCH_OUTPUT``).
 
 The harness deliberately runs unmodified on the pre-optimization code
-(feature-detecting the ladder/fast-forward API), so the committed
-``baseline_trials_per_sec`` was produced by this exact file against the
-pre-change tree.  The acceptance gate for the checkpoint/fast-forward work
-is ≥ 3× that baseline; CI runs this as a non-blocking perf smoke because
-absolute throughput varies across machines.
+(feature-detecting the ladder/fast-forward and translation-cache APIs), so
+both committed baselines were produced by this exact file against their
+pre-change trees.  Two gates: the checkpoint/fast-forward work must hold
+≥ 3× the interpreter-era baseline, and the basic-block translation cache
+must hold ≥ 1.5× the pre-translation tree (plus carry > 50% of retired
+instructions, so the cache can't "pass" by staying cold).  The summary
+records translation telemetry — blocks compiled, block-dispatch hit rate,
+and the translated/interpreted instruction mix.  CI runs this as a
+non-blocking perf smoke because absolute throughput varies across machines.
 """
 
 from __future__ import annotations
@@ -30,17 +34,32 @@ from repro.hypervisor import Activation, REGISTRY, XenHypervisor
 from benchmarks.conftest import SEED, scaled
 
 N_GOLDENS = 6
-TRIALS_PER_GOLDEN = scaled(100)
+#: Campaign-scale trial counts (production campaigns run thousands of
+#: injections per golden): warmth-gated trace compilation only amortizes
+#: at this scale, so benchmarking at toy trial counts would measure
+#: compile overhead instead of the steady state campaigns actually see.
+TRIALS_PER_GOLDEN = scaled(800)
 LADDER_INTERVAL = 32
 
 #: trials/sec of this exact harness against the pre-change implementation
 #: (full-copy checkpoints, no resumable core, pre-optimization interpreter),
 #: measured on the same machine that produced the committed
-#: ``BENCH_machine.json``.  Moves only when the benchmark shape changes.
+#: ``BENCH_machine.json``.  Moves only when the benchmark shape changes;
+#: re-measured at the 4800-trial shape (best of repeated fresh-process
+#: runs) when the translation-cache PR scaled the workload up.
 BASELINE_TRIALS_PER_SEC = float(
-    os.environ.get("REPRO_BENCH_MACHINE_BASELINE", "745.1")
+    os.environ.get("REPRO_BENCH_MACHINE_BASELINE", "741.8")
 )
 TARGET_SPEEDUP = 3.0
+
+#: trials/sec of the checkpoint/fast-forward tree *before* the basic-block
+#: translation cache landed, same machine and 4800-trial shape as above
+#: (best of repeated fresh-process runs).  The translation work gates
+#: against this.
+TRANSLATION_BASELINE_TRIALS_PER_SEC = float(
+    os.environ.get("REPRO_BENCH_TRANSLATION_BASELINE", "2315.7")
+)
+TRANSLATION_TARGET_SPEEDUP = 1.5
 
 OUTPUT = Path(
     os.environ.get("REPRO_BENCH_OUTPUT", Path(__file__).parent / "BENCH_machine.json")
@@ -106,6 +125,15 @@ def test_machine_trial_throughput():
     trials_per_sec = len(records) / elapsed
 
     ff = getattr(hv, "ff_stats", None)
+    # Block-cache telemetry, feature-detected so the harness still runs
+    # against the pre-translation tree to (re)measure its baseline.
+    tstats = (
+        hv.translation_stats() if hasattr(hv, "translation_stats") else None
+    )
+    translated = interpreted = 0
+    if tstats:
+        translated = tstats["translated_instructions"]
+        interpreted = tstats["interpreted_instructions"]
     summary = {
         "format": "xentry-bench-machine-v1",
         "seed": SEED,
@@ -122,10 +150,34 @@ def test_machine_trial_throughput():
             if ff
             else None
         ),
+        "translation": (
+            {
+                "blocks_compiled": tstats["blocks_compiled"],
+                "block_executions": tstats["block_executions"],
+                "block_hit_rate": tstats["block_hit_rate"],
+                "translated_instructions": translated,
+                "interpreted_instructions": interpreted,
+                "translated_share": (
+                    translated / (translated + interpreted)
+                    if translated + interpreted
+                    else 0.0
+                ),
+            }
+            if tstats
+            else None
+        ),
         "baseline_trials_per_sec": BASELINE_TRIALS_PER_SEC or None,
         "speedup_vs_baseline": (
             trials_per_sec / BASELINE_TRIALS_PER_SEC
             if BASELINE_TRIALS_PER_SEC
+            else None
+        ),
+        "translation_baseline_trials_per_sec": (
+            TRANSLATION_BASELINE_TRIALS_PER_SEC or None
+        ),
+        "speedup_vs_translation_baseline": (
+            trials_per_sec / TRANSLATION_BASELINE_TRIALS_PER_SEC
+            if TRANSLATION_BASELINE_TRIALS_PER_SEC
             else None
         ),
     }
@@ -139,6 +191,13 @@ def test_machine_trial_throughput():
         print(f"  fast-forward hits: {ff['fast_forwarded']}/{ff['trials']} "
               f"({summary['fast_forward']['hit_rate']:.0%}), "
               f"{ff['instructions_skipped']:,} instructions skipped")
+    if tstats:
+        tr = summary["translation"]
+        print(f"  block cache:       {tr['blocks_compiled']} blocks compiled, "
+              f"hit rate {tr['block_hit_rate']:.1%}")
+        print(f"  instruction mix:   {translated:,} translated / "
+              f"{interpreted:,} interpreted "
+              f"({tr['translated_share']:.1%} translated)")
     if BASELINE_TRIALS_PER_SEC:
         speedup = summary["speedup_vs_baseline"]
         print(f"  vs baseline:       {speedup:9.2f}x "
@@ -147,6 +206,16 @@ def test_machine_trial_throughput():
             f"trial hot path regressed: {speedup:.2f}x < {TARGET_SPEEDUP}x "
             f"over the pre-change baseline"
         )
+    if tstats and TRANSLATION_BASELINE_TRIALS_PER_SEC:
+        tspeedup = summary["speedup_vs_translation_baseline"]
+        print(f"  vs pre-translate:  {tspeedup:9.2f}x "
+              f"(baseline {TRANSLATION_BASELINE_TRIALS_PER_SEC:.1f} t/s)")
+        assert tspeedup >= TRANSLATION_TARGET_SPEEDUP, (
+            f"translation cache underdelivered: {tspeedup:.2f}x < "
+            f"{TRANSLATION_TARGET_SPEEDUP}x over the pre-translation baseline"
+        )
+        # The cache must actually carry the workload, not just exist.
+        assert summary["translation"]["translated_share"] > 0.5
     # The optimization must never change the science: every trial still
     # classifies, and the fast-forward path serves (nearly) all of them.
     assert all(r.benchmark == "" for r in records)

@@ -47,6 +47,7 @@ from repro.engine.journal import JOURNAL_FORMAT
 from repro.errors import CampaignConfigError
 from repro.faults import CampaignConfig, FaultInjectionCampaign
 from repro.hypervisor import ExitCategory, REGISTRY, XenHypervisor
+from repro.machine.translator import CACHE
 from repro.ml import compile_tree
 from repro.persist import load_records, save_model, save_records, save_rules
 from repro.workloads import BENCHMARKS, VirtMode, WorkloadGenerator
@@ -176,8 +177,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(f"detector: accuracy {model.accuracy:.1%}, "
           f"FP {model.false_positive_rate:.2%}")
     detector = VMTransitionDetector.from_classifier(model.classifier)
+    # Detector training above also runs guest code through the process-wide
+    # translation cache; snapshot its counters so the summary reports the
+    # campaign phase alone (under --no-translate it must read 0% translated).
+    pre_campaign = CACHE.stats()
     config = CampaignConfig(
-        n_injections=args.injections, seed=args.seed, trace=args.trace
+        n_injections=args.injections, seed=args.seed, trace=args.trace,
+        translate=not args.no_translate,
     )
     # Supervision knobs force the engine path: the serial for-loop has no
     # retry, watchdog or chaos machinery.
@@ -213,6 +219,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         result = campaign.run(progress=progress)
     print(f"\n{len(result)} injections, {len(result.manifested)} manifested "
           f"({time.time() - t0:.0f}s)")
+    tstats = {
+        k: v - pre_campaign[k]
+        for k, v in CACHE.stats().items()
+        if k != "block_hit_rate"
+    }
+    if tstats["block_executions"]:
+        mix = tstats["translated_instructions"] + tstats["interpreted_instructions"]
+        share = tstats["translated_instructions"] / mix if mix else 0.0
+        hit_rate = (
+            (tstats["block_executions"] - tstats["blocks_compiled"])
+            / tstats["block_executions"]
+        )
+        print(f"translation cache: {tstats['blocks_compiled']} blocks compiled, "
+              f"hit rate {hit_rate:.1%}, "
+              f"{share:.1%} of instructions translated")
     if args.output:
         save_records(result.records, args.output)
         print(f"records written to {args.output}")
@@ -322,6 +343,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", action="store_true",
                    help="record full per-instruction address traces "
                         "(slower; light count+path-hash tracing is the default)")
+    p.add_argument("--no-translate", action="store_true",
+                   help="disable the basic-block translation cache and run "
+                        "every instruction through the interpreter "
+                        "(slower; records are bit-identical either way)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the campaign engine "
                         "(default: 1, serial; results are bit-identical)")

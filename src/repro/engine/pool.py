@@ -43,6 +43,7 @@ from repro.faults.campaign import (
 from repro.faults.injector import TransitionDetector
 from repro.faults.outcomes import TrialRecord
 from repro.hypervisor.xen import XenHypervisor
+from repro.machine.translator import CACHE
 
 __all__ = ["CampaignEngine", "execute_shard"]
 
@@ -71,7 +72,8 @@ def execute_shard(
             tripwire = ChaosTripwire(plan)
             tripwire.step()  # faults positioned "before the first trial"
     hv = XenHypervisor(
-        n_domains=config.n_domains, seed=config.seed, light_trace=not config.trace
+        n_domains=config.n_domains, seed=config.seed,
+        light_trace=not config.trace, translate=config.translate,
     )
     out: list[tuple[int, TrialRecord]] = []
     for s in shard.slices:
@@ -201,6 +203,10 @@ class CampaignEngine:
                 journal=journal,
             )
             failures = supervisor.run(pending, done)
+            # Translation-cache/execution-mix telemetry is per-process state;
+            # this covers serial and inline (jobs=1) runs completely and the
+            # coordinating process otherwise (see record_machine_stats).
+            self.telemetry.record_machine_stats(CACHE.stats())
         finally:
             # The manifest snapshot must survive any failure mode — it is
             # written first so a failing journal close cannot cost it, and

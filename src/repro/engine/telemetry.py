@@ -186,6 +186,9 @@ class EngineTelemetry:
         self.worker_crashes = 0
         self.failed_attempts: list[ShardFailed] = []
         self.quarantined: list[ShardQuarantined] = []
+        #: Simulated-machine execution telemetry (translation-cache hit rate,
+        #: translated/interpreted instruction mix); see record_machine_stats.
+        self.machine_stats: dict[str, int | float] = {}
 
     # -- event plumbing ------------------------------------------------------
 
@@ -231,6 +234,21 @@ class EngineTelemetry:
             else:
                 _features, label = record
                 self.label_counts["incorrect" if label else "correct"] += 1
+
+    def record_machine_stats(self, stats: dict[str, int | float]) -> None:
+        """Attach simulated-machine execution counters to the run summary.
+
+        Counters are summed across calls (hit rates and other non-count
+        fields take the latest value), so the engine can fold in stats from
+        several hypervisors.  With worker processes (``jobs > 1``) the
+        counters cover the coordinating process only — the translation cache
+        is per-process state.
+        """
+        for key, value in stats.items():
+            if key.endswith("_rate") or key not in self.machine_stats:
+                self.machine_stats[key] = value
+            else:
+                self.machine_stats[key] += value
 
     # -- derived views -------------------------------------------------------
 
@@ -292,6 +310,7 @@ class EngineTelemetry:
                     for e in self.quarantined
                 ],
             },
+            "machine": dict(self.machine_stats),
             "shards": [
                 {
                     "shard": s.shard,

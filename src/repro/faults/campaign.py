@@ -64,6 +64,10 @@ class CampaignConfig:
     #: injection index.  0 disables the ladder (every trial replays the whole
     #: activation).  Excluded from the config digest: records are invariant.
     ladder_interval: int = 32
+    #: Execute through the basic-block translation cache (the interpreter
+    #: remains the differential oracle; ``--no-translate`` forces it).
+    #: Excluded from the config digest: records are invariant under it.
+    translate: bool = True
 
     def __post_init__(self) -> None:
         if not self.benchmarks:
@@ -179,7 +183,7 @@ def run_benchmark_groups(
     if hv is None:
         hv = XenHypervisor(
             n_domains=config.n_domains, seed=config.seed,
-            light_trace=not config.trace,
+            light_trace=not config.trace, translate=config.translate,
         )
     generator = WorkloadGenerator(
         get_profile(benchmark), config.mode,
@@ -222,6 +226,9 @@ def run_benchmark_groups(
             records.append(record)
             if on_record is not None:
                 on_record(record)
+    # Fold the execution-mix counters into hv.ff_stats so callers (engine
+    # shards, benchmarks) see translation telemetry without extra plumbing.
+    hv.translation_stats()
     return records
 
 
@@ -239,7 +246,7 @@ class FaultInjectionCampaign:
         self.detector = detector
         self.hv = hypervisor or XenHypervisor(
             n_domains=config.n_domains, seed=config.seed,
-            light_trace=not config.trace,
+            light_trace=not config.trace, translate=config.translate,
         )
 
     def run(self, *, progress: Callable[[int, int], None] | None = None) -> CampaignResult:

@@ -29,6 +29,7 @@ from repro.machine.cpu import CoreCheckpoint, CPUCore, ExecutionResult
 from repro.machine.isa import Op, Program
 from repro.machine.memory import MemoryCheckpoint
 from repro.machine.perfcounters import CounterSample
+from repro.machine.translator import CACHE
 
 __all__ = [
     "Activation",
@@ -153,6 +154,7 @@ class XenHypervisor:
         hardening: Hardening | None = None,
         n_cores: int = 1,
         light_trace: bool = True,
+        translate: bool = True,
     ) -> None:
         if n_cores < 1:
             raise MachineConfigError("need at least one core")
@@ -187,7 +189,8 @@ class XenHypervisor:
         #: One logical core per physical CPU (Fig. 4: Xentry instances run
         #: per-CPU; counters are not shared between logical cores).
         self.cores: tuple[CPUCore, ...] = tuple(
-            CPUCore(i, self.memory, light_trace=light_trace) for i in range(n_cores)
+            CPUCore(i, self.memory, light_trace=light_trace, translate=translate)
+            for i in range(n_cores)
         )
         self.cpu = self.cores[0]
         self._tsc_base = 1_000_000
@@ -206,6 +209,34 @@ class XenHypervisor:
 
     def vcpu(self, domain_id: int, vcpu_id: int = 0) -> VcpuView:
         return self.domain(domain_id).vcpu(vcpu_id)
+
+    def translation_stats(self) -> dict[str, int | float]:
+        """Translation-cache telemetry across every core of this machine.
+
+        Also folds the counters into :attr:`ff_stats` so the execution-mix
+        numbers travel with the fast-forward accounting the benchmarks and
+        campaign telemetry already report.  ``block_hit_rate`` is the share
+        of block executions served by an already-compiled block (process-wide
+        cache, so warm campaigns approach 1.0).
+        """
+        translated = sum(c.translated_instructions for c in self.cores)
+        interpreted = sum(c.interpreted_instructions for c in self.cores)
+        executions = sum(c.block_executions for c in self.cores)
+        cache = CACHE.stats()
+        compiled = cache["blocks_compiled"]
+        stats: dict[str, int | float] = {
+            "translated_instructions": translated,
+            "interpreted_instructions": interpreted,
+            "block_executions": executions,
+            "blocks_compiled": compiled,
+            "block_hit_rate": (
+                (executions - compiled) / executions if executions > compiled else 0.0
+            ),
+            "program_hits": cache["program_hits"],
+            "program_misses": cache["program_misses"],
+        }
+        self.ff_stats.update(stats)
+        return stats
 
     # -- state management ----------------------------------------------------------
 

@@ -22,6 +22,7 @@ from repro.machine.exceptions import (
     PageFaultKind,
     Vector,
     classify_exception,
+    raise_stack_fault,
 )
 from repro.machine.flags import CONDITION_CODES
 from repro.machine.isa import (
@@ -44,12 +45,19 @@ from repro.machine.registers import (
     RegisterFile,
 )
 from repro.machine.tracer import Tracer
+from repro.machine.translator import (
+    CACHE,
+    ProgramTranslation,
+    TranslationCache,
+    translation_for,
+)
 
 __all__ = [
     "ALL_REGISTERS",
     "Assembler",
     "AssertionViolation",
     "BRANCH_OPS",
+    "CACHE",
     "CONDITION_CODES",
     "CPUCore",
     "CoreCheckpoint",
@@ -74,13 +82,17 @@ __all__ = [
     "PageFaultKind",
     "PerformanceCounterUnit",
     "Program",
+    "ProgramTranslation",
     "Reg",
     "Region",
     "RegisterFile",
     "Tracer",
+    "TranslationCache",
     "Vector",
     "classify_exception",
     "instr_register_accesses",
     "is_canonical",
     "parse_asm",
+    "raise_stack_fault",
+    "translation_for",
 ]

@@ -23,6 +23,7 @@ from repro.machine.exceptions import (
     HardwareException,
     PageFaultKind,
     Vector,
+    raise_stack_fault,
 )
 from repro.machine.flags import add_flags, sub_flags, update_flags_logic
 from repro.machine.isa import (
@@ -38,6 +39,8 @@ from repro.machine.memory import Memory, is_canonical
 from repro.machine.perfcounters import PerformanceCounterUnit
 from repro.machine.registers import MASK64, RegisterFile
 from repro.machine.tracer import _FNV_PRIME, Tracer
+from repro.machine import translator as _translator
+from repro.machine.translator import CACHE, translation_for
 
 __all__ = [
     "CPUCore",
@@ -81,19 +84,9 @@ _I_PUSH = OP_INDEX[Op.PUSH]
 _TERMINATOR_MIN = OP_INDEX[Op.VMENTRY]
 assert _TERMINATOR_MIN == len(OP_INDEX) - 2  # VMENTRY, HALT close the enum
 
-def _raise_stack_fault(exc: HardwareException) -> None:
-    """Convert a fatal page fault on a stack access into #SS; re-raise others."""
-    if exc.vector is Vector.PAGE_FAULT and exc.kind in (
-        PageFaultKind.FATAL_UNMAPPED,
-        PageFaultKind.FATAL_PROTECTION,
-    ):
-        raise HardwareException(
-            Vector.STACK_FAULT,
-            exc.rip,
-            address=exc.address,
-            detail=f"stack access fault: {exc.detail}",
-        ) from None
-    raise exc
+# Stack-access #SS conversion — one implementation shared with the
+# translated-block codegen (see repro.machine.exceptions.raise_stack_fault).
+_raise_stack_fault = raise_stack_fault
 
 
 #: Deterministic CPUID leaves: leaf -> (eax, ebx, ecx, edx).  Values echo a
@@ -251,6 +244,7 @@ class CPUCore:
         tsc_per_instruction: int = 1,
         cpuid_table: dict[int, tuple[int, int, int, int]] | None = None,
         light_trace: bool = True,
+        translate: bool = True,
     ) -> None:
         if core_id < 0:
             raise MachineConfigError("core_id must be non-negative")
@@ -262,6 +256,14 @@ class CPUCore:
         self.tsc = tsc_start
         self.tsc_per_instruction = tsc_per_instruction
         self.cpuid_table = dict(DEFAULT_CPUID_TABLE if cpuid_table is None else cpuid_table)
+        #: Execute through cached translated blocks where possible (the
+        #: interpreter remains the oracle; ``translate=False`` forces it).
+        self.translate = translate
+        # Cumulative execution-mix telemetry (never reset by checkpoints or
+        # hypervisor resets; see XenHypervisor.translation_stats).
+        self.translated_instructions = 0
+        self.interpreted_instructions = 0
+        self.block_executions = 0
         # Injection state
         self._inj_index: int | None = None
         self._inj_reg: str | None = None
@@ -514,6 +516,34 @@ class CPUCore:
         p_stores = pmu._stores
         tsc = self.tsc
 
+        # Translated-block dispatch is only legal when a block's batched
+        # accounting matches what per-instruction interpretation would have
+        # done: light tracing (no per-address log), tracer enabled (blocks
+        # always count), and in-text execution.  A pending injection needs
+        # per-instruction visibility (``block_limit`` stops blocks short of
+        # the flip), and a live activation watch interprets any block that
+        # touches the watched register — blocks that cannot resolve the
+        # watch (``meta.touched``) still run translated.
+        use_trans = self.translate and light and enabled and text_span > 0
+        if use_trans:
+            translation = translation_for(program)
+            blocks = translation.blocks
+            compile_block = translation.compile_block
+            heat = translation.heat
+            # Read through the module so tests can pin the threshold to 1.
+            threshold = _translator.COMPILE_THRESHOLD
+        else:
+            blocks = compile_block = heat = None  # type: ignore[assignment]
+            threshold = 0
+        fast = use_trans and not watching
+        # A block only runs when it retires entirely before the next stop:
+        # the pause/budget threshold always, and the injection index while a
+        # flip is pending (the trial interprets from the injection point on).
+        block_limit = inj_index if injecting and inj_index < pause else pause
+        t_instr = 0
+        t_blocks = 0
+        count0 = count
+
         try:
             while True:
                 if count >= pause:
@@ -525,9 +555,70 @@ class CPUCore:
                     self._apply_injection(count)
                     injecting = False
                     watching = self._watch_reg is not None
+                    fast = use_trans and not watching
+                    block_limit = pause
                     rip = rvals[i_rip]
                 offset = rip - text_base
                 if 0 <= offset < text_span and not offset & 3:
+                    if use_trans:
+                        idx = offset >> 2
+                        entry = blocks[idx]
+                        if entry is None:
+                            # Warmth-gated compilation: interpret cold
+                            # entries (one-off side entries never amortize
+                            # trace compilation); compile at the threshold.
+                            warmth = heat[idx] + 1
+                            if warmth >= threshold:
+                                entry = compile_block(idx)
+                            else:
+                                heat[idx] = warmth
+                                entry = False
+                        if (
+                            entry is not False
+                            and count + entry[1] <= block_limit
+                            and (
+                                fast
+                                or not entry[6].touched >> self._watch_reg & 1
+                            )
+                        ):
+                            try:
+                                (
+                                    path_hash, n, nbr, nld, nst, nak,
+                                ) = entry[0](rvals, mem_read, mem_write, path_hash)
+                            except (HardwareException, AssertionViolation) as exc:
+                                # Precise side exit: re-synchronize counters,
+                                # hash and RIP for the partially retired
+                                # prefix — the faulting instruction retires
+                                # (count/inst/tsc, and its branch event for a
+                                # faulting CALL/RET) but not its memory event
+                                # — then deliver the exception exactly as the
+                                # interpreter would have.
+                                meta = entry[6]
+                                k = meta.index_of[exc.rip]
+                                retired = k + 1
+                                count += retired
+                                p_inst += retired
+                                tsc += tsc_step * retired
+                                p_loads += meta.loads_before[k]
+                                p_stores += meta.stores_before[k]
+                                p_br += meta.branches_through[k]
+                                self._assert_checks += meta.asserts_through[k]
+                                for a in meta.addrs[:retired]:
+                                    path_hash = ((path_hash ^ a) * fnv) & m64
+                                t_instr += retired
+                                rvals[i_rip] = exc.rip
+                                raise
+                            count += n
+                            p_inst += n
+                            p_br += nbr
+                            p_loads += nld
+                            p_stores += nst
+                            tsc += tsc_step * n
+                            if nak:
+                                self._assert_checks += nak
+                            t_instr += n
+                            t_blocks += 1
+                            continue
                     instr = instructions[offset >> 2]
                 else:
                     instr = self._fetch(program, rip)
@@ -552,6 +643,8 @@ class CPUCore:
                 if watching:
                     self._watch(instr, count)
                     watching = self._watch_reg is not None
+                    if not watching:
+                        fast = use_trans
                 if enabled:
                     count += 1
                     path_hash = ((path_hash ^ rip) * fnv) & m64
@@ -727,6 +820,13 @@ class CPUCore:
             pmu._loads = p_loads
             pmu._stores = p_stores
             self.tsc = tsc
+            self.translated_instructions += t_instr
+            self.block_executions += t_blocks
+            interp = count - count0 - t_instr
+            self.interpreted_instructions += interp
+            CACHE.translated_instructions += t_instr
+            CACHE.block_executions += t_blocks
+            CACHE.interpreted_instructions += interp
 
     def _fetch(self, program: Program, rip: int) -> Instr:
         if not is_canonical(rip):
@@ -989,12 +1089,10 @@ class CPUCore:
             regs.write_index(_RSI, (rsi + 8 * chunk) & MASK64)
             regs.write_index(_RDI, (rdi + 8 * chunk) & MASK64)
             regs.write_index(_RCX, count - copied)
-            self.pmu.count_load(chunk)
-            self.pmu.count_store(chunk)
             # Each copied word retires one extra "iteration instruction" on
             # top of the rep_movs itself, so a corrupted rcx stretches both
             # the RT counter and the dynamic path (Fig. 5a behaviour).
-            self.pmu.count_instruction(chunk)
+            self.pmu.count_block(chunk, 0, chunk, chunk)
             self.tracer.record_bulk(rip, chunk)
             self.tsc += self.tsc_per_instruction * chunk
 

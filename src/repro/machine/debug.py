@@ -14,8 +14,15 @@ from repro.errors import SimulationEvent
 from repro.machine.cpu import CPUCore
 from repro.machine.isa import Program
 from repro.machine.registers import ALL_REGISTERS
+from repro.machine.translator import translation_for
 
-__all__ = ["TraceEntry", "ExecutionTrace", "trace_execution", "diff_traces"]
+__all__ = [
+    "TraceEntry",
+    "ExecutionTrace",
+    "disassemble_block",
+    "trace_execution",
+    "diff_traces",
+]
 
 
 @dataclass(frozen=True)
@@ -93,6 +100,37 @@ def trace_execution(
         final_registers=cpu.regs.snapshot(),
         event=event,
     )
+
+
+def disassemble_block(
+    program: Program, address: int, *, show_source: bool = False
+) -> str:
+    """Disassemble the translated basic block entered at byte ``address``.
+
+    Renders each covered instruction next to its address — the exact
+    straight-line run the block's compiled closure retires — plus the block's
+    batched accounting (instruction/branch/load/store/assert deltas).  With
+    ``show_source`` the generated Python is appended, so a suspected
+    cache-semantics mismatch can be audited line by line against the
+    interpreter.  Returns a note instead when the address does not start a
+    translatable block.
+    """
+    entry = translation_for(program).block_at(address)
+    if entry is None:
+        return f"{address:#010x}: not a translatable block entry"
+    _fn, n, n_br, n_loads, n_stores, n_asserts, meta = entry
+    lines = [
+        f"block @{meta.addr:#010x}: {n} instructions, "
+        f"{n_br} branches, {n_loads} loads, {n_stores} stores, "
+        f"{n_asserts} assertion checks"
+    ]
+    for addr in meta.addrs:
+        instr = program.instruction_at(addr)
+        lines.append(f"  {addr:#010x}  {instr if instr is not None else '<invalid>'}")
+    if show_source:
+        lines.append("generated source:")
+        lines.extend("  " + line for line in meta.source.splitlines())
+    return "\n".join(lines)
 
 
 def diff_traces(golden: ExecutionTrace, faulty: ExecutionTrace) -> str:

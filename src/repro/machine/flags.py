@@ -11,6 +11,9 @@ from __future__ import annotations
 __all__ = [
     "CF", "PF", "ZF", "SF", "OF",
     "FLAG_BITS",
+    "PARITY_TABLE",
+    "SIGN_BIT",
+    "STATUS_MASK",
     "update_flags_logic",
     "update_flags_arith",
     "add_flags",
@@ -36,6 +39,13 @@ _SIGN = 1 << 63
 _PARITY_TABLE: tuple[int, ...] = tuple(
     PF if bin(i).count("1") % 2 == 0 else 0 for i in range(256)
 )
+
+# Codegen metadata: the translator inlines the flag-update recipes below into
+# generated block bodies, indexing the same parity table and clearing the same
+# status-flag mask, so translated and interpreted flag results are identical.
+PARITY_TABLE: tuple[int, ...] = _PARITY_TABLE
+STATUS_MASK = _ALL
+SIGN_BIT = _SIGN
 
 
 def _parity(value: int) -> bool:

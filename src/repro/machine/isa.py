@@ -18,6 +18,7 @@ detection paths distinguish.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.errors import AssemblyError
@@ -35,6 +36,9 @@ __all__ = [
     "OP_INDEX",
     "Program",
     "BRANCH_OPS",
+    "OP_MEM_LOADS",
+    "OP_MEM_STORES",
+    "STACK_OPS",
 ]
 
 INSTRUCTION_BYTES = 4
@@ -79,6 +83,21 @@ class Op(enum.Enum):
 
 #: Opcodes counted by the BR_INST_RETIRED performance counter.
 BRANCH_OPS: frozenset[Op] = frozenset({Op.JMP, Op.JCC, Op.CALL, Op.RET})
+
+# Per-op performance-counter metadata.  These tables are the single source of
+# truth for how many MEM_LOADS/MEM_STORES events one successful execution of
+# an opcode retires (REP_MOVS is the exception: it counts per copied word and
+# is listed here with its fixed-cost contribution of zero).  Both the
+# translator's per-block batched counter deltas and the counter-semantics
+# pinning test derive from them, so translation cannot silently change counts.
+OP_MEM_LOADS: dict[Op, int] = {Op.LOAD: 1, Op.POP: 1, Op.RET: 1}
+OP_MEM_STORES: dict[Op, int] = {Op.STORE: 1, Op.PUSH: 1, Op.CALL: 1}
+
+#: Opcodes whose memory access targets the stack: a fatal page fault during
+#: that access is architecturally delivered as #SS, not #PF (and the access
+#: happens *before* the op's load/store counter bump, so a faulting stack op
+#: retires no memory event).
+STACK_OPS: frozenset[Op] = frozenset({Op.PUSH, Op.POP, Op.CALL, Op.RET})
 
 
 class Operand:
@@ -210,13 +229,41 @@ class Program:
     which the CPU turns into #UD).
     """
 
-    __slots__ = ("base", "instructions", "labels")
+    __slots__ = ("base", "instructions", "labels", "_digest", "_translation")
 
     def __init__(self, base: int, instructions: list[Instr], labels: dict[str, int]) -> None:
         self.base = base
         self.instructions: tuple[Instr, ...] = tuple(instructions)
         #: label -> absolute byte address
         self.labels = dict(labels)
+        # Lazy identity/translation state (see text_digest and
+        # repro.machine.translator): programs with equal digests share one
+        # compiled-block set process-wide.
+        self._digest: str | None = None
+        self._translation = None
+
+    def text_digest(self) -> str:
+        """Stable fingerprint of the program text's execution semantics.
+
+        Hashes the base address plus every field the CPU (interpreter or
+        translated block) reads from each decoded instruction, so two
+        programs digest equal iff they execute identically at every address.
+        The translation cache keys compiled blocks by this digest.
+        """
+        if self._digest is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(str(self.base).encode())
+            for ins in self.instructions:
+                h.update(
+                    repr((
+                        ins.op_index, ins.dst_index, ins.src_is_reg,
+                        ins.src_index, ins.src_imm, ins.mem_base_index,
+                        ins.mem_disp, ins.target, ins.cond_table,
+                        ins.lo, ins.hi, ins.assert_id,
+                    )).encode()
+                )
+            self._digest = h.hexdigest()
+        return self._digest
 
     @property
     def size(self) -> int:

@@ -26,6 +26,11 @@ from dataclasses import dataclass, field
 from repro.errors import MemoryConfigError
 from repro.machine.exceptions import HardwareException, PageFaultKind, Vector
 
+try:  # vectorized word scan in diff_region; pure-Python fallback below
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
 __all__ = [
     "PAGE_SIZE",
     "Region",
@@ -219,7 +224,7 @@ class Memory:
             self._dirty.add(page_base)
         return page
 
-    def read_u64(self, address: int, *, rip: int = 0) -> int:
+    def read_u64(self, address: int, rip: int = 0) -> int:
         """Read a 64-bit little-endian word, enforcing mapping/protection."""
         address &= _MASK64
         off = address & _PAGE_MASK
@@ -243,7 +248,7 @@ class Memory:
             bytes(self._byte(address + i) for i in range(8)), "little"
         )
 
-    def write_u64(self, address: int, value: int, *, rip: int = 0) -> None:
+    def write_u64(self, address: int, value: int, rip: int = 0) -> None:
         """Write a 64-bit little-endian word, enforcing mapping/protection."""
         address &= _MASK64
         value &= _MASK64
@@ -456,7 +461,13 @@ class Memory:
                 page = _ZERO_PAGE
             elif page == chunk:
                 continue
-            for word in range(0, PAGE_SIZE, 8):
-                if page[word:word + 8] != chunk[word:word + 8]:
-                    diffs.append(region.base + off + word)
+            if _np is not None:
+                a = _np.frombuffer(page, dtype=_np.uint64)
+                b = _np.frombuffer(chunk, dtype=_np.uint64)
+                base = region.base + off
+                diffs.extend(base + int(w) * 8 for w in _np.nonzero(a != b)[0])
+            else:
+                for word in range(0, PAGE_SIZE, 8):
+                    if page[word:word + 8] != chunk[word:word + 8]:
+                        diffs.append(region.base + off + word)
         return diffs

@@ -76,6 +76,19 @@ class PerformanceCounterUnit:
     def count_store(self, n: int = 1) -> None:
         self._stores += n
 
+    def count_block(self, instructions: int, branches: int, loads: int, stores: int) -> None:
+        """Batched retirement of a whole basic block (one call per block).
+
+        Used by bulk executors (``rep movs``, translated blocks when they
+        flush through the PMU rather than the dispatch loop's buffered
+        locals): identical to issuing the four ``count_*`` updates
+        individually, just without per-event call overhead.
+        """
+        self._inst += instructions
+        self._br += branches
+        self._loads += loads
+        self._stores += stores
+
     # -- collection window --------------------------------------------------
 
     @property

@@ -66,6 +66,49 @@ class TestEveryInjectionIndex:
         )
 
 
+class TestSideExitPrecision:
+    """Translated trials ≡ interpreted trials at *every* injection index.
+
+    This is the translation cache's determinism contract at its sharpest:
+    a flip pending mid-would-be-block must interpret up to the injection
+    point, and the injected state's downstream consequences (activation
+    classification, exception details, counter samples, path hash) must be
+    bit-identical to the interpreter-only machine.  Sweeping every dynamic
+    instruction index of one activation covers side exits at every offset
+    of every block the golden path executes.
+    """
+
+    @pytest.fixture(scope="class")
+    def machines(self):
+        interp_hv = XenHypervisor(seed=23, translate=False)
+        trans_hv = XenHypervisor(seed=23, translate=True)
+        activation = act("apic_timer", 3)
+        interp_golden = capture_golden(interp_hv, activation, ladder_interval=16)
+        trans_golden = capture_golden(trans_hv, activation, ladder_interval=16)
+        assert interp_golden.result == trans_golden.result
+        assert interp_golden.ladder == trans_golden.ladder
+        return interp_hv, trans_hv, activation, interp_golden, trans_golden
+
+    @pytest.mark.parametrize("register,bit", [("rbx", 17), ("rip", 2), ("rflags", 6)])
+    def test_trials_identical_at_every_index(self, machines, register, bit):
+        interp_hv, trans_hv, activation, interp_golden, trans_golden = machines
+        n = interp_golden.result.instructions
+        for index in range(n):
+            fault = FaultSpec(register, bit, index)
+            interp = run_trial(interp_hv, activation, fault, golden=interp_golden)
+            trans = run_trial(trans_hv, activation, fault, golden=trans_golden)
+            assert trans == interp, (
+                f"translated trial diverged at injection index {index} "
+                f"({register} bit {bit})"
+            )
+
+    def test_translated_machine_actually_translates(self, machines):
+        _, trans_hv, _, _, _ = machines
+        stats = trans_hv.translation_stats()
+        assert stats["block_executions"] > 0
+        assert stats["translated_instructions"] > 0
+
+
 class TestRecordsInvariance:
     """Campaign science must not depend on performance knobs."""
 
@@ -82,6 +125,10 @@ class TestRecordsInvariance:
 
     def test_full_tracing_does_not_change_records(self, reference):
         config = dataclasses.replace(self.CONFIG, trace=True)
+        assert FaultInjectionCampaign(config).run().records == reference
+
+    def test_disabling_translation_does_not_change_records(self, reference):
+        config = dataclasses.replace(self.CONFIG, translate=False)
         assert FaultInjectionCampaign(config).run().records == reference
 
     def test_interval_zero_never_fast_forwards(self):

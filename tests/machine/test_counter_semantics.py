@@ -1,0 +1,237 @@
+"""Pin the per-op performance-counter semantics.
+
+The translation cache batches counter updates per basic block, so the
+per-instruction contract the interpreter established must be written down and
+enforced — otherwise batching could silently change counts.  The contract:
+
+* every retired instruction bumps INST_RETIRED (including the faulting one —
+  an instruction that raises still retires);
+* JMP/JCC/CALL/RET bump BR_INST_RETIRED, *including* a CALL/RET whose stack
+  access faults (the branch event precedes the memory access);
+* LOAD/POP/RET bump MEM_LOADS and STORE/PUSH/CALL bump MEM_STORES exactly
+  once — but only when the memory access succeeds: a faulting memory op
+  retires no memory event (this is the call/ret double-count hazard audit:
+  the memory bump must happen exactly once, after the access, on both the
+  interpreter's fallback path and the translator's batched path);
+* ``rep movs`` with ``rcx = k`` retires ``k`` extra iteration instructions,
+  ``k`` loads and ``k`` stores on top of its own retirement;
+* assertion ops evaluate their predicate before faulting, so a failing
+  assertion still counts one assertion check.
+
+Every case runs under both execution modes; the tables in
+``repro.machine.isa`` (OP_MEM_LOADS/OP_MEM_STORES/BRANCH_OPS) are checked
+against observed behaviour so neither path can drift from them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationEvent
+from repro.machine import translator
+from repro.machine.assembler import Assembler
+from repro.machine.cpu import CPUCore
+from repro.machine.exceptions import AssertionViolation, HardwareException, Vector
+from repro.machine.isa import BRANCH_OPS, Op, OP_MEM_LOADS, OP_MEM_STORES
+from repro.machine.memory import Memory, PAGE_SIZE, Region
+
+TEXT = 0x1000
+DATA = 0x10000
+STACK = 0x20000
+
+
+def _run(build, translate, *, rsp=None):
+    a = Assembler(base=TEXT)
+    build(a)
+    a.halt()
+    program = a.assemble()
+    mem = Memory()
+    mem.map_region(Region("text", TEXT, PAGE_SIZE, writable=False, executable=True))
+    mem.map_region(Region("data", DATA, PAGE_SIZE))
+    mem.map_region(Region("stack", STACK, PAGE_SIZE))
+    core = CPUCore(0, mem, translate=translate)
+    core.regs.write("rbp", DATA)
+    core.regs.write("rsp", STACK + PAGE_SIZE if rsp is None else rsp)
+    exc = None
+    try:
+        core.run(program, TEXT)
+    except SimulationEvent as event:
+        exc = event
+    return core, exc
+
+
+@pytest.fixture(params=[False, True], ids=["interpreted", "translated"])
+def translate(request):
+    return request.param
+
+
+@pytest.fixture(autouse=True)
+def _eager_compilation(monkeypatch):
+    # Every program here executes exactly once, so warmth-gated compilation
+    # would leave the translated mode interpreting; compile on first dispatch.
+    monkeypatch.setattr(translator, "COMPILE_THRESHOLD", 1)
+
+
+class TestSuccessfulOps:
+    """One successful execution of each op retires exactly its table entry."""
+
+    CASES = {
+        Op.MOV: lambda a: a.mov("rax", 5),
+        Op.LOAD: lambda a: a.load("rax", "rbp", 8),
+        Op.STORE: lambda a: a.store("rbp", 8, "rax"),
+        Op.LEA: lambda a: a.lea("rax", "rbp", 8),
+        Op.ADD: lambda a: a.add("rax", 1),
+        Op.SUB: lambda a: a.sub("rax", 1),
+        Op.AND: lambda a: a.and_("rax", 3),
+        Op.OR: lambda a: a.or_("rax", 3),
+        Op.XOR: lambda a: a.xor("rax", 3),
+        Op.IMUL: lambda a: a.imul("rax", 3),
+        Op.DIV: lambda a: (a.mov("rbx", 2), a.div("rax", "rbx")),
+        Op.SHL: lambda a: a.shl("rax", 3),
+        Op.SHR: lambda a: a.shr("rax", 3),
+        Op.CMP: lambda a: a.cmp("rax", 1),
+        Op.TEST: lambda a: a.test("rax", 1),
+        Op.INC: lambda a: a.inc("rax"),
+        Op.DEC: lambda a: a.dec("rax"),
+        Op.JMP: lambda a: (a.jmp("next"), a.label("next")),
+        Op.JCC: lambda a: (a.jcc("e", "next"), a.label("next")),
+        Op.PUSH: lambda a: a.push("rax"),
+        Op.POP: lambda a: (a.push("rax"), a.pop("rbx")),
+        Op.RDTSC: lambda a: a.rdtsc(),
+        Op.CPUID: lambda a: a.cpuid(),
+        Op.ASSERT_RANGE: lambda a: (a.mov("rax", 1), a.assert_range("rax", 0, 9, "t")),
+        Op.ASSERT_EQ: lambda a: (a.mov("rax", 1), a.assert_eq("rax", 1, "t")),
+        Op.ASSERT_EQ_REG: lambda a: (a.mov("rbx", 0), a.mov("rcx", 0),
+                                     a.assert_eq_reg("rbx", "rcx", "t")),
+        Op.NOP: lambda a: a.nop(),
+    }
+    # Extra setup instructions each case emits before/around the op at test.
+    EXTRA = {Op.DIV: 1, Op.POP: 1, Op.ASSERT_RANGE: 1, Op.ASSERT_EQ: 1,
+             Op.ASSERT_EQ_REG: 2}
+    # Memory events the setup itself contributes (POP's preparatory PUSH).
+    EXTRA_STORES = {Op.POP: 1}
+
+    @pytest.mark.parametrize("op", list(CASES), ids=lambda op: op.value)
+    def test_counts_match_isa_tables(self, translate, op):
+        core, exc = _run(self.CASES[op], translate)
+        assert exc is None
+        totals = core.pmu.totals()
+        extra = self.EXTRA.get(op, 0)
+        # +1 for the HALT terminator retirement.
+        assert totals.instructions == 1 + extra + 1
+        assert totals.branches == (1 if op in BRANCH_OPS else 0)
+        assert totals.loads == OP_MEM_LOADS.get(op, 0)
+        assert totals.stores == OP_MEM_STORES.get(op, 0) + self.EXTRA_STORES.get(op, 0)
+
+    def test_call_ret_counts(self, translate):
+        def build(a):
+            a.call("leaf")
+            a.jmp("done")
+            a.label("leaf")
+            a.ret()
+            a.label("done")
+
+        core, exc = _run(build, translate)
+        assert exc is None
+        totals = core.pmu.totals()
+        assert totals.instructions == 4  # call, ret, jmp, halt
+        assert totals.branches == 3
+        # Exactly one store (CALL pushes the return address) and one load
+        # (RET pops it) — the double-count hazard this file pins down.
+        assert totals.stores == OP_MEM_STORES[Op.CALL] == 1
+        assert totals.loads == OP_MEM_LOADS[Op.RET] == 1
+
+    @pytest.mark.parametrize("words", [0, 1, 5])
+    def test_rep_movs_counts_per_word(self, translate, words):
+        def build(a):
+            a.mov("rcx", words)
+            a.mov("rsi", DATA)
+            a.mov("rdi", DATA + 256)
+            a.rep_movs()
+
+        core, exc = _run(build, translate)
+        assert exc is None
+        totals = core.pmu.totals()
+        # 3 movs + rep_movs + halt, plus one iteration per copied word.
+        assert totals.instructions == 5 + words
+        assert totals.loads == words
+        assert totals.stores == words
+
+
+class TestFaultingOps:
+    """A faulting op retires (count/inst/tsc) but not its memory event."""
+
+    def _totals(self, build, translate, *, rsp=None):
+        core, exc = _run(build, translate, rsp=rsp)
+        assert exc is not None
+        return core, exc
+
+    def test_faulting_load_retires_no_load(self, translate):
+        core, exc = self._totals(
+            lambda a: (a.load("rax", "rbp", 8), a.load("rbx", "rax", 0)), translate
+        )
+        assert isinstance(exc, HardwareException)
+        totals = core.pmu.totals()
+        assert totals.instructions == 2  # both loads retired, halt never did
+        assert totals.loads == 1         # only the successful one counted
+        assert core.tracer.count == 2
+
+    def test_faulting_store_retires_no_store(self, translate):
+        core, exc = self._totals(
+            lambda a: (a.mov("rax", 0xDEAD0000), a.store("rax", 0, 1)), translate
+        )
+        assert isinstance(exc, HardwareException)
+        assert core.pmu.totals().stores == 0
+
+    def test_faulting_push_is_ss_without_store(self, translate):
+        core, exc = self._totals(lambda a: a.push("rax"), translate, rsp=STACK)
+        assert isinstance(exc, HardwareException)
+        assert exc.vector is Vector.STACK_FAULT
+        assert core.pmu.totals().stores == 0
+        assert core.pmu.totals().instructions == 1
+
+    def test_faulting_pop_is_ss_without_load(self, translate):
+        core, exc = self._totals(
+            lambda a: a.pop("rax"), translate, rsp=STACK + PAGE_SIZE
+        )
+        assert isinstance(exc, HardwareException)
+        assert exc.vector is Vector.STACK_FAULT
+        assert core.pmu.totals().loads == 0
+
+    def test_faulting_call_counts_branch_not_store(self, translate):
+        def build(a):
+            a.call("leaf")
+            a.label("leaf")
+            a.ret()
+
+        core, exc = self._totals(build, translate, rsp=STACK)
+        assert isinstance(exc, HardwareException)
+        assert exc.vector is Vector.STACK_FAULT
+        totals = core.pmu.totals()
+        assert totals.branches == 1  # the branch event precedes the access
+        assert totals.stores == 0
+
+    def test_faulting_ret_counts_branch_not_load(self, translate):
+        core, exc = self._totals(lambda a: a.ret(), translate, rsp=STACK + PAGE_SIZE)
+        assert isinstance(exc, HardwareException)
+        assert exc.vector is Vector.STACK_FAULT
+        totals = core.pmu.totals()
+        assert totals.branches == 1
+        assert totals.loads == 0
+
+    def test_failing_assert_counts_its_check(self, translate):
+        core, exc = self._totals(
+            lambda a: (a.mov("rax", 5), a.assert_eq("rax", 6, "pin")), translate
+        )
+        assert isinstance(exc, AssertionViolation)
+        assert core._assert_checks == 1
+        assert core.pmu.totals().instructions == 2
+
+    def test_div_by_zero_retires(self, translate):
+        core, exc = self._totals(
+            lambda a: (a.mov("rbx", 0), a.div("rax", "rbx")), translate
+        )
+        assert isinstance(exc, HardwareException)
+        assert exc.vector is Vector.DIVIDE_ERROR
+        assert core.pmu.totals().instructions == 2
+        assert core.tracer.count == 2
