@@ -13,8 +13,12 @@ evaluation artifacts::
                           --chaos crash=0.2,seed=1   # engine self-test
     repro-xentry overhead                  # Fig. 7 fault-free overhead
     repro-xentry recovery                  # Fig. 11 recovery-cost estimate
+    repro-xentry serve --model model.json --hosts 64 --max-rows 100000 \
+                       --port 9109         # streaming detection daemon
 
-All commands are deterministic in ``--seed``.
+All commands are deterministic in ``--seed``; ``serve`` additionally
+guarantees that fixed-seed, row-capped runs produce bit-identical detection
+totals regardless of ``--batch-rows``.
 """
 
 from __future__ import annotations
@@ -49,7 +53,13 @@ from repro.faults import CampaignConfig, FaultInjectionCampaign
 from repro.hypervisor import ExitCategory, REGISTRY, XenHypervisor
 from repro.machine.translator import CACHE
 from repro.ml import compile_tree
-from repro.persist import load_records, save_model, save_records, save_rules
+from repro.persist import load_model, load_records, save_model, save_records, save_rules
+from repro.service import (
+    DetectionService,
+    FleetConfig,
+    OverflowPolicy,
+    ServiceConfig,
+)
 from repro.workloads import BENCHMARKS, VirtMode, WorkloadGenerator
 from repro.xentry import (
     RecoveryCostModel,
@@ -267,6 +277,69 @@ def _report_records(records) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.max_rows is None and args.duration is None:
+        print("serve needs a stop condition: --max-rows or --duration",
+              file=sys.stderr)
+        return 2
+    artifact = load_model(args.model)
+    accuracy = artifact.evaluation.get("accuracy")
+    print(f"model: {artifact.name}"
+          + (f" (held-out accuracy {accuracy:.1%})" if accuracy else ""))
+    config = ServiceConfig(
+        fleet=FleetConfig(
+            hosts=args.hosts,
+            vms_per_host=args.vms_per_host,
+            seed=args.seed,
+            inject_fraction=args.inject_fraction,
+            burst_every=args.burst_every,
+            burst_rows=args.burst_rows,
+        ),
+        batch_rows=args.batch_rows,
+        queue_depth=args.queue_depth,
+        policy=OverflowPolicy(args.policy),
+        max_rows=args.max_rows,
+        duration=args.duration,
+    )
+    service = DetectionService(config, artifact)
+    print(f"fleet: {config.fleet.hosts} hosts x {config.fleet.vms_per_host} VMs, "
+          f"seed {config.fleet.seed}, "
+          f"inject fraction {config.fleet.inject_fraction:.1%}")
+
+    def progress(emitted: int, scored: int) -> None:
+        sys.stderr.write(f"\r{emitted:,} rows emitted, {scored:,} scored")
+        sys.stderr.flush()
+
+    server = None
+    if not args.no_http:
+        server = service.endpoint(port=args.port).start()
+        print(f"serving /metrics and /healthz at {server.url}", flush=True)
+    try:
+        try:
+            report = service.run(progress=progress)
+        except KeyboardInterrupt:
+            # Graceful drain: score what's queued, then summarize.
+            service.request_stop()
+            report = service.run()
+        if args.summary:
+            service.write_summary(args.summary)
+        if server is not None and args.hold > 0:
+            print(f"holding endpoint open for {args.hold:g}s (Ctrl-C to stop)",
+                  flush=True)
+            try:
+                time.sleep(args.hold)
+            except KeyboardInterrupt:
+                pass
+    finally:
+        if server is not None:
+            server.stop()
+    sys.stderr.write("\r")
+    print(report.summary())
+    if args.summary:
+        print(f"deterministic summary written to {args.summary}")
+    return 0
+
+
 def _cmd_overhead(args: argparse.Namespace) -> int:
     model = PerfOverheadModel()
     print("Fig. 7 — fault-free performance overhead (10 runs per benchmark)")
@@ -365,6 +438,48 @@ def build_parser() -> argparse.ArgumentParser:
                         "supervisor, e.g. '0.2' or "
                         "'crash=0.2,hard=0.05,hang=0.1,journal=0.05,seed=1'")
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "serve",
+        help="streaming detection daemon (simulated fleet + /metrics)",
+        parents=[common],
+    )
+    p.add_argument("--model", required=True, metavar="PATH",
+                   help="model artifact from 'train --save-model'")
+    p.add_argument("--hosts", type=int, default=8,
+                   help="simulated hypervisor hosts (default: 8)")
+    p.add_argument("--vms-per-host", type=int, default=4)
+    p.add_argument("--max-rows", type=int, default=None, metavar="N",
+                   help="stop after N rows fleet-wide (deterministic mode: "
+                        "totals are bit-identical across runs and batch sizes)")
+    p.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+                   help="stop after a wall-clock budget instead of a row cap")
+    p.add_argument("--inject-fraction", type=float, default=0.02,
+                   help="fraction of rows carrying an injected fault "
+                        "(default: 0.02)")
+    p.add_argument("--batch-rows", type=int, default=256,
+                   help="micro-batch size drained per classify_batch call")
+    p.add_argument("--queue-depth", type=int, default=1024,
+                   help="bounded per-host queue depth (backpressure bound)")
+    p.add_argument("--policy", choices=[pol.value for pol in OverflowPolicy],
+                   default=OverflowPolicy.DROP_OLDEST.value,
+                   help="full-queue policy (default: drop-oldest, counted "
+                        "per host; block never drops)")
+    p.add_argument("--burst-every", type=int, default=0, metavar="TICKS",
+                   help="emit a burst every N ticks (exercises backpressure)")
+    p.add_argument("--burst-rows", type=int, default=0,
+                   help="extra rows per burst tick per host")
+    p.add_argument("--port", type=int, default=0,
+                   help="scrape endpoint port (default: 0 = ephemeral)")
+    p.add_argument("--no-http", action="store_true",
+                   help="run without the scrape endpoint")
+    p.add_argument("--hold", type=float, default=0.0, metavar="SECONDS",
+                   help="keep /metrics up this long after the stream ends "
+                        "so scrapers can collect final totals")
+    p.add_argument("--summary", metavar="PATH",
+                   help="write the deterministic totals as JSON (what the "
+                        "bit-identical contract is diffed on)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("overhead", help="Fig. 7 fault-free overhead", parents=[common])
     p.set_defaults(func=_cmd_overhead)

@@ -110,6 +110,24 @@ class ModelArtifact:
         """Detector protocol: delegate to the compiled rule table."""
         return self.rules.flags_incorrect(features)
 
+    def classify_batch(self, X) -> tuple:
+        """Batch detector protocol: ``(labels, comparisons)`` for a matrix.
+
+        Delegates to :meth:`CompiledRules.classify_batch`, so a loaded
+        artifact drops straight into the streaming scorer's micro-batch
+        path with labels bit-identical to the in-memory model it was
+        saved from.
+        """
+        return self.rules.classify_batch(X)
+
+    def predict_batch(self, X):
+        """Batch labels only (delegates to the compiled table)."""
+        return self.rules.predict_batch(X)
+
+    def flags_incorrect_batch(self, X):
+        """Vectorized detector predicate (delegates to the compiled table)."""
+        return self.rules.flags_incorrect_batch(X)
+
 
 def save_model(model, path: str | Path) -> None:
     """Serialize a trained model (duck-typed ``TrainedModel``) as JSON.

@@ -1,0 +1,61 @@
+"""Streaming detection service: fleet simulation, micro-batch scoring, metrics.
+
+The paper's Xentry is an *online* detector living inside Xen; this package is
+the production-shaped counterpart for the reproduction — a long-lived daemon
+that scores activation feature streams from a fleet of simulated hypervisor
+hosts through a loaded model artifact, with Prometheus-style observability:
+
+* :mod:`repro.service.fleet` — deterministic fleet simulator (hosts x VMs
+  emitting (VMER, RT, BR, RM, WM) rows from seeded per-host RNG streams);
+* :mod:`repro.service.scorer` — bounded per-host queues with explicit
+  backpressure, drained into micro-batches through
+  ``CompiledRules.classify_batch``;
+* :mod:`repro.service.metrics` — from-scratch ``Counter``/``Gauge``/
+  ``Histogram`` with labels and text exposition (no new dependency);
+* :mod:`repro.service.http` — stdlib scrape endpoint (``/metrics``,
+  ``/healthz``) with graceful shutdown;
+* :mod:`repro.service.daemon` — the tick loop wiring it together, exposed as
+  the ``repro-xentry serve`` subcommand.
+
+Determinism contract: with a fixed seed and a row cap, the end-of-run
+detection totals are bit-identical across runs and independent of the
+micro-batch size (batching never changes a label; overflow drops depend only
+on the emission schedule and queue depth).
+"""
+
+from repro.service.daemon import DetectionService, ServiceConfig, ServiceReport
+from repro.service.fleet import FleetConfig, FleetRow, FleetSimulator, HostStream
+from repro.service.http import MetricsServer
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ServiceMetrics,
+)
+from repro.service.scorer import (
+    HostQueue,
+    MicroBatchScorer,
+    OverflowPolicy,
+    ScoreTotals,
+)
+
+__all__ = [
+    "Counter",
+    "DetectionService",
+    "FleetConfig",
+    "FleetRow",
+    "FleetSimulator",
+    "Gauge",
+    "Histogram",
+    "HostQueue",
+    "HostStream",
+    "MetricsRegistry",
+    "MetricsServer",
+    "MicroBatchScorer",
+    "OverflowPolicy",
+    "ScoreTotals",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "ServiceReport",
+]

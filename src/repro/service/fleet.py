@@ -1,0 +1,215 @@
+"""Deterministic fleet simulator: hosts x VMs emitting feature rows.
+
+Models a fleet of hypervisor hosts, each running several guest VMs whose
+activations produce the paper's five-feature rows (VMER, RT, BR, RM, WM —
+Table I).  Every host draws from its own named RNG stream
+(``rng.stream(seed, "fleet", host)``), so a host's emission sequence depends
+only on ``(seed, host)`` — it is bit-identical no matter how many other hosts
+exist, how rows are batched downstream, or how the tick loop interleaves
+hosts.  A configurable fraction of rows carry an *injected fault*: their
+counters are perturbed the way an activated soft error perturbs real
+executions (inflated/deflated instruction, branch and memory counts), and the
+row remembers its ground truth so the service can label verdicts.
+
+Bursts model the failure mode backpressure exists for: every
+``burst_every`` ticks a host emits ``burst_rows`` extra rows in one tick,
+which overflows bounded queues deterministically (drops depend only on the
+emission schedule and the queue depth, never on micro-batch size).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import rng
+from repro.errors import CampaignConfigError
+from repro.hypervisor import REGISTRY
+
+__all__ = ["FleetConfig", "FleetRow", "FleetSimulator", "HostStream"]
+
+#: Counter envelopes for a nominal activation, loosely matching the ranges
+#: the simulated hypervisor's handlers produce (see Fig. 3 harnesses).
+_RT_RANGE = (40, 900)
+_BR_RANGE = (2, 120)
+_RM_RANGE = (1, 90)
+_WM_RANGE = (0, 60)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape and seeding of the simulated fleet."""
+
+    hosts: int = 8
+    vms_per_host: int = 4
+    seed: int = 5
+    inject_fraction: float = 0.02
+    rows_per_tick: int = 4       # mean rows per host per tick
+    burst_every: int = 0         # 0 disables bursts
+    burst_rows: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hosts < 1 or self.vms_per_host < 1:
+            raise CampaignConfigError("fleet needs at least one host and one VM")
+        if not 0.0 <= self.inject_fraction <= 1.0:
+            raise CampaignConfigError("inject_fraction must be in [0, 1]")
+        if self.rows_per_tick < 1:
+            raise CampaignConfigError("rows_per_tick must be >= 1")
+        if self.burst_every < 0 or self.burst_rows < 0:
+            raise CampaignConfigError("burst settings must be >= 0")
+
+
+@dataclass
+class FleetRow:
+    """One activation feature row with its provenance and ground truth."""
+
+    host: int
+    vm: int
+    tick: int
+    features: tuple[int, int, int, int, int]  # (VMER, RT, BR, RM, WM)
+    injected: bool
+    emitted_at: float = 0.0  # perf-counter timestamp, set by the daemon
+
+
+class HostStream:
+    """One host's deterministic emission stream.
+
+    All randomness comes from the host's named stream, consumed in a fixed
+    per-row order (vm, vmer, counters, inject draw, perturbation), so row
+    *i* of host *h* is a pure function of ``(seed, h, i)``.
+    """
+
+    #: Rows' worth of column data drawn per vectorized refill.
+    BLOCK = 256
+
+    def __init__(self, config: FleetConfig, host: int) -> None:
+        self.config = config
+        self.host = host
+        self._rng = rng.stream(config.seed, "fleet", host)
+        self._n_vmers = len(REGISTRY)
+        self.emitted = 0
+        self.injected = 0
+        # Pre-drawn (vm, features, injected) tuples, newest last.  Refills
+        # are vectorized in BLOCK-row chunks so emission costs one numpy
+        # call per column per block instead of per tick (ticks are ~4 rows).
+        self._buffer: list[tuple[int, tuple[int, int, int, int, int], bool]] = []
+
+    def _refill(self, n: int) -> None:
+        """Draw at least ``n`` more rows' worth of column data, vectorized.
+
+        Draw order is fixed (each column, then the injection perturbation;
+        perturbation draws are consumed for every row, applied only to the
+        injected ones), so the stream stays a pure function of
+        ``(seed, host, rows drawn so far)``.
+        """
+        g = self._rng
+        config = self.config
+        n = max(n, self.BLOCK)
+        vm = g.integers(0, config.vms_per_host, n)
+        vmer = g.integers(0, self._n_vmers, n)
+        rt = g.integers(*_RT_RANGE, size=n)
+        br = g.integers(*_BR_RANGE, size=n)
+        rm = g.integers(*_RM_RANGE, size=n)
+        wm = g.integers(*_WM_RANGE, size=n)
+        injected = g.random(n) < config.inject_fraction
+        # An activated flip derails the handler: control flow runs long or
+        # short, and the memory mix shifts with it.
+        scale = g.uniform(1.8, 6.0, n)
+        scale = np.where(g.random(n) < 0.3, 1.0 / scale, scale)
+        rm_hit = g.random(n) < 0.7
+        wm_hit = g.random(n) < 0.7
+        rt = np.where(injected, np.maximum(1, (rt * scale).astype(np.int64)), rt)
+        br = np.where(injected, (br * scale).astype(np.int64), br)
+        rm = np.where(injected & rm_hit, (rm * scale).astype(np.int64), rm)
+        wm = np.where(injected & wm_hit, (wm * scale).astype(np.int64), wm)
+        block = list(
+            zip(
+                vm.tolist(),
+                zip(vmer.tolist(), rt.tolist(), br.tolist(),
+                    rm.tolist(), wm.tolist()),
+                injected.tolist(),
+            )
+        )
+        block.reverse()  # popping from the end preserves draw order
+        self._buffer[:0] = block
+
+    def rows_for_tick(self, tick: int) -> list[FleetRow]:
+        """Emit this tick's rows (jittered around ``rows_per_tick``)."""
+        g = self._rng
+        config = self.config
+        mean = config.rows_per_tick
+        n = int(g.integers(max(1, mean - 1), mean + 2))
+        if (
+            config.burst_every
+            and config.burst_rows
+            and tick % config.burst_every == config.burst_every - 1
+        ):
+            n += config.burst_rows
+        if len(self._buffer) < n:
+            self._refill(n - len(self._buffer))
+        host = self.host
+        buffer = self._buffer
+        rows = []
+        injected_count = 0
+        for _ in range(n):
+            vm, features, injected = buffer.pop()
+            injected_count += injected
+            rows.append(
+                FleetRow(
+                    host=host, vm=vm, tick=tick,
+                    features=features, injected=injected,
+                )
+            )
+        self.emitted += n
+        self.injected += injected_count
+        return rows
+
+
+class FleetSimulator:
+    """The whole fleet: one :class:`HostStream` per host, ticked in order."""
+
+    def __init__(self, config: FleetConfig) -> None:
+        self.config = config
+        self.hosts = [HostStream(config, host) for host in range(config.hosts)]
+        self.tick = 0
+        self.emitted = 0
+        self.injected = 0
+
+    def next_tick(self, max_rows: int | None = None) -> list[FleetRow]:
+        """Emit one tick of rows across the fleet, in host order.
+
+        ``max_rows`` caps *cumulative* fleet emission: the tick is truncated
+        mid-host once the cap is reached, at a point that depends only on
+        the emission schedule (host order is fixed), never on downstream
+        batching.
+        """
+        rows: list[FleetRow] = []
+        for host in self.hosts:
+            if max_rows is not None and self.emitted >= max_rows:
+                break
+            emitted = host.rows_for_tick(self.tick)
+            if max_rows is not None:
+                budget = max_rows - self.emitted
+                if budget < len(emitted):
+                    # Rewind the host's tallies for rows we refuse to ship.
+                    for row in emitted[budget:]:
+                        host.emitted -= 1
+                        if row.injected:
+                            host.injected -= 1
+                    emitted = emitted[:budget]
+            rows.extend(emitted)
+            self.emitted += len(emitted)
+            self.injected += sum(1 for row in emitted if row.injected)
+        self.tick += 1
+        return rows
+
+    def stream(self, max_rows: int) -> Iterator[list[FleetRow]]:
+        """Yield ticks until ``max_rows`` rows have been emitted."""
+        while self.emitted < max_rows:
+            yield self.next_tick(max_rows)
+
+    def feature_matrix(self, rows: list[FleetRow]) -> np.ndarray:
+        """Stack rows into the (n, 5) int64 matrix ``classify_batch`` takes."""
+        return np.array([row.features for row in rows], dtype=np.int64)

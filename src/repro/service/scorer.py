@@ -1,0 +1,282 @@
+"""Micro-batch scoring with bounded per-host queues and explicit backpressure.
+
+Two stages, mirroring a real ingest pipeline:
+
+1. **Per-host bounded queues** absorb each tick's emission.  The consumer
+   empties every queue once per pump, so a queue's fill only ever reflects
+   the *current* producer burst — overflow (and therefore every drop) is a
+   pure function of the emission schedule and ``queue_depth``, never of how
+   scoring is batched downstream.
+2. **A global pending buffer** collects accepted rows across hosts and is
+   scored in exact ``batch_rows`` chunks through ``classify_batch`` (PR 4's
+   vectorized path — bit-identical to per-row classification).  Rows wait in
+   the buffer until a batch fills, which is where the batching/latency
+   trade-off becomes visible in the latency histogram.
+
+Backpressure is explicit, never silent:
+
+* ``DROP_OLDEST`` — a full queue evicts its oldest row; the drop is counted
+  per host (``repro_rows_dropped_total``) and tallied in the totals;
+* ``BLOCK`` — the producer stalls until the consumer runs; in the
+  synchronous tick loop that means the queue flushes to the buffer
+  immediately and no row is ever lost.
+
+Determinism contract: which rows are scored vs dropped depends only on
+(seed, schedule, queue_depth, policy); labels are batch-size-invariant by
+``classify_batch``'s bit-identity; hence end-of-run detection totals are
+independent of ``batch_rows``.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CampaignConfigError
+from repro.ml.dataset import INCORRECT
+from repro.service.fleet import FleetRow
+from repro.service.metrics import ServiceMetrics
+
+__all__ = ["HostQueue", "MicroBatchScorer", "OverflowPolicy", "ScoreTotals"]
+
+
+class OverflowPolicy(enum.Enum):
+    """What a full per-host queue does with the next row."""
+
+    DROP_OLDEST = "drop-oldest"
+    BLOCK = "block"
+
+
+@dataclass
+class ScoreTotals:
+    """Deterministic end-of-run tallies (no wall-clock terms).
+
+    These mirror the counters in :class:`ServiceMetrics` and are what the
+    determinism contract is asserted on: fixed seed + row cap => everything
+    here except ``batches`` is equal across runs *and* across batch sizes.
+    """
+
+    rows_scored: int = 0
+    rows_dropped: int = 0
+    batches: int = 0
+    true_positive: int = 0
+    false_positive: int = 0
+    true_negative: int = 0
+    false_negative: int = 0
+    dropped_by_host: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def detections(self) -> int:
+        return self.true_positive + self.false_positive
+
+    def outcome_counts(self) -> dict[str, int]:
+        return {
+            "true_positive": self.true_positive,
+            "false_positive": self.false_positive,
+            "true_negative": self.true_negative,
+            "false_negative": self.false_negative,
+        }
+
+    def as_dict(self) -> dict:
+        """The batch-size-invariant tallies (``batches`` is deliberately
+        excluded: how many drains it took is a function of ``batch_rows``,
+        what was scored and decided is not)."""
+        return {
+            "rows_scored": self.rows_scored,
+            "rows_dropped": self.rows_dropped,
+            "detections": self.detections,
+            "outcomes": self.outcome_counts(),
+            "dropped_by_host": {
+                str(host): n for host, n in sorted(self.dropped_by_host.items())
+            },
+        }
+
+
+class _HostChildren:
+    """One host's resolved metric children (labels() is per-row hot)."""
+
+    __slots__ = ("emitted", "scored", "dropped", "queue_depth", "latency")
+
+    def __init__(self, metrics: ServiceMetrics, host: int) -> None:
+        self.emitted = metrics.rows_emitted.labels(host=host)
+        self.scored = metrics.rows_scored.labels(host=host)
+        self.dropped = metrics.rows_dropped.labels(host=host)
+        self.queue_depth = metrics.queue_depth.labels(host=host)
+        self.latency = metrics.decision_latency.labels(host=host)
+
+
+class HostQueue:
+    """A bounded FIFO of pending rows for one host."""
+
+    def __init__(self, host: int, depth: int) -> None:
+        if depth < 1:
+            raise CampaignConfigError("queue depth must be >= 1")
+        self.host = host
+        self.depth = depth
+        self.rows: deque[FleetRow] = deque()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def full(self) -> bool:
+        return len(self.rows) >= self.depth
+
+    def push(self, row: FleetRow) -> FleetRow | None:
+        """Append a row; returns the evicted row if the queue was full."""
+        evicted = self.rows.popleft() if self.full else None
+        self.rows.append(row)
+        return evicted
+
+    def take_all(self) -> list[FleetRow]:
+        """Pop every queued row (the consumer's per-pump drain)."""
+        rows = list(self.rows)
+        self.rows.clear()
+        return rows
+
+
+class MicroBatchScorer:
+    """Per-host bounded ingest, global micro-batch scoring.
+
+    ``model`` is anything with the batch detector protocol —
+    ``predict_batch(X) -> labels`` — which :class:`~repro.ml.export
+    .CompiledRules` and a loaded :class:`~repro.persist.ModelArtifact` both
+    satisfy.
+    """
+
+    def __init__(
+        self,
+        model,
+        metrics: ServiceMetrics,
+        *,
+        batch_rows: int = 256,
+        queue_depth: int = 1024,
+        policy: OverflowPolicy = OverflowPolicy.DROP_OLDEST,
+        clock=time.perf_counter,
+    ) -> None:
+        if batch_rows < 1:
+            raise CampaignConfigError("batch_rows must be >= 1")
+        self.model = model
+        self.metrics = metrics
+        self.batch_rows = batch_rows
+        self.queue_depth = queue_depth
+        self.policy = policy
+        self.clock = clock
+        self.totals = ScoreTotals()
+        self.latencies: list[float] = []  # per-row decision latency, seconds
+        self._queues: dict[int, HostQueue] = {}
+        self._pending: deque[FleetRow] = deque()
+        # Label lookups hash the label set on every call; the hot path runs
+        # per row, so each host's children are resolved once and cached.
+        self._host_children: dict[int, _HostChildren] = {}
+
+    # -- ingestion -----------------------------------------------------------
+
+    def _queue(self, host: int) -> HostQueue:
+        queue = self._queues.get(host)
+        if queue is None:
+            queue = self._queues[host] = HostQueue(host, self.queue_depth)
+        return queue
+
+    def _children(self, host: int) -> "_HostChildren":
+        children = self._host_children.get(host)
+        if children is None:
+            children = self._host_children[host] = _HostChildren(
+                self.metrics, host
+            )
+        return children
+
+    def submit(self, row: FleetRow) -> None:
+        """Enqueue one row, applying the overflow policy if needed."""
+        queue = self._queue(row.host)
+        children = self._children(row.host)
+        children.emitted.inc()
+        if queue.full and self.policy is OverflowPolicy.BLOCK:
+            # Producer would block; the consumer accepts the backlog now.
+            self._accept(queue)
+        evicted = queue.push(row)
+        if evicted is not None:
+            self.totals.rows_dropped += 1
+            self.totals.dropped_by_host[queue.host] = (
+                self.totals.dropped_by_host.get(queue.host, 0) + 1
+            )
+            children.dropped.inc()
+        children.queue_depth.set(len(queue))
+
+    # -- draining ------------------------------------------------------------
+
+    def _accept(self, queue: HostQueue) -> None:
+        """Move a queue's backlog into the global pending buffer."""
+        rows = queue.take_all()
+        if rows:
+            self._pending.extend(rows)
+            self._children(queue.host).queue_depth.set(0)
+        self.metrics.pending_rows.set(len(self._pending))
+
+    def pump(self) -> int:
+        """One consumer cycle: accept all backlogs, score full batches."""
+        for host in sorted(self._queues):
+            self._accept(self._queues[host])
+        scored = 0
+        while len(self._pending) >= self.batch_rows:
+            scored += self._score(self._take_batch(self.batch_rows))
+        return scored
+
+    def drain(self) -> int:
+        """Flush everything (end of stream / graceful shutdown)."""
+        scored = self.pump()
+        while self._pending:
+            scored += self._score(self._take_batch(self.batch_rows))
+        return scored
+
+    def queue_depths(self) -> dict[int, int]:
+        return {host: len(q) for host, q in sorted(self._queues.items())}
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def _take_batch(self, n: int) -> list[FleetRow]:
+        rows = [
+            self._pending.popleft() for _ in range(min(n, len(self._pending)))
+        ]
+        self.metrics.pending_rows.set(len(self._pending))
+        return rows
+
+    def _score(self, rows: list[FleetRow]) -> int:
+        if not rows:
+            return 0
+        X = np.array([row.features for row in rows], dtype=np.int64)
+        labels = self.model.predict_batch(X)
+        now = self.clock()
+        outcomes = {name: 0 for name in (
+            "true_positive", "false_positive", "true_negative", "false_negative",
+        )}
+        by_host: dict[int, int] = {}
+        latencies = self.latencies
+        flagged_labels = np.asarray(labels) == INCORRECT
+        for row, flagged in zip(rows, flagged_labels.tolist()):
+            if flagged:
+                outcome = "true_positive" if row.injected else "false_positive"
+            else:
+                outcome = "false_negative" if row.injected else "true_negative"
+            outcomes[outcome] += 1
+            by_host[row.host] = by_host.get(row.host, 0) + 1
+            if row.emitted_at:
+                latency = max(0.0, now - row.emitted_at)
+                latencies.append(latency)
+                self._children(row.host).latency.observe(latency)
+        for outcome, count in outcomes.items():
+            if count:
+                setattr(self.totals, outcome, getattr(self.totals, outcome) + count)
+                self.metrics.detections.labels(outcome=outcome).inc(count)
+        for host, count in by_host.items():
+            self._children(host).scored.inc(count)
+        self.totals.rows_scored += len(rows)
+        self.totals.batches += 1
+        self.metrics.batches.inc()
+        return len(rows)

@@ -64,6 +64,21 @@ class TestCdf:
         assert cdf.percentile(1e-9) == 10
         assert cdf.percentile(0.25) == 10
 
+    def test_percentile_matches_numpy_inverted_cdf(self):
+        """Pin the empirical percentile to numpy's inverted-CDF method.
+
+        The streaming service reuses ``Cdf`` for its latency summaries
+        (p50/p95/p99 over histogram buckets), so the definition must stay
+        aligned with the standard empirical quantile.
+        """
+        rng = np.random.default_rng(7)
+        samples = rng.exponential(0.002, 1000)
+        cdf = Cdf.from_samples(samples)
+        for q in (0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0):
+            assert cdf.percentile(q) == pytest.approx(
+                float(np.percentile(samples, q * 100, method="inverted_cdf"))
+            )
+
     def test_table_pairs(self):
         cdf = Cdf.from_samples([100, 200, 700])
         table = cdf.table([100, 700])

@@ -1,0 +1,100 @@
+"""Fleet simulator determinism and emission properties."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CampaignConfigError
+from repro.hypervisor import REGISTRY
+from repro.service.fleet import FleetConfig, FleetSimulator, HostStream
+
+
+def emit_all(config: FleetConfig, max_rows: int):
+    sim = FleetSimulator(config)
+    rows = [row for tick in sim.stream(max_rows) for row in tick]
+    return sim, rows
+
+
+class TestHostStream:
+    def test_host_stream_is_a_pure_function_of_seed_and_host(self):
+        a = HostStream(FleetConfig(hosts=4, seed=11), host=2)
+        b = HostStream(FleetConfig(hosts=4, seed=11), host=2)
+        rows_a = [r for t in range(20) for r in a.rows_for_tick(t)]
+        rows_b = [r for t in range(20) for r in b.rows_for_tick(t)]
+        assert [r.features for r in rows_a] == [r.features for r in rows_b]
+        assert [r.injected for r in rows_a] == [r.injected for r in rows_b]
+
+    def test_host_stream_independent_of_fleet_size(self):
+        small = HostStream(FleetConfig(hosts=3, seed=9), host=1)
+        large = HostStream(FleetConfig(hosts=300, seed=9), host=1)
+        rows_s = [r for t in range(10) for r in small.rows_for_tick(t)]
+        rows_l = [r for t in range(10) for r in large.rows_for_tick(t)]
+        assert [r.features for r in rows_s] == [r.features for r in rows_l]
+
+    def test_different_hosts_differ(self):
+        config = FleetConfig(hosts=4, seed=11)
+        rows0 = HostStream(config, 0).rows_for_tick(0)
+        rows1 = HostStream(config, 1).rows_for_tick(0)
+        assert [r.features for r in rows0] != [r.features for r in rows1]
+
+    def test_features_within_envelopes(self):
+        stream = HostStream(FleetConfig(hosts=1, seed=5, inject_fraction=0.0), 0)
+        for tick in range(50):
+            for row in stream.rows_for_tick(tick):
+                vmer, rt, br, rm, wm = row.features
+                assert 0 <= vmer < len(REGISTRY)
+                assert all(v >= 0 for v in (rt, br, rm, wm))
+                assert 0 <= row.vm < stream.config.vms_per_host
+
+
+class TestFleetSimulator:
+    def test_fixed_seed_stream_is_bit_identical(self):
+        config = FleetConfig(hosts=6, seed=3, inject_fraction=0.1)
+        _, rows_a = emit_all(config, 2000)
+        _, rows_b = emit_all(config, 2000)
+        assert [(r.host, r.vm, r.tick, r.features, r.injected) for r in rows_a] \
+            == [(r.host, r.vm, r.tick, r.features, r.injected) for r in rows_b]
+
+    def test_max_rows_cap_is_exact(self):
+        sim, rows = emit_all(FleetConfig(hosts=7, seed=1), 1234)
+        assert len(rows) == 1234
+        assert sim.emitted == 1234
+
+    def test_injected_fraction_tracks_config(self):
+        sim, rows = emit_all(FleetConfig(hosts=8, seed=2, inject_fraction=0.2), 10000)
+        fraction = sum(r.injected for r in rows) / len(rows)
+        assert fraction == pytest.approx(0.2, abs=0.02)
+        assert sim.injected == sum(r.injected for r in rows)
+
+    def test_zero_injection_fleet(self):
+        _, rows = emit_all(FleetConfig(hosts=2, seed=4, inject_fraction=0.0), 500)
+        assert not any(r.injected for r in rows)
+
+    def test_injected_rows_perturb_counters(self):
+        config = FleetConfig(hosts=4, seed=6, inject_fraction=0.5)
+        _, rows = emit_all(config, 4000)
+        clean = np.array([r.features[1] for r in rows if not r.injected])
+        faulty = np.array([r.features[1] for r in rows if r.injected])
+        # Injected rows are scaled out of the nominal envelope on average.
+        assert faulty.std() > clean.std()
+
+    def test_bursts_fire_on_schedule(self):
+        config = FleetConfig(
+            hosts=1, seed=8, rows_per_tick=2, burst_every=4, burst_rows=50
+        )
+        sim = FleetSimulator(config)
+        sizes = [len(sim.next_tick()) for _ in range(8)]
+        assert sizes[3] > 50 and sizes[7] > 50
+        assert all(size < 10 for i, size in enumerate(sizes) if i not in (3, 7))
+
+    def test_feature_matrix_shape_and_dtype(self):
+        sim, rows = emit_all(FleetConfig(hosts=2, seed=1), 64)
+        X = sim.feature_matrix(rows)
+        assert X.shape == (64, 5) and X.dtype == np.int64
+
+    def test_config_validation(self):
+        with pytest.raises(CampaignConfigError):
+            FleetConfig(hosts=0)
+        with pytest.raises(CampaignConfigError):
+            FleetConfig(inject_fraction=1.5)
+        with pytest.raises(CampaignConfigError):
+            FleetConfig(rows_per_tick=0)

@@ -1,0 +1,212 @@
+"""The from-scratch metrics registry: counters, gauges, histograms, exposition.
+
+Assertion style follows py-chaos-agent's metrics tests: drive the system,
+then read labeled children directly (``DETECTIONS.labels(outcome=...)
+.value``) and golden-test the text exposition.
+"""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import CampaignConfigError
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ServiceMetrics,
+    format_value,
+)
+
+
+class TestCounter:
+    def test_unlabeled_inc(self):
+        c = Counter("requests_total", "Requests.")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_labeled_children_are_independent(self):
+        c = Counter("injections_total", "Injections.", ("failure_type", "status"))
+        c.labels(failure_type="cpu", status="success").inc()
+        c.labels(failure_type="cpu", status="skipped").inc(2)
+        assert c.labels(failure_type="cpu", status="success").value == 1
+        assert c.labels(failure_type="cpu", status="skipped").value == 2
+
+    def test_label_names_enforced(self):
+        c = Counter("x_total", "X.", ("a",))
+        with pytest.raises(CampaignConfigError):
+            c.labels(b="nope")
+        with pytest.raises(CampaignConfigError):
+            c.inc()  # labeled metric has no default child
+
+    def test_counters_only_go_up(self):
+        c = Counter("x_total", "X.")
+        with pytest.raises(CampaignConfigError):
+            c.inc(-1)
+
+    def test_same_labels_same_child(self):
+        c = Counter("x_total", "X.", ("a",))
+        assert c.labels(a="1") is c.labels(a="1")
+        assert c.labels(a="1") is not c.labels(a="2")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth", "Depth.")
+        g.set(10)
+        g.inc(5)
+        g.dec(12)
+        assert g.value == 3
+
+    def test_gauge_goes_negative(self):
+        g = Gauge("delta", "Delta.")
+        g.dec(2)
+        assert g.value == -2
+
+
+class TestHistogram:
+    def test_observations_land_in_le_buckets(self):
+        h = Histogram("lat", "Latency.", buckets=(0.1, 1.0))
+        child = h.labels()
+        for value in (0.05, 0.1, 0.5, 2.0):
+            child.observe(value)
+        # le semantics: 0.1 counts both 0.05 and the exact-boundary 0.1.
+        assert child.cumulative() == [2, 3, 4]
+        assert child.count == 4
+        assert child.total == pytest.approx(2.65)
+
+    def test_infinite_bucket_added(self):
+        h = Histogram("lat", "Latency.", buckets=(1.0,))
+        assert h.bounds == (1.0, math.inf)
+
+    def test_empty_bucket_list_rejected(self):
+        with pytest.raises(CampaignConfigError):
+            Histogram("lat", "Latency.", buckets=())
+
+    def test_latency_cdf_lowers_onto_analysis_cdf(self):
+        h = Histogram("lat", "Latency.", buckets=(0.001, 0.01, 0.1))
+        child = h.labels()
+        for _ in range(90):
+            child.observe(0.0005)
+        for _ in range(9):
+            child.observe(0.005)
+        child.observe(0.05)
+        cdf = child.latency_cdf()
+        assert cdf.n == 100
+        # Buckets are represented by their upper bounds.
+        assert cdf.percentile(0.50) == 0.001
+        assert cdf.percentile(0.95) == 0.01
+        assert cdf.percentile(0.999) == 0.1
+
+    def test_latency_cdf_percentile_matches_numpy_inverted_cdf(self):
+        """Satellite pin: Cdf.percentile == np.percentile(inverted_cdf)."""
+        h = Histogram("lat", "Latency.", buckets=(0.001, 0.01, 0.1, 1.0))
+        child = h.labels()
+        rng = np.random.default_rng(3)
+        for value in rng.uniform(0, 1.2, 500):
+            child.observe(float(value))
+        cdf = child.latency_cdf()
+        finite = [b for b in h.bounds if b != math.inf]
+        samples = np.repeat(finite + [finite[-1]], child.counts)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            assert cdf.percentile(q) == pytest.approx(
+                float(np.percentile(samples, q * 100, method="inverted_cdf"))
+            )
+
+    def test_empty_histogram_has_no_cdf(self):
+        h = Histogram("lat", "Latency.", buckets=(1.0,))
+        with pytest.raises(CampaignConfigError):
+            h.labels().latency_cdf()
+
+
+class TestRegistry:
+    def test_duplicate_names_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "A.")
+        with pytest.raises(CampaignConfigError):
+            registry.gauge("a_total", "A again.")
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(CampaignConfigError):
+            Counter("bad name!", "Nope.")
+
+    def test_golden_exposition(self):
+        """The /metrics payload, pinned byte for byte."""
+        registry = MetricsRegistry()
+        c = registry.counter("repro_detections_total", "Detections.", ("outcome",))
+        g = registry.gauge("repro_queue_depth", "Depth.", ("host",))
+        h = registry.histogram(
+            "repro_latency_seconds", "Latency.", buckets=(0.1, 1.0)
+        )
+        c.labels(outcome="true_positive").inc(3)
+        c.labels(outcome="false_positive").inc()
+        g.labels(host="0").set(7)
+        h.observe(0.05)
+        h.observe(0.5)
+        assert registry.expose() == (
+            "# HELP repro_detections_total Detections.\n"
+            "# TYPE repro_detections_total counter\n"
+            'repro_detections_total{outcome="true_positive"} 3\n'
+            'repro_detections_total{outcome="false_positive"} 1\n'
+            "# HELP repro_queue_depth Depth.\n"
+            "# TYPE repro_queue_depth gauge\n"
+            'repro_queue_depth{host="0"} 7\n'
+            "# HELP repro_latency_seconds Latency.\n"
+            "# TYPE repro_latency_seconds histogram\n"
+            'repro_latency_seconds_bucket{le="0.1"} 1\n'
+            'repro_latency_seconds_bucket{le="1"} 2\n'
+            'repro_latency_seconds_bucket{le="+Inf"} 2\n'
+            "repro_latency_seconds_sum 0.55\n"
+            "repro_latency_seconds_count 2\n"
+        )
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        c = registry.counter("x_total", "X.", ("path",))
+        c.labels(path='a"b\\c\nd').inc()
+        assert 'path="a\\"b\\\\c\\nd"' in registry.expose()
+
+    def test_format_value(self):
+        assert format_value(3.0) == "3"
+        assert format_value(0.25) == "0.25"
+        assert format_value(math.inf) == "+Inf"
+
+    def test_concurrent_increments_do_not_lose_counts(self):
+        c = Counter("hits_total", "Hits.", ("worker",))
+
+        def spin(worker: str) -> None:
+            child = c.labels(worker=worker)
+            for _ in range(5000):
+                child.inc()
+
+        threads = [
+            threading.Thread(target=spin, args=(str(i % 2),)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.labels(worker="0").value + c.labels(worker="1").value == 20000
+
+
+class TestServiceMetrics:
+    def test_taxonomy_registers_once(self):
+        metrics = ServiceMetrics()
+        exposition = metrics.expose()
+        for name in (
+            "repro_rows_emitted_total", "repro_rows_scored_total",
+            "repro_rows_dropped_total", "repro_detections_total",
+            "repro_batches_scored_total", "repro_queue_depth",
+            "repro_pending_rows", "repro_fleet_hosts",
+            "repro_decision_latency_seconds",
+        ):
+            assert f"# TYPE {name} " in exposition
+
+    def test_shared_registry_rejected_twice(self):
+        metrics = ServiceMetrics()
+        with pytest.raises(CampaignConfigError):
+            ServiceMetrics(metrics.registry)  # names collide on purpose

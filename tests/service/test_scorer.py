@@ -1,0 +1,156 @@
+"""Micro-batch scorer: exact counts, backpressure policies, metric parity.
+
+Streams are handcrafted (``make_row``) against a one-split threshold rule
+table, so every expected count is exact — the py-chaos-agent idiom of
+asserting labeled metric children directly after driving the system.
+"""
+
+import pytest
+
+from repro.errors import CampaignConfigError
+from repro.service.metrics import ServiceMetrics
+from repro.service.scorer import HostQueue, MicroBatchScorer, OverflowPolicy
+
+from tests.service.conftest import make_row, make_threshold_rules
+
+
+def make_scorer(**kwargs) -> MicroBatchScorer:
+    return MicroBatchScorer(make_threshold_rules(), ServiceMetrics(), **kwargs)
+
+
+class TestHostQueue:
+    def test_fifo_order(self):
+        queue = HostQueue(0, depth=4)
+        for rt in (1, 2, 3):
+            queue.push(make_row(rt=rt))
+        assert [r.features[1] for r in queue.take_all()] == [1, 2, 3]
+        assert len(queue) == 0
+
+    def test_overflow_evicts_oldest(self):
+        queue = HostQueue(0, depth=2)
+        assert queue.push(make_row(rt=1)) is None
+        assert queue.push(make_row(rt=2)) is None
+        evicted = queue.push(make_row(rt=3))
+        assert evicted is not None and evicted.features[1] == 1
+        assert [r.features[1] for r in queue.take_all()] == [2, 3]
+
+    def test_zero_depth_rejected(self):
+        with pytest.raises(CampaignConfigError):
+            HostQueue(0, depth=0)
+
+
+class TestExactCounts:
+    def test_n_injected_rows_give_exact_outcome_counters(self):
+        """10 hot injected + 3 hot clean + 2 cool injected + 85 cool clean."""
+        scorer = make_scorer(batch_rows=16)
+        rows = (
+            [make_row(rt=5000, injected=True) for _ in range(10)]
+            + [make_row(rt=5000, injected=False) for _ in range(3)]
+            + [make_row(rt=50, injected=True) for _ in range(2)]
+            + [make_row(rt=50, injected=False) for _ in range(85)]
+        )
+        for row in rows:
+            scorer.submit(row)
+        scorer.drain()
+        detections = scorer.metrics.detections
+        assert detections.labels(outcome="true_positive").value == 10
+        assert detections.labels(outcome="false_positive").value == 3
+        assert detections.labels(outcome="false_negative").value == 2
+        assert detections.labels(outcome="true_negative").value == 85
+        assert scorer.totals.rows_scored == 100
+        assert scorer.totals.detections == 13
+
+    def test_totals_mirror_metrics(self):
+        scorer = make_scorer(batch_rows=8)
+        for i in range(40):
+            scorer.submit(make_row(host=i % 3, rt=5000 if i % 4 == 0 else 10,
+                                   injected=i % 4 == 0))
+        scorer.drain()
+        t = scorer.totals
+        assert t.outcome_counts() == {
+            "true_positive": 10, "false_positive": 0,
+            "true_negative": 30, "false_negative": 0,
+        }
+        for host in range(3):
+            scored = scorer.metrics.rows_scored.labels(host=host).value
+            emitted = scorer.metrics.rows_emitted.labels(host=host).value
+            assert scored == emitted
+
+    def test_gauges_return_to_zero_after_drain(self):
+        scorer = make_scorer(batch_rows=64, queue_depth=16)
+        for i in range(30):
+            scorer.submit(make_row(host=i % 2))
+        assert scorer.metrics.queue_depth.labels(host=0).value > 0
+        scorer.drain()
+        assert scorer.metrics.queue_depth.labels(host=0).value == 0
+        assert scorer.metrics.queue_depth.labels(host=1).value == 0
+        assert scorer.metrics.pending_rows.value == 0
+        assert scorer.pending == 0
+
+
+class TestBackpressure:
+    def test_drop_oldest_counts_every_drop(self):
+        scorer = make_scorer(batch_rows=256, queue_depth=5)
+        for i in range(12):  # one burst, no pump in between
+            scorer.submit(make_row(host=0, rt=100 + i))
+        assert scorer.totals.rows_dropped == 7
+        assert scorer.metrics.rows_dropped.labels(host=0).value == 7
+        scorer.drain()
+        # The 5 newest rows survive drop-oldest.
+        assert scorer.totals.rows_scored == 5
+        assert scorer.totals.dropped_by_host == {0: 7}
+
+    def test_block_policy_never_drops(self):
+        scorer = make_scorer(
+            batch_rows=256, queue_depth=5, policy=OverflowPolicy.BLOCK
+        )
+        for i in range(12):
+            scorer.submit(make_row(host=0, rt=100 + i))
+        scorer.drain()
+        assert scorer.totals.rows_dropped == 0
+        assert scorer.totals.rows_scored == 12
+
+    def test_drops_are_per_host(self):
+        scorer = make_scorer(batch_rows=256, queue_depth=3)
+        for _ in range(10):
+            scorer.submit(make_row(host=1))
+        for _ in range(2):
+            scorer.submit(make_row(host=2))
+        scorer.drain()
+        assert scorer.totals.dropped_by_host == {1: 7}
+        assert scorer.metrics.rows_dropped.labels(host=1).value == 7
+        assert scorer.metrics.rows_dropped.labels(host=2).value == 0
+
+
+class TestBatching:
+    def test_pump_scores_only_full_batches(self):
+        scorer = make_scorer(batch_rows=32)
+        for _ in range(40):
+            scorer.submit(make_row())
+        scorer.pump()
+        assert scorer.totals.rows_scored == 32
+        assert scorer.pending == 8
+        scorer.drain()
+        assert scorer.totals.rows_scored == 40
+
+    def test_batch_count_reflects_chunking(self):
+        scorer = make_scorer(batch_rows=10)
+        for _ in range(25):
+            scorer.submit(make_row())
+        scorer.drain()
+        assert scorer.totals.batches == 3  # 10 + 10 + 5
+        assert scorer.metrics.batches.value == 3
+
+    def test_invalid_batch_rows_rejected(self):
+        with pytest.raises(CampaignConfigError):
+            make_scorer(batch_rows=0)
+
+    def test_latencies_recorded_for_stamped_rows(self):
+        scorer = make_scorer(batch_rows=4)
+        for i in range(8):
+            row = make_row()
+            row.emitted_at = 1e-9  # any truthy stamp
+            scorer.submit(row)
+        scorer.drain()
+        assert len(scorer.latencies) == 8
+        assert all(lat >= 0 for lat in scorer.latencies)

@@ -24,6 +24,11 @@ class TestParser:
              "--journal", "j.jsonl", "--resume"],
             ["overhead"],
             ["recovery", "--seed", "9"],
+            ["serve", "--model", "m.json", "--max-rows", "5000"],
+            ["serve", "--model", "m.json", "--hosts", "200",
+             "--vms-per-host", "8", "--duration", "5", "--port", "9109",
+             "--batch-rows", "512", "--queue-depth", "2048",
+             "--policy", "block", "--hold", "10", "--summary", "s.json"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
@@ -145,6 +150,69 @@ class TestExecution:
         # Everything between the dataset summaries and the timing footer —
         # class counts and both confusion reports — must match exactly.
         assert serial.split("(paper")[0] == pooled.split("(paper")[0]
+
+    @pytest.fixture(scope="class")
+    def saved_model(self, tmp_path_factory):
+        """A tiny trained artifact for the serve tests."""
+        path = tmp_path_factory.mktemp("serve") / "model.json"
+        assert main(["train", "--scale", "0.02", "--seed", "2",
+                     "--save-model", str(path)]) == 0
+        return str(path)
+
+    def test_serve_requires_stop_condition(self, capsys, tmp_path):
+        assert main(["serve", "--model", "m.json"]) == 2
+        assert "stop condition" in capsys.readouterr().err
+
+    def test_serve_scores_the_fleet(self, capsys, saved_model):
+        assert main(["serve", "--model", saved_model, "--seed", "7",
+                     "--hosts", "6", "--max-rows", "3000", "--no-http"]) == 0
+        out = capsys.readouterr().out
+        assert "scored 3,000 rows" in out
+        assert "detections:" in out and "p99" in out
+
+    def test_serve_summary_is_batch_invariant(self, capsys, saved_model,
+                                              tmp_path):
+        """The CLI-level determinism contract: fixed seed + --max-rows =>
+        identical totals across runs and --batch-rows settings."""
+        import json as json_mod
+
+        summaries = []
+        for batch, name in (("64", "a.json"), ("64", "b.json"),
+                            ("700", "c.json")):
+            path = str(tmp_path / name)
+            assert main(["serve", "--model", saved_model, "--seed", "7",
+                         "--hosts", "6", "--max-rows", "3000", "--no-http",
+                         "--batch-rows", batch, "--summary", path]) == 0
+            summaries.append(json_mod.loads((tmp_path / name).read_text()))
+        capsys.readouterr()
+        assert summaries[0] == summaries[1] == summaries[2]
+        assert summaries[0]["totals"]["rows_scored"] == 3000
+
+    def test_serve_endpoint_scrapes_during_run(self, capsys, saved_model):
+        import urllib.request
+
+        assert main(["serve", "--model", saved_model, "--seed", "7",
+                     "--hosts", "4", "--max-rows", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "serving /metrics and /healthz at http://" in out
+
+        # Scrape an endpoint for real (bound to an ephemeral port).
+        from repro.service import DetectionService, FleetConfig, ServiceConfig
+        from repro.persist import load_model
+
+        service = DetectionService(
+            ServiceConfig(fleet=FleetConfig(hosts=2, seed=7), max_rows=500),
+            load_model(saved_model),
+        )
+        service.run()
+        server = service.endpoint().start()
+        try:
+            with urllib.request.urlopen(f"{server.url}/healthz", timeout=5) as r:
+                assert b'"status": "ok"' in r.read()
+            with urllib.request.urlopen(f"{server.url}/metrics", timeout=5) as r:
+                assert b"repro_rows_scored_total" in r.read()
+        finally:
+            server.stop()
 
     def test_train_journal_rebuild_and_model(self, capsys, tmp_path):
         """Journalled collection, offline re-training from the journals, and

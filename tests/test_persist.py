@@ -89,6 +89,33 @@ class TestModels:
             features
         )
 
+    def test_loaded_artifact_batch_path_matches_in_memory_model(
+        self, tmp_path, model
+    ):
+        """save -> load -> classify_batch is bit-identical to TrainedModel.rules.
+
+        The streaming scorer feeds loaded artifacts straight into the batch
+        path, so the delegation must not change a single label or
+        comparison count.
+        """
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        artifact = load_model(path)
+        X = model.test_set.X
+        labels, comparisons = artifact.classify_batch(X)
+        ref_labels, ref_comparisons = model.rules.classify_batch(X)
+        assert (labels == ref_labels).all()
+        assert (comparisons == ref_comparisons).all()
+        assert (artifact.predict_batch(X) == model.rules.predict_batch(X)).all()
+        assert (
+            artifact.flags_incorrect_batch(X)
+            == model.rules.flags_incorrect_batch(X)
+        ).all()
+        # Batch delegation agrees with the per-row detector protocol.
+        assert artifact.flags_incorrect_batch(X)[0] == artifact.flags_incorrect(
+            tuple(int(v) for v in X[0])
+        )
+
     def test_format_guard(self, tmp_path):
         path = tmp_path / "bogus.json"
         path.write_text(json.dumps({"format": "xentry-rules-v1"}))

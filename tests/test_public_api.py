@@ -51,6 +51,13 @@ PACKAGES = {
         "PerfOverheadModel", "coverage_by_technique", "undetected_breakdown",
         "dataset_from_journal", "sample_journal_progress",
     ),
+    "repro.service": (
+        "DetectionService", "ServiceConfig", "ServiceReport",
+        "FleetConfig", "FleetRow", "FleetSimulator", "HostStream",
+        "MicroBatchScorer", "HostQueue", "OverflowPolicy", "ScoreTotals",
+        "Counter", "Gauge", "Histogram", "MetricsRegistry", "ServiceMetrics",
+        "MetricsServer",
+    ),
     "repro.system": ("VirtualPlatform", "PlatformConfig"),
 }
 
