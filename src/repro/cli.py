@@ -51,6 +51,7 @@ from repro.engine.journal import JOURNAL_FORMAT
 from repro.errors import CampaignConfigError
 from repro.faults import CampaignConfig, FaultInjectionCampaign
 from repro.hypervisor import ExitCategory, REGISTRY, XenHypervisor
+from repro.machine import lockstep
 from repro.machine.translator import CACHE
 from repro.ml import compile_tree
 from repro.persist import load_model, load_records, save_model, save_records, save_rules
@@ -191,9 +192,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     # translation cache; snapshot its counters so the summary reports the
     # campaign phase alone (under --no-translate it must read 0% translated).
     pre_campaign = CACHE.stats()
+    pre_lockstep = lockstep.stats()
     config = CampaignConfig(
         n_injections=args.injections, seed=args.seed, trace=args.trace,
         translate=not args.no_translate,
+        twin_batch=not args.no_twin_batch,
     )
     # Supervision knobs force the engine path: the serial for-loop has no
     # retry, watchdog or chaos machinery.
@@ -241,9 +244,18 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             (tstats["block_executions"] - tstats["blocks_compiled"])
             / tstats["block_executions"]
         )
-        print(f"translation cache: {tstats['blocks_compiled']} blocks compiled, "
+        print(f"translation cache: {tstats['blocks_compiled']} blocks compiled "
+              f"({tstats['blocks_prewarmed']} pre-warmed, "
+              f"{tstats['blocks_compiled_cold']} cold), "
               f"hit rate {hit_rate:.1%}, "
               f"{share:.1%} of instructions translated")
+    lstats = {k: v - pre_lockstep[k] for k, v in lockstep.stats().items()}
+    if lstats["twins"]:
+        dead_share = lstats["dead_twins"] / lstats["twins"]
+        print(f"twin batching: {lstats['twins']} twins in "
+              f"{lstats['twin_batches']} batches, "
+              f"{lstats['dead_twins']} settled without execution "
+              f"({dead_share:.1%}), {lstats['peeled_twins']} peeled")
     if args.output:
         save_records(result.records, args.output)
         print(f"records written to {args.output}")
@@ -420,6 +432,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the basic-block translation cache and run "
                         "every instruction through the interpreter "
                         "(slower; records are bit-identical either way)")
+    p.add_argument("--no-twin-batch", action="store_true",
+                   help="disable lock-step twin batching and execute every "
+                        "injection per-trial (slower; records are "
+                        "bit-identical either way)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the campaign engine "
                         "(default: 1, serial; results are bit-identical)")

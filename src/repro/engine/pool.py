@@ -42,10 +42,44 @@ from repro.faults.campaign import (
 )
 from repro.faults.injector import TransitionDetector
 from repro.faults.outcomes import TrialRecord
-from repro.hypervisor.xen import XenHypervisor
-from repro.machine.translator import CACHE
+from repro.hypervisor.xen import Activation, XenHypervisor
+from repro.machine import lockstep
+from repro.machine.translator import CACHE, COMPILE_THRESHOLD
 
-__all__ = ["CampaignEngine", "execute_shard"]
+__all__ = ["CampaignEngine", "execute_shard", "warm_worker"]
+
+
+def warm_worker(config: CampaignConfig) -> None:
+    """Process-pool initializer: pre-warm the process-wide translation cache.
+
+    A fresh pool worker starts with an empty :data:`~repro.machine.translator.CACHE`
+    and cold per-entry heat counters, so its first shard pays the full
+    trace-compilation cost on the campaign's critical path.  Running every
+    exit reason of the campaign's program image past the warmth gate here
+    compiles the handler blocks once, before any trial executes; the shards
+    that follow attach to the already-compiled translation by text digest.
+    ``CACHE.mark_prewarmed`` records the hand-off point, splitting the
+    manifest's compile counts into warm (initializer) and cold (mid-campaign)
+    shares.  Trial records are invariant under translation, so warming can
+    never change campaign results.
+    """
+    if not config.translate:
+        return
+    compiled_before = CACHE.stats()["blocks_compiled"]
+    hv = XenHypervisor(
+        n_domains=config.n_domains, seed=config.seed, translate=True,
+    )
+    domain_id = min(1, hv.n_domains - 1)
+    for seq, reason in enumerate(hv.registry):
+        activation = Activation(
+            vmer=reason.vmer, args=(3, 1), domain_id=domain_id, seq=seq
+        )
+        # One-dispatch-per-run entries (handler prologues) need their heat
+        # pushed past the compile threshold; loop bodies cross it within a
+        # single run.
+        for _ in range(COMPILE_THRESHOLD + 2):
+            hv.execute(activation)
+    CACHE.mark_prewarmed(since=compiled_before)
 
 
 def execute_shard(
@@ -191,6 +225,10 @@ class CampaignEngine:
                         shard=index, n_trials=len(trials), elapsed=0.0, resumed=True
                     )
                 )
+            if self.jobs == 1 and pending:
+                # Inline runs execute shards in this process: warm it the
+                # same way a pool worker would be.
+                warm_worker(self.config)
             supervisor = ShardSupervisor(
                 self.config,
                 execute=execute_shard,
@@ -201,12 +239,15 @@ class CampaignEngine:
                 chaos=self.chaos,
                 telemetry=self.telemetry,
                 journal=journal,
+                warm=warm_worker,
             )
             failures = supervisor.run(pending, done)
-            # Translation-cache/execution-mix telemetry is per-process state;
+            # Translation-cache/lock-step telemetry is per-process state;
             # this covers serial and inline (jobs=1) runs completely and the
             # coordinating process otherwise (see record_machine_stats).
-            self.telemetry.record_machine_stats(CACHE.stats())
+            self.telemetry.record_machine_stats(
+                {**CACHE.stats(), **lockstep.stats()}
+            )
         finally:
             # The manifest snapshot must survive any failure mode — it is
             # written first so a failing journal close cannot cost it, and

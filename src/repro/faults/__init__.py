@@ -5,7 +5,12 @@ comparison, consequence classification, and campaign orchestration.
 """
 
 from repro.faults.campaign import CampaignConfig, CampaignResult, FaultInjectionCampaign
-from repro.faults.injector import TransitionDetector, run_memory_trial, run_trial
+from repro.faults.injector import (
+    TransitionDetector,
+    run_memory_trial,
+    run_trial,
+    run_twin_batch,
+)
 from repro.faults.model import FaultModel, MemoryFaultModel
 from repro.faults.outcomes import (
     DetectionTechnique,
@@ -44,5 +49,6 @@ __all__ = [
     "compute_divergence",
     "run_memory_trial",
     "run_trial",
+    "run_twin_batch",
     "undetected_kind_for",
 ]

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 from repro import rng as rng_mod
 from repro.errors import CampaignConfigError
-from repro.faults.injector import TransitionDetector, run_trial
+from repro.faults.injector import TransitionDetector, run_trial, run_twin_batch
 from repro.faults.model import FaultModel
 from repro.faults.outcomes import TrialRecord
 from repro.faults.propagation import capture_golden
@@ -68,6 +68,11 @@ class CampaignConfig:
     #: remains the differential oracle; ``--no-translate`` forces it).
     #: Excluded from the config digest: records are invariant under it.
     translate: bool = True
+    #: Settle each golden group's faulty twins as a lock-step batch (dead
+    #: twins synthesized, diverging twins peeled at their read point; see
+    #: repro.machine.lockstep).  ``--no-twin-batch`` forces the per-trial
+    #: path.  Excluded from the config digest: records are invariant.
+    twin_batch: bool = True
 
     def __post_init__(self) -> None:
         if not self.benchmarks:
@@ -212,23 +217,48 @@ def run_benchmark_groups(
         fault_rng = rng_mod.stream(
             config.seed, "faults", benchmark, config.mode.value, g
         )
-        for _ in range(batch):
-            fault = config.fault_model.sample(fault_rng, golden.result.instructions)
-            record = run_trial(
+        # The whole group's faults are drawn up front either way, so the
+        # RNG stream (3 draws per fault) is identical in both paths.
+        faults = [
+            config.fault_model.sample(fault_rng, golden.result.instructions)
+            for _ in range(batch)
+        ]
+        if config.twin_batch:
+            group_records = run_twin_batch(
                 hv,
                 activation,
-                fault,
+                faults,
                 detector=detector,
                 golden=golden,
                 benchmark=benchmark,
                 followups=followups,
+                on_record=on_record,
             )
-            records.append(record)
-            if on_record is not None:
-                on_record(record)
+            records.extend(group_records)
+        else:
+            for fault in faults:
+                record = run_trial(
+                    hv,
+                    activation,
+                    fault,
+                    detector=detector,
+                    golden=golden,
+                    benchmark=benchmark,
+                    followups=followups,
+                )
+                records.append(record)
+                if on_record is not None:
+                    on_record(record)
     # Fold the execution-mix counters into hv.ff_stats so callers (engine
     # shards, benchmarks) see translation telemetry without extra plumbing.
     hv.translation_stats()
+    # Same for the lock-step batch ledger and the runaway-loop prover's
+    # counters: one flat dict carries the whole execution-strategy mix.
+    hv.ff_stats.update(hv.lockstep_stats)
+    hv.ff_stats["proved_hangs"] = sum(c.proved_hangs for c in hv.cores)
+    hv.ff_stats["proved_hang_instructions"] = sum(
+        c.proved_hang_instructions for c in hv.cores
+    )
     return records
 
 

@@ -34,9 +34,10 @@ from repro.faults.propagation import (
     undetected_kind_for,
 )
 from repro.hypervisor.xen import Activation, XenHypervisor
+from repro.machine import lockstep
 from repro.machine.exceptions import AssertionViolation, HardwareException, classify_exception
 
-__all__ = ["TransitionDetector", "run_trial", "run_memory_trial"]
+__all__ = ["TransitionDetector", "run_trial", "run_memory_trial", "run_twin_batch"]
 
 
 class TransitionDetector(Protocol):
@@ -54,6 +55,7 @@ def run_trial(
     golden: GoldenRun | None = None,
     benchmark: str = "",
     followups: tuple[Activation, ...] = (),
+    read_point: int | None = None,
 ) -> TrialRecord:
     """Execute one golden/faulty pair and classify the outcome.
 
@@ -66,18 +68,27 @@ def run_trial(
     first VM entry is detected when a later hypervisor execution consumes it
     (a fatal exception, a failed assertion, or a transition-feature anomaly),
     with the detection latency accumulating across activations.
+
+    ``read_point`` (from the lock-step batch scan) asserts that the golden
+    run neither reads nor writes the flipped register between the injection
+    index and that dynamic index: the resume may then fast-forward to the
+    ladder rung at-or-before the *read point* and re-apply the flip to the
+    restored golden register value — bit-identical to flipping at the
+    injection index, but skipping the shared prefix.
     """
     if golden is None:
         golden = capture_golden(hv, activation, followups)
     # Fast-forward: resume from the latest ladder rung at-or-before the
-    # injection index instead of re-executing the golden prefix.  The flip
-    # cannot fire before the rung (rung.index <= dynamic_index) and the
-    # prefix is deterministic, so the faulty run is bit-identical either way.
+    # injection index (or the scan-proven read point) instead of re-executing
+    # the golden prefix.  The flip cannot fire before the rung
+    # (rung.index <= dynamic_index) and the prefix is deterministic, so the
+    # faulty run is bit-identical either way.
     stats = hv.ff_stats
     stats["trials"] += 1
+    target = fault.dynamic_index if read_point is None else read_point
     rung = None
     for candidate in golden.ladder:  # ascending by index
-        if candidate.index > fault.dynamic_index:
+        if candidate.index > target:
             break
         rung = candidate
     if rung is not None:
@@ -86,7 +97,25 @@ def run_trial(
         stats["instructions_skipped"] += rung.index
     else:
         hv.restore(golden.checkpoint)
-    hv.cpu.schedule_register_flip(fault.dynamic_index, fault.register, fault.bit)
+    if rung is not None and rung.index > fault.dynamic_index:
+        # Past the injection index: the register still holds its golden
+        # value here (the scan proved no access), so flip it now.
+        _bump_lockstep(
+            hv, "read_ff_instructions", rung.index - fault.dynamic_index
+        )
+        hv.cpu.arm_applied_flip(
+            fault.dynamic_index, fault.register, fault.bit,
+            known_activation=read_point,
+        )
+    else:
+        # ``read_point`` doubles as the analytically proven activation
+        # index (the golden trace's first post-flip access is a read
+        # there), letting the core skip the activation watch and keep the
+        # whole window on the translated path.
+        hv.cpu.schedule_register_flip(
+            fault.dynamic_index, fault.register, fault.bit,
+            known_activation=read_point,
+        )
 
     def _activation_index() -> int:
         report = hv.cpu.injection_report
@@ -104,6 +133,115 @@ def run_trial(
         activation_index=_activation_index, activated=_activated,
         resume=rung is not None,
     )
+
+
+def _bump_lockstep(hv: XenHypervisor, key: str, n: int = 1) -> None:
+    """Count on both ledgers: the per-machine one (benchmarks inspect
+    ``hv.lockstep_stats``) and the process-wide one the engine/CLI report
+    (:data:`repro.machine.lockstep.STATS`, mirroring the translation cache)."""
+    hv.lockstep_stats[key] += n
+    lockstep.STATS[key] += n
+
+
+def _trace_plan(hv: XenHypervisor, activation: Activation, golden: GoldenRun):
+    """Replay the golden activation once in full-trace mode and lower the
+    address stream into a :class:`~repro.machine.lockstep.TwinPlan`.
+
+    Returns ``None`` when the replay does not line up with the captured
+    golden run (the scan refuses to classify against a mismatched trace;
+    every twin then peels into the per-trial oracle path).
+    """
+    core = hv.cpu
+    tracer = core.tracer
+    was_light = tracer.light
+    hv.restore(golden.checkpoint)
+    core.clear_injection()
+    tracer.light = False
+    try:
+        result = hv.execute(activation)
+        addresses = list(tracer.addresses)
+    finally:
+        tracer.light = was_light
+        if was_light:
+            tracer.addresses.clear()
+    if (
+        result.instructions != golden.result.instructions
+        or len(addresses) != result.instructions
+    ):
+        return None
+    return lockstep.build_plan(hv.program, addresses)
+
+
+def run_twin_batch(
+    hv: XenHypervisor,
+    activation: Activation,
+    faults,
+    *,
+    detector: TransitionDetector | None = None,
+    golden: GoldenRun | None = None,
+    benchmark: str = "",
+    followups: tuple[Activation, ...] = (),
+    on_record=None,
+) -> list[TrialRecord]:
+    """Execute every faulty twin of one golden group as a lock-step batch.
+
+    Classifies each twin against the shared golden position columns
+    (:mod:`repro.machine.lockstep`): *dead* twins — flip overwritten
+    before the next read, or never touched again — synthesize their
+    non-activated record without executing; diverging twins peel into
+    :func:`run_trial`, fast-forwarded to their first-read point.  Record
+    order matches the ``faults`` order, and every record is bit-identical
+    to what per-trial execution would produce.
+    """
+    if golden is None:
+        golden = capture_golden(hv, activation, followups)
+    faults = list(faults)
+    plan = _trace_plan(hv, activation, golden) if faults else None
+    _bump_lockstep(hv, "twin_batches")
+    _bump_lockstep(hv, "twins", len(faults))
+    records: list[TrialRecord] = []
+    for fault in faults:
+        kind, read_point = (
+            lockstep.classify_twin(plan, fault.register, fault.dynamic_index)
+            if plan is not None
+            else (lockstep.PEEL, None)
+        )
+        if kind == lockstep.DEAD:
+            _bump_lockstep(hv, "dead_twins")
+            _bump_lockstep(
+                hv, "synthesized_instructions", golden.result.instructions
+            )
+            # The whole faulty run is provably golden: account it as a
+            # full-length fast-forward.
+            hv.ff_stats["trials"] += 1
+            hv.ff_stats["fast_forwarded"] += 1
+            hv.ff_stats["instructions_skipped"] += golden.result.instructions
+            record = TrialRecord(
+                benchmark=benchmark,
+                vmer=activation.vmer,
+                fault=fault,
+                activated=False,
+                failure_class=FailureClass.BENIGN,
+                detected_by=DetectionTechnique.UNDETECTED,
+                detection_latency=None,
+                detail="non-activated",
+            )
+        else:
+            _bump_lockstep(hv, "peeled_twins")
+            record = run_trial(
+                hv,
+                activation,
+                fault,
+                detector=detector,
+                golden=golden,
+                benchmark=benchmark,
+                followups=followups,
+                read_point=read_point,
+            )
+        records.append(record)
+        if on_record is not None:
+            on_record(record)
+    return records
 
 
 def run_memory_trial(

@@ -197,6 +197,19 @@ class XenHypervisor:
         #: Fast-forward accounting for the injection hot path (updated by the
         #: fault injector; reported by the machine-throughput benchmark).
         self.ff_stats = {"trials": 0, "fast_forwarded": 0, "instructions_skipped": 0}
+        #: Lock-step twin-batch accounting (updated by the fault injector's
+        #: batch scan; see repro.machine.lockstep).  ``dead_twins`` trials
+        #: were synthesized without execution; ``peeled_twins`` ran per-trial,
+        #: ``read_ff_instructions`` counting the extra golden-prefix
+        #: instructions their read-point resume skipped past the injection.
+        self.lockstep_stats = {
+            "twin_batches": 0,
+            "twins": 0,
+            "dead_twins": 0,
+            "peeled_twins": 0,
+            "synthesized_instructions": 0,
+            "read_ff_instructions": 0,
+        }
 
     # -- views ----------------------------------------------------------------
 

@@ -88,6 +88,19 @@ assert _TERMINATOR_MIN == len(OP_INDEX) - 2  # VMENTRY, HALT close the enum
 # translated-block codegen (see repro.machine.exceptions.raise_stack_fault).
 _raise_stack_fault = raise_stack_fault
 
+# Runaway-loop probe tuning (see repro.machine.loopproof).  A full-budget run
+# that retires _PROBE_AT instructions is suspected of spinning: the dispatch
+# loop records a _PROBE_WINDOW address history, looks for a rip-periodic
+# cycle, measures its per-period register deltas over two real periods, and
+# asks the induction prover to certify the hang.  Failed attempts re-arm
+# _PROBE_RETRY instructions later, at most _PROBE_MAX_ATTEMPTS times.  All
+# of this is invisible to outcomes: proofs are exact and bails keep
+# executing concretely.
+_PROBE_AT = 1_024
+_PROBE_WINDOW = 320
+_PROBE_RETRY = 2_048
+_PROBE_MAX_ATTEMPTS = 3
+
 
 #: Deterministic CPUID leaves: leaf -> (eax, ebx, ecx, edx).  Values echo a
 #: Xeon-like identification block; what matters for the reproduction is that
@@ -259,6 +272,13 @@ class CPUCore:
         #: Execute through cached translated blocks where possible (the
         #: interpreter remains the oracle; ``translate=False`` forces it).
         self.translate = translate
+        #: Attempt exact runaway-loop proofs when a full-budget run spins
+        #: (see repro.machine.loopproof; ``False`` forces concrete execution).
+        self.loop_proof = True
+        #: Watchdog outcomes settled by induction proof instead of execution,
+        #: and the instructions those proofs skipped (cumulative telemetry).
+        self.proved_hangs = 0
+        self.proved_hang_instructions = 0
         # Cumulative execution-mix telemetry (never reset by checkpoints or
         # hypervisor resets; see XenHypervisor.translation_stats).
         self.translated_instructions = 0
@@ -269,6 +289,7 @@ class CPUCore:
         self._inj_reg: str | None = None
         self._inj_bit = 0
         self._inj_applied = False
+        self._inj_known: int | None = None
         self._watch_reg: int | None = None
         self._activated: bool | None = None
         self._activation_index: int | None = None
@@ -313,9 +334,24 @@ class CPUCore:
 
     # -- fault injection ------------------------------------------------------
 
-    def schedule_register_flip(self, dynamic_index: int, register: str, bit: int) -> None:
+    def schedule_register_flip(
+        self,
+        dynamic_index: int,
+        register: str,
+        bit: int,
+        *,
+        known_activation: int | None = None,
+    ) -> None:
         """Arm a single-bit flip in ``register`` before dynamic instruction
-        ``dynamic_index`` (0-based) of the next :meth:`run`."""
+        ``dynamic_index`` (0-based) of the next :meth:`run`.
+
+        ``known_activation`` is the lock-step scan's analytic activation
+        index: the golden trace proved the register's first access after
+        the flip is a *read* at that dynamic index, so the activation
+        watch (which forces per-instruction visibility on blocks touching
+        the register) is skipped entirely and the report is settled the
+        moment the flip applies.
+        """
         RegisterFile.index_of(register)  # validate eagerly
         if not 0 <= bit < 64:
             raise MachineConfigError(f"bit index {bit} outside [0, 64)")
@@ -325,15 +361,64 @@ class CPUCore:
         self._inj_reg = register
         self._inj_bit = bit
         self._inj_applied = False
+        self._inj_known = known_activation
         self._watch_reg = None
         self._activated = None
         self._activation_index = None
+
+    def arm_applied_flip(
+        self,
+        dynamic_index: int,
+        register: str,
+        bit: int,
+        *,
+        known_activation: int | None = None,
+    ) -> None:
+        """Apply a flip *now* and arm only the activation watch.
+
+        Resume-side twin of :meth:`schedule_register_flip` for the
+        lock-step peel path: when the golden prefix provably never
+        touches ``register`` between the injection index and the restore
+        point, flipping the restored (golden) value is bit-identical to
+        having flipped it at ``dynamic_index`` — so the injector may
+        fast-forward past the injection and re-apply the flip here.  The
+        report carries the original ``dynamic_index``.
+
+        With ``known_activation`` the watch is not armed at all: the
+        golden trace already proved the first access is a read at that
+        index, so the report is settled analytically and the run stays
+        eligible for translated execution throughout.
+        """
+        reg_index = RegisterFile.index_of(register)
+        if not 0 <= bit < 64:
+            raise MachineConfigError(f"bit index {bit} outside [0, 64)")
+        if dynamic_index < 0:
+            raise MachineConfigError("dynamic_index must be non-negative")
+        self._inj_index = dynamic_index
+        self._inj_reg = register
+        self._inj_bit = bit
+        self._inj_applied = True
+        self._inj_known = None
+        self._activated = None
+        self._activation_index = None
+        self.regs.flip_bit(register, bit)
+        if reg_index == _RIP:
+            self._activated = True
+            self._activation_index = dynamic_index
+            self._watch_reg = None
+        elif known_activation is not None:
+            self._activated = True
+            self._activation_index = known_activation
+            self._watch_reg = None
+        else:
+            self._watch_reg = reg_index
 
     def clear_injection(self) -> None:
         """Disarm any scheduled fault."""
         self._inj_index = None
         self._inj_reg = None
         self._inj_applied = False
+        self._inj_known = None
         self._watch_reg = None
 
     @property
@@ -362,6 +447,12 @@ class CPUCore:
             # always activated, immediately.
             self._activated = True
             self._activation_index = count
+        elif self._inj_known is not None:
+            # The lock-step scan proved the first access is a read at this
+            # index; settle the report without arming the watch so the run
+            # stays on the translated path.
+            self._activated = True
+            self._activation_index = self._inj_known
         else:
             self._watch_reg = reg_index
 
@@ -482,6 +573,28 @@ class CPUCore:
         # watchdog budget share one threshold; the slow path disambiguates,
         # with the budget raise winning when both trip at the same count.
         pause = budget if stop_at is None or stop_at > budget else stop_at
+        # Runaway-loop probe (repro.machine.loopproof): armed only for
+        # full-budget runs with light tracing — ladder slices observe
+        # mid-run state and full traces observe every address, so both must
+        # execute concretely.  The probe shares the loop-top ``pause``
+        # comparison; ``real_pause`` keeps the genuine stop threshold.
+        real_pause = pause
+        probe_state = (
+            1
+            if self.loop_proof and stop_at is None and light and enabled
+            and pause > _PROBE_AT + tracer.count
+            else 0
+        )
+        if probe_state:
+            pause = tracer.count + _PROBE_AT
+        probe_hist: list[int] | None = None
+        probe_period: list[int] = []
+        probe_anchor = 0
+        probe_p = 0
+        probe_s0: list[int] = []
+        probe_s1: list[int] = []
+        probe_attempts = 0
+        proved_skip = 0
         # Constants rebound as locals (LOAD_FAST beats LOAD_GLOBAL in the
         # per-retirement opcode comparison chain below).
         m64 = MASK64
@@ -549,7 +662,103 @@ class CPUCore:
                 if count >= pause:
                     if count >= budget:
                         raise SimulationLimitExceeded(budget)
-                    return None
+                    if not probe_state:
+                        return None
+                    # -- runaway-loop probe state machine (count < budget,
+                    # so this trip belongs to the probe, not the caller) --
+                    advanced = False
+                    if probe_state == 1:
+                        # Suspicion threshold: start recording a window of
+                        # retirement addresses (a pending flip or live
+                        # watch needs per-instruction visibility — retry
+                        # once it resolves).
+                        if not injecting and not watching:
+                            probe_hist = []
+                            probe_state = 2
+                            pause = min(real_pause, count + _PROBE_WINDOW)
+                            advanced = True
+                    elif probe_state == 2:
+                        # Window complete (unless a bulk retire overshot
+                        # it): look for a rip-periodic cycle the prover
+                        # can rotate to a flags-clean anchor.
+                        from repro.machine import loopproof as _loopproof
+
+                        period = (
+                            _loopproof.find_period(probe_hist, rvals[i_rip])
+                            if count == pause and probe_hist is not None
+                            else None
+                        )
+                        probe_hist = None
+                        if period is not None:
+                            rot = _loopproof.plan_rotation(program, period)
+                            if rot is not None:
+                                probe_period = period[rot:] + period[:rot]
+                                probe_anchor = probe_period[0]
+                                probe_p = len(period)
+                                if rot == 0:
+                                    probe_s0 = rvals[:]
+                                    probe_state = 4
+                                    pause = min(real_pause, count + probe_p)
+                                else:
+                                    probe_state = 3
+                                    pause = min(real_pause, count + rot)
+                                advanced = True
+                    elif probe_state == 3:
+                        # Rotated to the anchor: snapshot S0.
+                        if count == pause and rvals[i_rip] == probe_anchor:
+                            probe_s0 = rvals[:]
+                            probe_state = 4
+                            pause = min(real_pause, count + probe_p)
+                            advanced = True
+                    elif probe_state == 4:
+                        # One real period later: snapshot S1.
+                        if count == pause and rvals[i_rip] == probe_anchor:
+                            probe_s1 = rvals[:]
+                            probe_state = 5
+                            pause = min(real_pause, count + probe_p)
+                            advanced = True
+                    else:  # probe_state == 5: S2 — deltas, then the proof.
+                        if count == pause and rvals[i_rip] == probe_anchor:
+                            from repro.machine import loopproof as _loopproof
+
+                            s0, s1 = probe_s0, probe_s1
+                            if _loopproof.prove_runaway(
+                                program,
+                                self.memory,
+                                probe_period,
+                                rvals[:],
+                                [(b - a) & m64 for a, b in zip(s0, s1)],
+                                [(b - a) & m64 for a, b in zip(s1, rvals)],
+                                budget - count,
+                            ):
+                                # Certified: the cycle retires one
+                                # instruction per address until the budget.
+                                # Only the final count is architecturally
+                                # observable past a watchdog kill — no
+                                # checkpoint is taken and the classifier
+                                # reads tracer.count alone — so jump
+                                # straight to the exhausted budget.
+                                skipped = budget - count
+                                proved_skip = skipped
+                                count = budget
+                                p_inst += skipped
+                                tsc += tsc_step * skipped
+                                self.proved_hangs += 1
+                                self.proved_hang_instructions += skipped
+                                raise SimulationLimitExceeded(budget)
+                    if not advanced:
+                        probe_attempts += 1
+                        probe_hist = None
+                        if probe_attempts >= _PROBE_MAX_ATTEMPTS:
+                            probe_state = 0
+                            pause = real_pause
+                        else:
+                            probe_state = 1
+                            pause = min(real_pause, count + _PROBE_RETRY)
+                    block_limit = (
+                        inj_index if injecting and inj_index < pause else pause
+                    )
+                    continue
                 rip = rvals[i_rip]
                 if injecting and count >= inj_index:
                     self._apply_injection(count)
@@ -618,6 +827,8 @@ class CPUCore:
                                 self._assert_checks += nak
                             t_instr += n
                             t_blocks += 1
+                            if probe_hist is not None:
+                                probe_hist.extend(entry[6].addrs[:n])
                             continue
                     instr = instructions[offset >> 2]
                 else:
@@ -650,6 +861,8 @@ class CPUCore:
                     path_hash = ((path_hash ^ rip) * fnv) & m64
                     if not light:
                         addresses.append(rip)
+                if probe_hist is not None:
+                    probe_hist.append(rip)
                 p_inst += 1
                 tsc += tsc_step
                 # Inline bodies for the ops that dominate the dynamic mix
@@ -822,7 +1035,7 @@ class CPUCore:
             self.tsc = tsc
             self.translated_instructions += t_instr
             self.block_executions += t_blocks
-            interp = count - count0 - t_instr
+            interp = count - count0 - t_instr - proved_skip
             self.interpreted_instructions += interp
             CACHE.translated_instructions += t_instr
             CACHE.block_executions += t_blocks
