@@ -22,6 +22,7 @@ from repro.analysis.journals import (
 from repro.analysis.latency import LatencyStudy
 from repro.analysis.overhead import OverheadStudy, PerfOverheadModel
 from repro.analysis.plots import ascii_boxplot, ascii_cdf, ascii_stacked_bars
+from repro.analysis.recovery_report import RecoverySummary, summarize_recovery
 from repro.analysis.report import ComparisonRow, ComparisonTable, format_percent
 from repro.analysis.sensitivity import (
     SensitivityRow,
@@ -39,6 +40,7 @@ __all__ = [
     "LatencyStudy",
     "OverheadStudy",
     "PerfOverheadModel",
+    "RecoverySummary",
     "SensitivityRow",
     "ascii_boxplot",
     "ascii_cdf",
@@ -54,5 +56,6 @@ __all__ = [
     "records_from_journal",
     "register_sensitivity",
     "sample_journal_progress",
+    "summarize_recovery",
     "undetected_breakdown",
 ]

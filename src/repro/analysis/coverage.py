@@ -37,6 +37,9 @@ class CoverageBreakdown:
     sw_assertion: int
     vm_transition: int
     undetected: int
+    #: Detected faults whose recovery policy replayed the activation to a
+    #: state bit-identical to golden (recovery campaigns only; 0 otherwise).
+    recovered: int = 0
 
     @property
     def coverage(self) -> float:
@@ -44,6 +47,13 @@ class CoverageBreakdown:
         if self.total == 0:
             return 0.0
         return 1.0 - self.undetected / self.total
+
+    @property
+    def recovered_share(self) -> float:
+        """Fraction of manifested faults detected *and* cleanly recovered."""
+        if self.total == 0:
+            return 0.0
+        return self.recovered / self.total
 
     def share(self, technique: DetectionTechnique) -> float:
         if self.total == 0:
@@ -59,7 +69,7 @@ class CoverageBreakdown:
     def row(self, label: str) -> str:
         if self.total == 0:
             return f"{label:<12} (no manifested faults)"
-        return (
+        line = (
             f"{label:<12} n={self.total:<6} "
             f"hw={self.share(DetectionTechnique.HW_EXCEPTION):6.1%} "
             f"assert={self.share(DetectionTechnique.SW_ASSERTION):6.1%} "
@@ -67,10 +77,19 @@ class CoverageBreakdown:
             f"undetected={self.share(DetectionTechnique.UNDETECTED):6.1%} "
             f"coverage={self.coverage:6.1%}"
         )
+        # The "recovered" column appears only for recovery campaigns, so
+        # detection-only reports keep their historical shape.
+        if self.recovered:
+            line += f" recovered={self.recovered_share:6.1%}"
+        return line
 
 
 def coverage_by_technique(records: tuple[TrialRecord, ...]) -> CoverageBreakdown:
-    """Aggregate manifested faults by detecting technique (Fig. 8)."""
+    """Aggregate manifested faults by detecting technique (Fig. 8).
+
+    For recovery campaigns the breakdown also counts the cleanly recovered
+    trials (``RecoveryRecord.clean``), giving Fig. 8 its "recovered" column.
+    """
     manifested = [r for r in records if r.manifested]
     counts = Counter(r.detected_by for r in manifested)
     return CoverageBreakdown(
@@ -79,6 +98,9 @@ def coverage_by_technique(records: tuple[TrialRecord, ...]) -> CoverageBreakdown
         sw_assertion=counts[DetectionTechnique.SW_ASSERTION],
         vm_transition=counts[DetectionTechnique.VM_TRANSITION],
         undetected=counts[DetectionTechnique.UNDETECTED],
+        recovered=sum(
+            1 for r in manifested if r.recovery is not None and r.recovery.clean
+        ),
     )
 
 

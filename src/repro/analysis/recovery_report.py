@@ -1,0 +1,100 @@
+"""The measured recovery axis: survival, downtime, divergence.
+
+Aggregates the :class:`~repro.faults.outcomes.RecoveryRecord` stream a
+``--recover`` campaign produces into the numbers the paper never measured —
+per-policy success rate, guest-visible downtime distribution (retired
+instructions spent inside recovery), and post-recovery golden-divergence
+counts — the companion of the Section VI *analytical* cost model in
+:mod:`repro.xentry.recovery`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.faults.outcomes import TrialRecord
+
+__all__ = ["RecoverySummary", "summarize_recovery"]
+
+
+def _percentile(sorted_values: list[int], q: float) -> int:
+    """Nearest-rank percentile over a pre-sorted list (0 when empty)."""
+    if not sorted_values:
+        return 0
+    rank = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+@dataclass(frozen=True)
+class RecoverySummary:
+    """Headline numbers of one recovery campaign."""
+
+    #: Detected trials that ran the policy ladder.
+    trials: int
+    #: Trials replayed to a golden-identical state.
+    recovered: int
+    #: Recovered trials whose post-state diffs against golden are empty and
+    #: whose digests match (should equal ``recovered`` by construction).
+    clean: int
+    #: Trials that ended with residual divergence (quarantined/unrecoverable).
+    divergent: int
+    #: Settling action -> count ("reexecute", "microreboot", ...).
+    actions: dict[str, int]
+    #: Policy name -> count (one entry unless journals were merged).
+    policies: dict[str, int]
+    #: Ladder attempts spent in total.
+    attempts: int
+    #: Guest-visible downtime distribution, in retired instructions.
+    downtime_total: int
+    downtime_p50: int
+    downtime_p90: int
+    downtime_max: int
+
+    @property
+    def success_rate(self) -> float:
+        return self.recovered / self.trials if self.trials else 0.0
+
+    @property
+    def clean_rate(self) -> float:
+        return self.clean / self.trials if self.trials else 0.0
+
+    def lines(self) -> list[str]:
+        """Human-readable report block (the CLI prints these)."""
+        if not self.trials:
+            return ["no detected trials ran recovery"]
+        actions = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.actions.items())
+        )
+        return [
+            f"policy: {', '.join(sorted(self.policies))} — "
+            f"{self.trials} detected trials ran the ladder",
+            f"recovered: {self.recovered}/{self.trials} "
+            f"({self.success_rate:.1%}), zero-divergence: {self.clean} "
+            f"({self.clean_rate:.1%}), residual divergence: {self.divergent}",
+            f"settled by: {actions} ({self.attempts} attempts total)",
+            f"downtime (retired instructions): p50={self.downtime_p50} "
+            f"p90={self.downtime_p90} max={self.downtime_max} "
+            f"total={self.downtime_total}",
+        ]
+
+
+def summarize_recovery(records: tuple[TrialRecord, ...]) -> RecoverySummary:
+    """Fold a record stream's recovery outcomes into a summary."""
+    recs = [r.recovery for r in records if r.recovery is not None]
+    downtimes = sorted(r.downtime_instructions for r in recs)
+    return RecoverySummary(
+        trials=len(recs),
+        recovered=sum(1 for r in recs if r.recovered),
+        clean=sum(1 for r in recs if r.clean),
+        divergent=sum(
+            1 for r in recs if r.divergent_words or r.outputs_divergent
+        ),
+        actions=dict(Counter(r.action for r in recs)),
+        policies=dict(Counter(r.policy for r in recs)),
+        attempts=sum(r.attempts for r in recs),
+        downtime_total=sum(downtimes),
+        downtime_p50=_percentile(downtimes, 0.50),
+        downtime_p90=_percentile(downtimes, 0.90),
+        downtime_max=downtimes[-1] if downtimes else 0,
+    )

@@ -38,6 +38,7 @@ from repro.analysis import (
     journal_progress,
     long_latency_breakdown,
     records_from_journal,
+    summarize_recovery,
     undetected_breakdown,
 )
 from repro.engine import (
@@ -197,6 +198,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         n_injections=args.injections, seed=args.seed, trace=args.trace,
         translate=not args.no_translate,
         twin_batch=not args.no_twin_batch,
+        recover=args.recover,
+        recovery_hazard=args.recovery_hazard,
     )
     # Supervision knobs force the engine path: the serial for-loop has no
     # retry, watchdog or chaos machinery.
@@ -277,6 +280,11 @@ def _report_records(records) -> int:
     print("\nFig. 8 — coverage by technique")
     for name, cov in coverage_by_benchmark(records).items():
         print(cov.row(name))
+    summary = summarize_recovery(tuple(records))
+    if summary.trials:
+        print("\nRecovery — measured survival axis")
+        for line in summary.lines():
+            print(f"  {line}")
     print("\nFig. 9 — long-latency errors")
     for klass, (detected, total) in long_latency_breakdown(records).items():
         rate = f"{detected / total:.1%}" if total else "---"
@@ -436,6 +444,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable lock-step twin batching and execute every "
                         "injection per-trial (slower; records are "
                         "bit-identical either way)")
+    p.add_argument("--recover", choices=("reexecute", "microreboot", "ladder"),
+                   default=None, metavar="POLICY",
+                   help="run every detected trial through a recovery policy "
+                        "(reexecute | microreboot | ladder) and record "
+                        "survival, downtime and golden divergence")
+    p.add_argument("--recovery-hazard", type=float, default=0.0,
+                   metavar="PROB",
+                   help="probability of a second soft error striking during "
+                        "a recovery attempt (deterministic per trial/attempt; "
+                        "default: 0)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the campaign engine "
                         "(default: 1, serial; results are bit-identical)")

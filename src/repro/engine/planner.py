@@ -76,6 +76,12 @@ def config_digest(config: CampaignConfig) -> str:
         # invariant under retries and injected engine faults, so a journal
         # from a chaos run resumes interchangeably with a clean one.
     }
+    # Recovery DOES change the records (detected trials grow a
+    # RecoveryRecord), so it must enter the digest — but only when armed,
+    # so every pre-recovery journal digest stays valid.
+    if config.recover is not None:
+        payload["recover"] = config.recover
+        payload["recovery_hazard"] = config.recovery_hazard
     return payload_digest(payload)
 
 

@@ -179,6 +179,14 @@ class EngineTelemetry:
         self.done_shards = 0
         self.detected_by: Counter[str] = Counter()
         self.failure_class: Counter[str] = Counter()
+        #: Recovery-campaign counters: settling action per detected trial
+        #: ("reexecute", "microreboot", "quarantine_vm", "unrecoverable")
+        #: and per-policy totals; empty on detection-only runs.
+        self.recovery_actions: Counter[str] = Counter()
+        self.recovery_policies: Counter[str] = Counter()
+        self.recovered_trials = 0
+        self.recovery_downtime = 0
+        self.recovery_divergent = 0
         #: Class balance of journalled training samples (sample streams only).
         self.label_counts: Counter[str] = Counter()
         self.shard_log: list[ShardFinished] = []
@@ -231,6 +239,15 @@ class EngineTelemetry:
             if isinstance(record, TrialRecord):
                 self.detected_by[record.detected_by.value] += 1
                 self.failure_class[record.failure_class.value] += 1
+                if record.recovery is not None:
+                    rec = record.recovery
+                    self.recovery_actions[rec.action] += 1
+                    self.recovery_policies[rec.policy] += 1
+                    if rec.recovered:
+                        self.recovered_trials += 1
+                    self.recovery_downtime += rec.downtime_instructions
+                    if not rec.clean:
+                        self.recovery_divergent += 1
             else:
                 _features, label = record
                 self.label_counts["incorrect" if label else "correct"] += 1
@@ -295,6 +312,14 @@ class EngineTelemetry:
                 "detected_by": dict(self.detected_by),
                 "failure_class": dict(self.failure_class),
                 "labels": dict(self.label_counts),
+            },
+            "recovery": {
+                "trials": sum(self.recovery_actions.values()),
+                "recovered": self.recovered_trials,
+                "divergent": self.recovery_divergent,
+                "downtime_instructions": self.recovery_downtime,
+                "actions": dict(self.recovery_actions),
+                "policies": dict(self.recovery_policies),
             },
             "failures": {
                 "retries": self.retries,

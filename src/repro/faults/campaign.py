@@ -10,6 +10,7 @@ can scale up.
 
 from __future__ import annotations
 
+import dataclasses
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -73,6 +74,16 @@ class CampaignConfig:
     #: repro.machine.lockstep).  ``--no-twin-batch`` forces the per-trial
     #: path.  Excluded from the config digest: records are invariant.
     twin_batch: bool = True
+    #: Recovery policy name (``repro.xentry.recovery_policy.POLICIES``):
+    #: every *detected* trial runs the policy's escalation ladder and its
+    #: record carries a :class:`~repro.faults.outcomes.RecoveryRecord`.
+    #: None (the default) keeps the paper's detection-only campaign.
+    #: *Included* in the config digest when set — recovery changes records.
+    recover: str | None = None
+    #: Probability that a second soft error strikes *during* a recovery
+    #: attempt (drawn from a dedicated per-(trial, attempt) stream, so
+    #: campaigns stay bit-reproducible).  Only meaningful with ``recover``.
+    recovery_hazard: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.benchmarks:
@@ -85,6 +96,14 @@ class CampaignConfig:
             raise CampaignConfigError("followup_activations must be non-negative")
         if self.ladder_interval < 0:
             raise CampaignConfigError("ladder_interval must be non-negative")
+        if not 0.0 <= self.recovery_hazard < 1.0:
+            raise CampaignConfigError("recovery_hazard must be in [0, 1)")
+        if self.recover is not None:
+            # Validate the name eagerly (lazy import: repro.xentry pulls in
+            # the training stack, which imports this module).
+            from repro.xentry.recovery_policy import policy_from_name
+
+            policy_from_name(self.recover)
 
 
 @dataclass(frozen=True)
@@ -200,6 +219,33 @@ def run_benchmark_groups(
     for act in generator.activations(config.warmup_activations, stream="warmup"):
         hv.execute(act)
     aged_state = hv.checkpoint()
+    executor = None
+    recover_hook = None
+    if config.recover is not None:
+        # Lazy import: repro.xentry pulls in the training stack, which
+        # imports this module.
+        from repro.xentry.recovery_policy import RecoveryExecutor, policy_from_name
+
+        executor = RecoveryExecutor(
+            hv,
+            policy_from_name(config.recover),
+            seed=config.seed,
+            benchmark=benchmark,
+            mode=config.mode.value,
+            fault_model=config.fault_model,
+            hazard_rate=config.recovery_hazard,
+        )
+        # The per-VM-exit critical copy: the aged pre-run state is live
+        # right now and identical for every group of this benchmark.
+        executor.arm()
+
+        def recover_hook(record: TrialRecord, index: int) -> TrialRecord:
+            if not record.detected:
+                return record
+            return dataclasses.replace(
+                record, recovery=executor.recover(record, index)
+            )
+
     # The activation stream is one bulk draw; regenerating it in full keeps
     # every slice's view of group g identical to the serial run's.
     stream = generator.activations(geo.n_goldens * geo.stride)
@@ -214,6 +260,8 @@ def run_benchmark_groups(
         golden = capture_golden(
             hv, activation, followups, ladder_interval=config.ladder_interval
         )
+        if executor is not None:
+            executor.begin_group(g, activation, golden)
         fault_rng = rng_mod.stream(
             config.seed, "faults", benchmark, config.mode.value, g
         )
@@ -233,10 +281,11 @@ def run_benchmark_groups(
                 benchmark=benchmark,
                 followups=followups,
                 on_record=on_record,
+                recover=recover_hook,
             )
             records.extend(group_records)
         else:
-            for fault in faults:
+            for index, fault in enumerate(faults):
                 record = run_trial(
                     hv,
                     activation,
@@ -246,6 +295,8 @@ def run_benchmark_groups(
                     benchmark=benchmark,
                     followups=followups,
                 )
+                if recover_hook is not None:
+                    record = recover_hook(record, index)
                 records.append(record)
                 if on_record is not None:
                     on_record(record)
@@ -259,6 +310,12 @@ def run_benchmark_groups(
     hv.ff_stats["proved_hang_instructions"] = sum(
         c.proved_hang_instructions for c in hv.cores
     )
+    if executor is not None:
+        # Recovery counters travel the same flat ledger the engine's shard
+        # telemetry already aggregates.
+        for key, value in executor.stats.items():
+            flat = f"recovery_{key.replace(':', '_')}"
+            hv.ff_stats[flat] = hv.ff_stats.get(flat, 0) + value
     return records
 
 

@@ -182,6 +182,7 @@ def run_twin_batch(
     benchmark: str = "",
     followups: tuple[Activation, ...] = (),
     on_record=None,
+    recover=None,
 ) -> list[TrialRecord]:
     """Execute every faulty twin of one golden group as a lock-step batch.
 
@@ -192,6 +193,14 @@ def run_twin_batch(
     :func:`run_trial`, fast-forwarded to their first-read point.  Record
     order matches the ``faults`` order, and every record is bit-identical
     to what per-trial execution would produce.
+
+    ``recover`` is the campaign's recovery hook — called as
+    ``recover(record, index)`` immediately after each trial settles (while
+    the machine still holds that trial's post-faulty state) and may return
+    a replacement record carrying the recovery outcome.  Dead twins were
+    never detected, so the hook is a no-op for them, and every recovery
+    attempt restores machine state itself — the following twin's trial is
+    unperturbed either way.
     """
     if golden is None:
         golden = capture_golden(hv, activation, followups)
@@ -200,7 +209,7 @@ def run_twin_batch(
     _bump_lockstep(hv, "twin_batches")
     _bump_lockstep(hv, "twins", len(faults))
     records: list[TrialRecord] = []
-    for fault in faults:
+    for index, fault in enumerate(faults):
         kind, read_point = (
             lockstep.classify_twin(plan, fault.register, fault.dynamic_index)
             if plan is not None
@@ -238,6 +247,8 @@ def run_twin_batch(
                 followups=followups,
                 read_point=read_point,
             )
+        if recover is not None:
+            record = recover(record, index)
         records.append(record)
         if on_record is not None:
             on_record(record)

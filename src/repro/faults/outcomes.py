@@ -23,6 +23,7 @@ __all__ = [
     "FailureClass",
     "UndetectedKind",
     "FaultSpec",
+    "RecoveryRecord",
     "TrialRecord",
 ]
 
@@ -130,6 +131,51 @@ class MemoryFaultSpec:
 
 
 @dataclass(frozen=True)
+class RecoveryRecord:
+    """What the recovery policy did about one *detected* trial.
+
+    Recorded when a campaign runs with a recovery policy armed: after a
+    positive detection the policy's escalation ladder executes, and this
+    record captures whether the machine survived, how many rungs it cost,
+    the guest-visible downtime (retired instructions spent inside recovery),
+    and the exact post-recovery state divergence against the golden run
+    (heap words + output words that still differ, plus short state digests
+    so zero-divergence claims are checkable from the record alone).
+    """
+
+    #: Name of the policy that ran ("reexecute", "microreboot", "ladder").
+    policy: str
+    #: Action that settled the trial ("reexecute", "microreboot",
+    #: "quarantine_vm", "unrecoverable").
+    action: str
+    #: True when the activation was replayed to a state matching golden.
+    recovered: bool
+    #: Ladder rungs executed (each failed attempt counts).
+    attempts: int
+    #: Dynamic instructions retired inside recovery — guest-visible downtime.
+    downtime_instructions: int
+    #: Heap words still differing from the golden post-activation image.
+    divergent_words: int
+    #: Guest-visible output words still differing from golden.
+    outputs_divergent: int
+    #: blake2b digest of the post-recovery heap + outputs.
+    state_digest: str
+    #: Same digest of the golden post-activation state.
+    golden_digest: str
+    detail: str = ""
+
+    @property
+    def clean(self) -> bool:
+        """Recovered with bit-identical post-activation state."""
+        return (
+            self.recovered
+            and self.divergent_words == 0
+            and self.outputs_divergent == 0
+            and self.state_digest == self.golden_digest
+        )
+
+
+@dataclass(frozen=True)
 class TrialRecord:
     """Complete record of one fault-injection trial."""
 
@@ -146,6 +192,9 @@ class TrialRecord:
     undetected_kind: UndetectedKind | None = None
     #: Diagnostic details (assertion id, exception vector, corrupted slots).
     detail: str = ""
+    #: Recovery outcome (campaigns run with ``--recover``; None otherwise —
+    #: only *detected* trials run the policy).
+    recovery: RecoveryRecord | None = None
 
     @property
     def manifested(self) -> bool:

@@ -28,6 +28,7 @@ from repro.faults.outcomes import (
     DetectionTechnique,
     FailureClass,
     FaultSpec,
+    RecoveryRecord,
     TrialRecord,
     UndetectedKind,
 )
@@ -181,8 +182,38 @@ def load_model(path: str | Path) -> ModelArtifact:
 # -- campaign records -----------------------------------------------------------
 
 
-def _record_to_dict(record: TrialRecord) -> dict:
+def _recovery_to_dict(recovery: RecoveryRecord) -> dict:
     return {
+        "policy": recovery.policy,
+        "action": recovery.action,
+        "recovered": recovery.recovered,
+        "attempts": recovery.attempts,
+        "downtime": recovery.downtime_instructions,
+        "divergent_words": recovery.divergent_words,
+        "outputs_divergent": recovery.outputs_divergent,
+        "state_digest": recovery.state_digest,
+        "golden_digest": recovery.golden_digest,
+        "detail": recovery.detail,
+    }
+
+
+def _recovery_from_dict(data: dict) -> RecoveryRecord:
+    return RecoveryRecord(
+        policy=data["policy"],
+        action=data["action"],
+        recovered=data["recovered"],
+        attempts=data["attempts"],
+        downtime_instructions=data["downtime"],
+        divergent_words=data["divergent_words"],
+        outputs_divergent=data["outputs_divergent"],
+        state_digest=data["state_digest"],
+        golden_digest=data["golden_digest"],
+        detail=data.get("detail", ""),
+    )
+
+
+def _record_to_dict(record: TrialRecord) -> dict:
+    payload = {
         "benchmark": record.benchmark,
         "vmer": record.vmer,
         "register": record.fault.register,
@@ -195,9 +226,15 @@ def _record_to_dict(record: TrialRecord) -> dict:
         "undetected_kind": record.undetected_kind.value if record.undetected_kind else None,
         "detail": record.detail,
     }
+    # Only recovery-mode campaigns emit the key: detection-only record
+    # streams stay byte-identical to the pre-recovery format.
+    if record.recovery is not None:
+        payload["recovery"] = _recovery_to_dict(record.recovery)
+    return payload
 
 
 def _record_from_dict(data: dict) -> TrialRecord:
+    recovery = data.get("recovery")
     return TrialRecord(
         benchmark=data["benchmark"],
         vmer=data["vmer"],
@@ -210,6 +247,7 @@ def _record_from_dict(data: dict) -> TrialRecord:
             UndetectedKind(data["undetected_kind"]) if data["undetected_kind"] else None
         ),
         detail=data.get("detail", ""),
+        recovery=_recovery_from_dict(recovery) if recovery else None,
     )
 
 

@@ -144,10 +144,17 @@ class DetectionService:
         self._stop = True
 
     def health(self) -> dict:
-        """The ``/healthz`` document."""
+        """The ``/healthz`` document.
+
+        ``status`` flips to ``degraded`` the moment any scored row is a
+        positive detection — the fleet is still serving, but something
+        tripped the detector and recoveries are being dispatched.
+        """
         totals = self.scorer.totals
         return {
+            "status": "degraded" if totals.detections else "ok",
             "hosts": self.config.fleet.hosts,
+            "detections": totals.detections,
             "rows_emitted": self.fleet.emitted,
             "rows_scored": totals.rows_scored,
             "rows_dropped": totals.rows_dropped,

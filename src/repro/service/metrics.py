@@ -374,6 +374,12 @@ class ServiceMetrics:
             "repro_detections_total",
             "Scored rows by ground-truth outcome.", ("outcome",),
         )
+        self.recoveries = self.registry.counter(
+            "repro_recoveries_total",
+            "Recovery dispositions for scored detections: a true positive "
+            "recovers the activation, a false positive re-executes "
+            "spuriously.", ("outcome",),
+        )
         self.batches = self.registry.counter(
             "repro_batches_scored_total",
             "Micro-batches drained through classify_batch.",

@@ -274,6 +274,17 @@ class MicroBatchScorer:
             if count:
                 setattr(self.totals, outcome, getattr(self.totals, outcome) + count)
                 self.metrics.detections.labels(outcome=outcome).inc(count)
+        # Every positive detection dispatches the recovery path: a true
+        # positive restores-and-re-executes ("recovered"), a false positive
+        # pays the same cost for nothing ("spurious").
+        if outcomes["true_positive"]:
+            self.metrics.recoveries.labels(outcome="recovered").inc(
+                outcomes["true_positive"]
+            )
+        if outcomes["false_positive"]:
+            self.metrics.recoveries.labels(outcome="spurious").inc(
+                outcomes["false_positive"]
+            )
         for host, count in by_host.items():
             self._children(host).scored.inc(count)
         self.totals.rows_scored += len(rows)

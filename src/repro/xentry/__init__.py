@@ -18,6 +18,16 @@ from repro.xentry.recovery import (
     estimate_recovery_overhead,
 )
 from repro.xentry.recovery_exec import RecoveryManager, RecoveryOutcome
+from repro.xentry.recovery_policy import (
+    LADDER_POLICY,
+    MICROREBOOT_POLICY,
+    POLICIES,
+    REEXECUTE_POLICY,
+    RecoveryAction,
+    RecoveryExecutor,
+    RecoveryPolicy,
+    policy_from_name,
+)
 from repro.xentry.runtime import DetectionEvent, RuntimeDetector
 from repro.xentry.training import (
     TrainedModel,
@@ -34,14 +44,21 @@ __all__ = [
     "DetectionEvent",
     "FEATURE_NAMES",
     "FeatureVector",
+    "LADDER_POLICY",
+    "MICROREBOOT_POLICY",
     "PAPER_COPY_NS",
     "PAPER_FALSE_POSITIVE_RATE",
+    "POLICIES",
     "ProtectedOutcome",
     "ProtectionVerdict",
+    "REEXECUTE_POLICY",
+    "RecoveryAction",
     "RecoveryCostModel",
+    "RecoveryExecutor",
     "RecoveryManager",
     "RecoveryOutcome",
     "RecoveryOverheadStudy",
+    "RecoveryPolicy",
     "RuntimeDetector",
     "ShimInterceptor",
     "TrainedModel",
@@ -51,6 +68,7 @@ __all__ = [
     "collect_dataset",
     "estimate_recovery_overhead",
     "execute_training_shard",
+    "policy_from_name",
     "train_and_evaluate",
     "training_digest",
 ]

@@ -42,6 +42,9 @@ class RecoveryOutcome:
     #: one when recovery ran); None when even re-execution failed.
     result: ActivationResult | None
     detail: str = ""
+    #: Re-executions spent (0 for a clean activation; every attempt counts,
+    #: including ones that themselves died with an exception).
+    attempts: int = 0
 
 
 @dataclass
@@ -96,22 +99,31 @@ class RecoveryManager:
         # Positive detection (runtime or transition, correct or false):
         # restore and re-initiate the hypervisor execution.
         detail = outcome.detection.detail if outcome.detection else "hang"
+        attempts = 0
         for _attempt in range(self.max_reexecutions):
             self.restore_critical(snapshot)
             # The transient fault is not re-injected (soft errors do not
             # repeat); a still-armed injection would model a permanent fault.
             self.xentry.hv.cpu.clear_injection()
+            attempts += 1
             try:
                 result = self.xentry.hv.execute(activation)
             except (HardwareException, AssertionViolation, SimulationLimitExceeded):
-                continue  # corrupted beyond this scheme's reach
+                continue  # corrupted beyond this scheme's reach (e.g. a
+                # persistent fault the injector re-arms every execution)
             self.recoveries += 1
             return RecoveryOutcome(
                 detected=True, recovered=True, result=result,
-                detail=f"recovered after: {detail}",
+                detail=f"recovered after: {detail}", attempts=attempts,
             )
+        # Every re-execution died too.  Leave the machine in a sane state —
+        # critical slots restored, nothing armed — so the caller can keep
+        # using the hypervisor (quarantine, next activation, ...) instead of
+        # inheriting whatever the last failed attempt corrupted.
+        self.restore_critical(snapshot)
+        self.xentry.hv.cpu.clear_injection()
         self.unrecoverable += 1
         return RecoveryOutcome(
             detected=True, recovered=False, result=None,
-            detail=f"re-execution failed after: {detail}",
+            detail=f"re-execution failed after: {detail}", attempts=attempts,
         )

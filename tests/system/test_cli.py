@@ -208,7 +208,13 @@ class TestExecution:
         server = service.endpoint().start()
         try:
             with urllib.request.urlopen(f"{server.url}/healthz", timeout=5) as r:
-                assert b'"status": "ok"' in r.read()
+                body = r.read()
+            # A run that produced positive detections reports itself degraded
+            # (recoveries are being dispatched); a detection-free run is ok.
+            expected = (b'"status": "degraded"'
+                        if service.scorer.totals.detections
+                        else b'"status": "ok"')
+            assert expected in body
             with urllib.request.urlopen(f"{server.url}/metrics", timeout=5) as r:
                 assert b"repro_rows_scored_total" in r.read()
         finally:

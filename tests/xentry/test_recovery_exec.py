@@ -114,3 +114,46 @@ class TestFalsePositiveRecovery:
             manager.protect(act("xen_version", 1, seq=i))
         assert manager.exits_protected == 5
         assert manager.recoveries == 0 and manager.unrecoverable == 0
+
+
+class TestPersistentFaultUnrecoverable:
+    """Regression: a fault that re-arms on every execution (a *permanent*
+    error, not a soft one) used to leave the machine in whatever state the
+    last failed re-execution corrupted.  Every attempt must be counted, no
+    exception may leak, and the manager must hand back a sane machine."""
+
+    def test_persistent_fault_surfaces_unrecoverable(self, manager):
+        hv = manager.xentry.hv
+        manager.max_reexecutions = 3
+        activation = act("event_channel_op", 9, 0, domain=2)
+        pristine = manager.snapshot_critical()
+        original_execute = hv.execute
+
+        def rearming_execute(activation_, **kwargs):
+            # The persistent-fault model: the same bit flips again on every
+            # execution, defeating clear_injection between attempts.
+            hv.cpu.schedule_register_flip(4, "r12", 43)
+            return original_execute(activation_, **kwargs)
+
+        hv.execute = rearming_execute
+        try:
+            outcome = manager.protect(activation)
+        finally:
+            hv.execute = original_execute
+
+        assert outcome.detected and not outcome.recovered
+        assert outcome.result is None
+        assert outcome.attempts == 3
+        assert "re-execution failed" in outcome.detail
+        assert manager.unrecoverable == 1 and manager.recoveries == 0
+        # The machine came back sane: critical state restored, nothing armed.
+        assert manager.snapshot_critical() == pristine
+        follow_on = manager.protect(act("xen_version", 1, seq=1))
+        assert not follow_on.detected and follow_on.result is not None
+
+    def test_recovered_outcome_counts_its_attempts(self, manager):
+        hv = manager.xentry.hv
+        hv.reset()
+        hv.cpu.schedule_register_flip(4, "r12", 43)
+        outcome = manager.protect(act("event_channel_op", 9, 0, domain=2))
+        assert outcome.recovered and outcome.attempts == 1
