@@ -8,6 +8,7 @@ table rendering.
 from repro.analysis.coverage import (
     CoverageBreakdown,
     coverage_by_benchmark,
+    coverage_by_fault_class,
     coverage_by_technique,
     long_latency_breakdown,
     undetected_breakdown,
@@ -46,6 +47,7 @@ __all__ = [
     "ascii_cdf",
     "ascii_stacked_bars",
     "coverage_by_benchmark",
+    "coverage_by_fault_class",
     "coverage_by_technique",
     "dataset_from_journal",
     "format_percent",

@@ -23,6 +23,7 @@ __all__ = [
     "CoverageBreakdown",
     "coverage_by_technique",
     "coverage_by_benchmark",
+    "coverage_by_fault_class",
     "long_latency_breakdown",
     "undetected_breakdown",
 ]
@@ -111,6 +112,19 @@ def coverage_by_benchmark(
     benchmarks = sorted({r.benchmark for r in records})
     out = {b: coverage_by_technique(tuple(r for r in records if r.benchmark == b))
            for b in benchmarks}
+    out["AVG"] = coverage_by_technique(records)
+    return out
+
+
+def coverage_by_fault_class(
+    records: tuple[TrialRecord, ...]
+) -> dict[str, CoverageBreakdown]:
+    """Fig. 8 rows split by fault class ("register", "multibit", "burst",
+    "memory") — how detection coverage shifts across a scenario's fault
+    mixture — plus an AVG aggregate."""
+    classes = sorted({r.fault_class for r in records})
+    out = {c: coverage_by_technique(tuple(r for r in records if r.fault_class == c))
+           for c in classes}
     out["AVG"] = coverage_by_technique(records)
     return out
 

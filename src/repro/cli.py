@@ -8,6 +8,7 @@ evaluation artifacts::
     repro-xentry train [--scale 3]         # Section III.B classifier pipeline
     repro-xentry train --jobs 4 --journal-dir runs --save-model model.json
     repro-xentry campaign [--injections N] # Figs. 8-10 + Table II
+    repro-xentry campaign --scenario examples/mixed.yaml   # fault-model mix
     repro-xentry campaign --jobs 4 --journal run.jsonl [--resume]
     repro-xentry campaign --jobs 4 --retries 3 --shard-timeout 600 \
                           --chaos crash=0.2,seed=1   # engine self-test
@@ -34,6 +35,7 @@ from repro.analysis import (
     LatencyStudy,
     PerfOverheadModel,
     coverage_by_benchmark,
+    coverage_by_fault_class,
     dataset_from_journal,
     journal_progress,
     long_latency_breakdown,
@@ -56,6 +58,7 @@ from repro.machine import lockstep
 from repro.machine.translator import CACHE
 from repro.ml import compile_tree
 from repro.persist import load_model, load_records, save_model, save_records, save_rules
+from repro.scenarios import load_scenario
 from repro.service import (
     DetectionService,
     FleetConfig,
@@ -184,6 +187,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.resume and not args.journal:
         print("--resume requires --journal", file=sys.stderr)
         return 2
+    # Validate the scenario before the (comparatively slow) detector
+    # training phase, so a typo in the file fails in milliseconds.
+    scenario = None
+    if args.scenario:
+        try:
+            scenario = load_scenario(args.scenario)
+        except CampaignConfigError as exc:
+            print(f"bad scenario: {exc}", file=sys.stderr)
+            return 2
     train, test = _train(args)
     model = train_and_evaluate(train, test, algorithm="random_tree", seed=3)
     print(f"detector: accuracy {model.accuracy:.1%}, "
@@ -201,6 +213,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         recover=args.recover,
         recovery_hazard=args.recovery_hazard,
     )
+    if scenario is not None:
+        config = scenario.apply(config)
+        print(f"scenario: {scenario.describe()}")
     # Supervision knobs force the engine path: the serial for-loop has no
     # retry, watchdog or chaos machinery.
     use_engine = (
@@ -280,6 +295,13 @@ def _report_records(records) -> int:
     print("\nFig. 8 — coverage by technique")
     for name, cov in coverage_by_benchmark(records).items():
         print(cov.row(name))
+    # Scenario campaigns mix fault classes; show how coverage shifts across
+    # them.  Single-model campaigns skip the section (historical output).
+    by_class = coverage_by_fault_class(tuple(records))
+    if len(by_class) > 2:  # classes + AVG
+        print("\nFig. 8b — coverage by fault class")
+        for name, cov in by_class.items():
+            print(cov.row(name))
     summary = summarize_recovery(tuple(records))
     if summary.trials:
         print("\nRecovery — measured survival axis")
@@ -433,6 +455,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write trial records as JSON lines")
     p.add_argument("--records-from", metavar="PATH",
                    help="skip execution; re-analyze saved records or a journal")
+    p.add_argument("--scenario", metavar="PATH",
+                   help="declarative scenario file (YAML): fault-model "
+                        "mixture, memory-subsystem targeting, workload "
+                        "overrides; its campaign: section overrides CLI "
+                        "flags (see examples/)")
     p.add_argument("--trace", action="store_true",
                    help="record full per-instruction address traces "
                         "(slower; light count+path-hash tracing is the default)")

@@ -82,6 +82,11 @@ def config_digest(config: CampaignConfig) -> str:
     if config.recover is not None:
         payload["recover"] = config.recover
         payload["recovery_hazard"] = config.recovery_hazard
+    # A scenario replaces the group fault stream with per-trial composite
+    # sampling and can reshape workloads, so its identity enters the digest —
+    # but only when armed, keeping every scenario-less digest unchanged.
+    if config.scenario is not None:
+        payload["scenario"] = config.scenario.digest_payload()
     return payload_digest(payload)
 
 

@@ -179,6 +179,9 @@ class EngineTelemetry:
         self.done_shards = 0
         self.detected_by: Counter[str] = Counter()
         self.failure_class: Counter[str] = Counter()
+        #: Fault-class mix of the trial stream ("register", "multibit",
+        #: "burst", "memory") — the scenario layer's coverage denominators.
+        self.fault_classes: Counter[str] = Counter()
         #: Recovery-campaign counters: settling action per detected trial
         #: ("reexecute", "microreboot", "quarantine_vm", "unrecoverable")
         #: and per-policy totals; empty on detection-only runs.
@@ -239,6 +242,7 @@ class EngineTelemetry:
             if isinstance(record, TrialRecord):
                 self.detected_by[record.detected_by.value] += 1
                 self.failure_class[record.failure_class.value] += 1
+                self.fault_classes[record.fault_class] += 1
                 if record.recovery is not None:
                     rec = record.recovery
                     self.recovery_actions[rec.action] += 1
@@ -311,6 +315,7 @@ class EngineTelemetry:
             "outcomes": {
                 "detected_by": dict(self.detected_by),
                 "failure_class": dict(self.failure_class),
+                "fault_classes": dict(self.fault_classes),
                 "labels": dict(self.label_counts),
             },
             "recovery": {

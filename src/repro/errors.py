@@ -36,6 +36,22 @@ class CampaignConfigError(ReproError):
     """Invalid fault-injection campaign parameters."""
 
 
+class ScenarioError(CampaignConfigError):
+    """Invalid scenario definition, with provenance.
+
+    Carries where the problem came from (``source``: the YAML file path or
+    a caller-supplied tag) and which key it concerns (``keypath``, dotted:
+    ``faults.memory.subsystem``), so deep validation failures surface with
+    enough context to fix the scenario file directly.
+    """
+
+    def __init__(self, message: str, *, source: str = "", keypath: str = "") -> None:
+        self.source = source
+        self.keypath = keypath
+        prefix = ": ".join(part for part in (source, keypath) if part)
+        super().__init__(f"{prefix}: {message}" if prefix else message)
+
+
 class DatasetError(ReproError):
     """Malformed machine-learning dataset (shape/label mismatches)."""
 

@@ -13,10 +13,15 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro import rng as rng_mod
 from repro.errors import CampaignConfigError
-from repro.faults.injector import TransitionDetector, run_trial, run_twin_batch
+from repro.faults.injector import (
+    TransitionDetector,
+    run_spec_trial,
+    run_twin_batch,
+)
 from repro.faults.model import FaultModel
 from repro.faults.outcomes import TrialRecord
 from repro.faults.propagation import capture_golden
@@ -24,6 +29,9 @@ from repro.hypervisor.xen import XenHypervisor
 from repro.workloads.base import VirtMode
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.suite import BENCHMARK_NAMES, get_profile
+
+if TYPE_CHECKING:  # import cycle: repro.scenarios.spec imports repro.faults
+    from repro.scenarios.spec import Scenario
 
 __all__ = [
     "BenchmarkGeometry",
@@ -84,6 +92,14 @@ class CampaignConfig:
     #: attempt (drawn from a dedicated per-(trial, attempt) stream, so
     #: campaigns stay bit-reproducible).  Only meaningful with ``recover``.
     recovery_hazard: float = 0.0
+    #: Declarative scenario (:mod:`repro.scenarios`): a composite fault
+    #: mixture plus optional per-benchmark workload overrides.  When set,
+    #: each trial's fault is drawn from the scenario's per-trial named
+    #: stream instead of ``fault_model``'s per-group stream.  *Included*
+    #: in the config digest when set — it changes records.  Degenerate
+    #: single-bit scenarios never reach here: ``Scenario.apply`` normalizes
+    #: them onto ``fault_model`` so they take the legacy path byte-for-byte.
+    scenario: "Scenario | None" = None
 
     def __post_init__(self) -> None:
         if not self.benchmarks:
@@ -209,8 +225,11 @@ def run_benchmark_groups(
             n_domains=config.n_domains, seed=config.seed,
             light_trace=not config.trace, translate=config.translate,
         )
+    profile = get_profile(benchmark)
+    if config.scenario is not None:
+        profile = config.scenario.profile_for(profile)
     generator = WorkloadGenerator(
-        get_profile(benchmark), config.mode,
+        profile, config.mode,
         seed=rng_mod.derive_seed(config.seed, "campaign", benchmark),
         n_domains=config.n_domains,
     )
@@ -262,15 +281,28 @@ def run_benchmark_groups(
         )
         if executor is not None:
             executor.begin_group(g, activation, golden)
-        fault_rng = rng_mod.stream(
-            config.seed, "faults", benchmark, config.mode.value, g
-        )
-        # The whole group's faults are drawn up front either way, so the
-        # RNG stream (3 draws per fault) is identical in both paths.
-        faults = [
-            config.fault_model.sample(fault_rng, golden.result.instructions)
-            for _ in range(batch)
-        ]
+        if config.scenario is None:
+            fault_rng = rng_mod.stream(
+                config.seed, "faults", benchmark, config.mode.value, g
+            )
+            # The whole group's faults are drawn up front either way, so the
+            # RNG stream (3 draws per fault) is identical in both paths.
+            faults = [
+                config.fault_model.sample(fault_rng, golden.result.instructions)
+                for _ in range(batch)
+            ]
+        else:
+            # Scenario faults come from per-trial streams — pure in
+            # (seed, benchmark, mode, group, trial) — so any slice, shard
+            # or single-trial re-draw matches the serial run exactly.
+            faults = [
+                config.scenario.sample_trial(
+                    config.seed, benchmark, config.mode.value, g, t,
+                    run_length=golden.result.instructions,
+                    layout=hv.layout,
+                )
+                for t in range(batch)
+            ]
         if config.twin_batch:
             group_records = run_twin_batch(
                 hv,
@@ -286,7 +318,7 @@ def run_benchmark_groups(
             records.extend(group_records)
         else:
             for index, fault in enumerate(faults):
-                record = run_trial(
+                record = run_spec_trial(
                     hv,
                     activation,
                     fault,

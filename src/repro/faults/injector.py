@@ -19,10 +19,12 @@ from typing import Protocol
 
 from repro.errors import SimulationLimitExceeded
 from repro.faults.outcomes import (
+    BurstFaultSpec,
     DetectionTechnique,
     FailureClass,
     FaultSpec,
     MemoryFaultSpec,
+    MultiBitFaultSpec,
     TrialRecord,
     UndetectedKind,
 )
@@ -37,7 +39,14 @@ from repro.hypervisor.xen import Activation, XenHypervisor
 from repro.machine import lockstep
 from repro.machine.exceptions import AssertionViolation, HardwareException, classify_exception
 
-__all__ = ["TransitionDetector", "run_trial", "run_memory_trial", "run_twin_batch"]
+__all__ = [
+    "TransitionDetector",
+    "run_trial",
+    "run_burst_trial",
+    "run_memory_trial",
+    "run_spec_trial",
+    "run_twin_batch",
+]
 
 
 class TransitionDetector(Protocol):
@@ -49,7 +58,7 @@ class TransitionDetector(Protocol):
 def run_trial(
     hv: XenHypervisor,
     activation: Activation,
-    fault: FaultSpec,
+    fault: FaultSpec | MultiBitFaultSpec,
     *,
     detector: TransitionDetector | None = None,
     golden: GoldenRun | None = None,
@@ -97,25 +106,40 @@ def run_trial(
         stats["instructions_skipped"] += rung.index
     else:
         hv.restore(golden.checkpoint)
+    multibit = isinstance(fault, MultiBitFaultSpec)
     if rung is not None and rung.index > fault.dynamic_index:
         # Past the injection index: the register still holds its golden
         # value here (the scan proved no access), so flip it now.
         _bump_lockstep(
             hv, "read_ff_instructions", rung.index - fault.dynamic_index
         )
-        hv.cpu.arm_applied_flip(
-            fault.dynamic_index, fault.register, fault.bit,
-            known_activation=read_point,
-        )
+        if multibit:
+            hv.cpu.arm_applied_flip_set(
+                fault.dynamic_index,
+                tuple((fault.register, b) for b in fault.bits),
+                known_activation=read_point,
+            )
+        else:
+            hv.cpu.arm_applied_flip(
+                fault.dynamic_index, fault.register, fault.bit,
+                known_activation=read_point,
+            )
     else:
         # ``read_point`` doubles as the analytically proven activation
         # index (the golden trace's first post-flip access is a read
         # there), letting the core skip the activation watch and keep the
         # whole window on the translated path.
-        hv.cpu.schedule_register_flip(
-            fault.dynamic_index, fault.register, fault.bit,
-            known_activation=read_point,
-        )
+        if multibit:
+            hv.cpu.schedule_flip_set(
+                fault.dynamic_index,
+                tuple((fault.register, b) for b in fault.bits),
+                known_activation=read_point,
+            )
+        else:
+            hv.cpu.schedule_register_flip(
+                fault.dynamic_index, fault.register, fault.bit,
+                known_activation=read_point,
+            )
 
     def _activation_index() -> int:
         report = hv.cpu.injection_report
@@ -172,6 +196,30 @@ def _trace_plan(hv: XenHypervisor, activation: Activation, golden: GoldenRun):
     return lockstep.build_plan(hv.program, addresses)
 
 
+def _classify_spec_twin(plan, fault):
+    """Classify one twin for the lock-step batch, by fault class.
+
+    Register and multi-bit faults use the position-column scan directly
+    (one register, one injection index — multi-bit only widens the flipped
+    mask, not the access pattern that decides liveness).  A burst is DEAD
+    only if *every* flipped register is individually dead: until a faulty
+    value is read, the faulty twin follows the golden control flow, so the
+    per-register proofs compose.  A live burst peels with no read point —
+    the single-register no-access proof does not cover its other flips.
+    Memory faults always peel conservatively: the scan only tracks register
+    liveness.
+    """
+    if plan is None or isinstance(fault, MemoryFaultSpec):
+        return (lockstep.PEEL, None)
+    if isinstance(fault, BurstFaultSpec):
+        for register, _bit in fault.flips:
+            kind, _ = lockstep.classify_twin(plan, register, fault.dynamic_index)
+            if kind != lockstep.DEAD:
+                return (lockstep.PEEL, None)
+        return (lockstep.DEAD, None)
+    return lockstep.classify_twin(plan, fault.register, fault.dynamic_index)
+
+
 def run_twin_batch(
     hv: XenHypervisor,
     activation: Activation,
@@ -210,11 +258,7 @@ def run_twin_batch(
     _bump_lockstep(hv, "twins", len(faults))
     records: list[TrialRecord] = []
     for index, fault in enumerate(faults):
-        kind, read_point = (
-            lockstep.classify_twin(plan, fault.register, fault.dynamic_index)
-            if plan is not None
-            else (lockstep.PEEL, None)
-        )
+        kind, read_point = _classify_spec_twin(plan, fault)
         if kind == lockstep.DEAD:
             _bump_lockstep(hv, "dead_twins")
             _bump_lockstep(
@@ -237,7 +281,7 @@ def run_twin_batch(
             )
         else:
             _bump_lockstep(hv, "peeled_twins")
-            record = run_trial(
+            record = run_spec_trial(
                 hv,
                 activation,
                 fault,
@@ -292,6 +336,89 @@ def run_memory_trial(
         detector=detector, benchmark=benchmark, followups=followups,
         activation_index=lambda: 0,
         activated=None,  # inferred from divergence
+    )
+
+
+def run_burst_trial(
+    hv: XenHypervisor,
+    activation: Activation,
+    fault: BurstFaultSpec,
+    *,
+    detector: TransitionDetector | None = None,
+    golden: GoldenRun | None = None,
+    benchmark: str = "",
+    followups: tuple[Activation, ...] = (),
+) -> TrialRecord:
+    """Inject a time-correlated fault storm: every flip of the burst strikes
+    atomically at one dynamic instruction.
+
+    A burst spans registers, so there is no single register to watch —
+    activation is inferred from divergence, exactly like memory faults.
+    The ladder fast-forward to the rung at-or-before the storm index is
+    still sound: the shared prefix is fault-free either way.
+    """
+    if golden is None:
+        golden = capture_golden(hv, activation, followups)
+    stats = hv.ff_stats
+    stats["trials"] += 1
+    rung = None
+    for candidate in golden.ladder:  # ascending by index
+        if candidate.index > fault.dynamic_index:
+            break
+        rung = candidate
+    if rung is not None:
+        hv.restore_machine(rung)
+        stats["fast_forwarded"] += 1
+        stats["instructions_skipped"] += rung.index
+    else:
+        hv.restore(golden.checkpoint)
+    hv.cpu.schedule_flip_set(fault.dynamic_index, fault.flips)
+
+    return _execute_and_classify(
+        hv, activation, fault, golden,
+        detector=detector, benchmark=benchmark, followups=followups,
+        activation_index=lambda: fault.dynamic_index,
+        activated=None,  # inferred from divergence
+        resume=rung is not None,
+    )
+
+
+def run_spec_trial(
+    hv: XenHypervisor,
+    activation: Activation,
+    fault,
+    *,
+    detector: TransitionDetector | None = None,
+    golden: GoldenRun | None = None,
+    benchmark: str = "",
+    followups: tuple[Activation, ...] = (),
+    read_point: int | None = None,
+) -> TrialRecord:
+    """Dispatch one trial on the fault spec's class.
+
+    The generic entry point the campaign and twin-batch paths use: register
+    and multi-bit faults run through :func:`run_trial` (honoring the
+    lock-step ``read_point``), bursts through :func:`run_burst_trial`, and
+    memory faults through :func:`run_memory_trial` (both ignore
+    ``read_point`` — neither has a per-register no-access proof).
+    """
+    if isinstance(fault, MemoryFaultSpec):
+        return run_memory_trial(
+            hv, activation, fault,
+            detector=detector, golden=golden,
+            benchmark=benchmark, followups=followups,
+        )
+    if isinstance(fault, BurstFaultSpec):
+        return run_burst_trial(
+            hv, activation, fault,
+            detector=detector, golden=golden,
+            benchmark=benchmark, followups=followups,
+        )
+    return run_trial(
+        hv, activation, fault,
+        detector=detector, golden=golden,
+        benchmark=benchmark, followups=followups,
+        read_point=read_point,
     )
 
 

@@ -1,13 +1,20 @@
-"""The fault model: single bit flips in architectural register state.
+"""The fault models: sampling distributions over injectable state.
 
 Section V.B: "We currently use the single bit-flip fault model in the
 architectural register state, including general purpose registers, instruction
 and stack pointers and flags.  We adopt the common practice that assumes one
 single-bit flip soft error may occur at a time."
 
+:class:`FaultModel` is exactly that paper model.  The rest of the family
+extends it (scenario layer, ROADMAP "fault-model diversity"): multi-bit
+upsets in one register, time-correlated bursts across registers, uncorrected
+memory flips (optionally targeted at one hypervisor subsystem), and a
+probability-weighted composite over any of the above.
+
 Injection points are uniform over the dynamic instructions of the target
 hypervisor execution; registers and bit positions are uniform over the
-injectable state.
+injectable state.  Every model's ``sample`` is a pure function of the RNG
+stream handed to it, so campaigns stay bit-reproducible.
 """
 
 from __future__ import annotations
@@ -17,16 +24,46 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import CampaignConfigError
-from repro.faults.outcomes import FaultSpec, MemoryFaultSpec
-from repro.hypervisor.layout import HypervisorLayout, ValueKind
+from repro.faults.outcomes import (
+    BurstFaultSpec,
+    FaultSpec,
+    MemoryFaultSpec,
+    MultiBitFaultSpec,
+)
+from repro.hypervisor.layout import HypervisorLayout, Slot, ValueKind
 from repro.machine.registers import INJECTABLE_REGISTERS
 
-__all__ = ["FaultModel", "MemoryFaultModel"]
+__all__ = [
+    "MEMORY_SUBSYSTEMS",
+    "FaultModel",
+    "MultiBitFaultModel",
+    "BurstFaultModel",
+    "MemoryFaultModel",
+    "FaultModelComponent",
+    "CompositeFaultModel",
+    "FaultModelSpec",
+    "model_digest_payload",
+    "sample_fault",
+]
+
+
+def _validate_bits(bits: tuple[int, int]) -> None:
+    lo, hi = bits
+    if not (0 <= lo <= hi <= 63):
+        raise CampaignConfigError(f"bit range {bits} outside [0, 63]")
+
+
+def _validate_registers(registers: tuple[str, ...]) -> None:
+    if not registers:
+        raise CampaignConfigError("fault model needs at least one register")
+    unknown = set(registers) - set(INJECTABLE_REGISTERS)
+    if unknown:
+        raise CampaignConfigError(f"not injectable: {sorted(unknown)}")
 
 
 @dataclass(frozen=True)
 class FaultModel:
-    """Sampling distribution for fault specs.
+    """Sampling distribution for single-bit register fault specs.
 
     ``registers`` defaults to the full architectural set; restrict it to
     study per-register sensitivities (e.g. RIP-only or flags-only ablations).
@@ -36,14 +73,8 @@ class FaultModel:
     bits: tuple[int, int] = (0, 63)
 
     def __post_init__(self) -> None:
-        if not self.registers:
-            raise CampaignConfigError("fault model needs at least one register")
-        unknown = set(self.registers) - set(INJECTABLE_REGISTERS)
-        if unknown:
-            raise CampaignConfigError(f"not injectable: {sorted(unknown)}")
-        lo, hi = self.bits
-        if not (0 <= lo <= hi <= 63):
-            raise CampaignConfigError(f"bit range {self.bits} outside [0, 63]")
+        _validate_registers(self.registers)
+        _validate_bits(self.bits)
 
     def sample(self, rng: np.random.Generator, run_length: int) -> FaultSpec:
         """Draw one fault for an execution of ``run_length`` dynamic instructions."""
@@ -58,26 +89,145 @@ class FaultModel:
 
 
 @dataclass(frozen=True)
+class MultiBitFaultModel:
+    """Multi-bit upsets: ``n_bits`` distinct bits of one register flip
+    atomically at one dynamic instruction (adjacent-cell strikes)."""
+
+    registers: tuple[str, ...] = INJECTABLE_REGISTERS
+    bits: tuple[int, int] = (0, 63)
+    n_bits: int = 2
+
+    def __post_init__(self) -> None:
+        _validate_registers(self.registers)
+        _validate_bits(self.bits)
+        lo, hi = self.bits
+        width = hi - lo + 1
+        if not 2 <= self.n_bits <= width:
+            raise CampaignConfigError(
+                f"n_bits must be in [2, {width}] for bit range {self.bits}, "
+                f"got {self.n_bits}"
+            )
+
+    def sample(self, rng: np.random.Generator, run_length: int) -> MultiBitFaultSpec:
+        """Draw one multi-bit fault for a ``run_length``-instruction execution."""
+        if run_length <= 0:
+            raise CampaignConfigError("run_length must be positive")
+        lo, hi = self.bits
+        register = self.registers[int(rng.integers(0, len(self.registers)))]
+        picks = rng.choice(np.arange(lo, hi + 1), size=self.n_bits, replace=False)
+        return MultiBitFaultSpec(
+            register=register,
+            bits=tuple(sorted(int(b) for b in picks)),
+            dynamic_index=int(rng.integers(0, run_length)),
+        )
+
+
+@dataclass(frozen=True)
+class BurstFaultModel:
+    """Time-correlated fault storms: one bit in each of ``n_flips`` distinct
+    registers, all striking at the same dynamic instruction."""
+
+    registers: tuple[str, ...] = INJECTABLE_REGISTERS
+    bits: tuple[int, int] = (0, 63)
+    n_flips: int = 3
+
+    def __post_init__(self) -> None:
+        _validate_registers(self.registers)
+        _validate_bits(self.bits)
+        if not 2 <= self.n_flips <= len(self.registers):
+            raise CampaignConfigError(
+                f"n_flips must be in [2, {len(self.registers)}] for "
+                f"{len(self.registers)} registers, got {self.n_flips}"
+            )
+
+    def sample(self, rng: np.random.Generator, run_length: int) -> BurstFaultSpec:
+        """Draw one burst fault for a ``run_length``-instruction execution."""
+        if run_length <= 0:
+            raise CampaignConfigError("run_length must be positive")
+        lo, hi = self.bits
+        picks = rng.choice(len(self.registers), size=self.n_flips, replace=False)
+        flips = tuple(
+            (self.registers[int(i)], int(rng.integers(lo, hi + 1)))
+            for i in picks
+        )
+        return BurstFaultSpec(
+            flips=flips,
+            dynamic_index=int(rng.integers(0, run_length)),
+        )
+
+
+#: Subsystem names accepted by :class:`MemoryFaultModel.subsystem` — each maps
+#: to the layout slots that hypervisor subsystem owns.
+MEMORY_SUBSYSTEMS = ("scheduler", "event_channels", "grant_tables", "timekeeping")
+
+
+def _slot_in_subsystem(slot: Slot, subsystem: str) -> bool:
+    name = slot.name
+    if subsystem == "scheduler":
+        return name == "runqueue" or name.endswith(".mode") or name.endswith(".info")
+    if subsystem == "event_channels":
+        return (
+            ".evtchn_" in name
+            or name.endswith(".pending")
+            or name == "softirq_bits"
+            or name == "irq_descs"
+        )
+    if subsystem == "grant_tables":
+        return name == "grant_table" or name.endswith(".grant_frames")
+    if subsystem == "timekeeping":
+        return (
+            name == "timer_heap"
+            or name.endswith(".wallclock")
+            or name.endswith(".time")
+        )
+    raise CampaignConfigError(
+        f"unknown subsystem {subsystem!r} (choose from {MEMORY_SUBSYSTEMS})"
+    )
+
+
+@dataclass(frozen=True)
 class MemoryFaultModel:
     """Sampling distribution for uncorrected memory flips (extension).
 
     Targets the hypervisor's live structures: a uniformly-chosen word among
     all non-scratch layout slots, uniform bit.  Scratch buffers are excluded
     because flips in data about to be overwritten tell us nothing.
+
+    ``subsystem`` narrows the target to one subsystem's slots (scheduler,
+    event channels, grant tables, timekeeping) for targeted sensitivity
+    studies; ``None`` samples the whole non-scratch layout.
     """
 
     bits: tuple[int, int] = (0, 63)
+    subsystem: str | None = None
+
+    def __post_init__(self) -> None:
+        _validate_bits(self.bits)
+        if self.subsystem is not None and self.subsystem not in MEMORY_SUBSYSTEMS:
+            raise CampaignConfigError(
+                f"unknown subsystem {self.subsystem!r} "
+                f"(choose from {MEMORY_SUBSYSTEMS})"
+            )
 
     def sample(self, rng: np.random.Generator, layout: HypervisorLayout) -> MemoryFaultSpec:
         """Draw one memory fault against ``layout``."""
         slots = [
-            s for s in layout.all_slots.values() if s.kind is not ValueKind.SCRATCH
+            s for s in layout.all_slots.values()
+            if s.kind is not ValueKind.SCRATCH
+            and (self.subsystem is None or _slot_in_subsystem(s, self.subsystem))
         ]
         if not slots:
-            raise CampaignConfigError("layout has no injectable slots")
+            target = f"subsystem {self.subsystem!r}" if self.subsystem else "layout"
+            raise CampaignConfigError(f"{target} has no injectable slots")
         # Weight slots by size so every word is equally likely.
         words = [s.words for s in slots]
         total = sum(words)
+        if total <= 0:
+            target = f"subsystem {self.subsystem!r}" if self.subsystem else "layout"
+            raise CampaignConfigError(
+                f"{target} has no injectable words "
+                f"({len(slots)} slots totalling zero words)"
+            )
         pick = int(rng.integers(0, total))
         for slot, n in zip(slots, words):
             if pick < n:
@@ -88,3 +238,141 @@ class MemoryFaultModel:
                 )
             pick -= n
         raise AssertionError("unreachable")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class FaultModelComponent:
+    """One weighted member of a :class:`CompositeFaultModel`."""
+
+    label: str
+    probability: float
+    model: "FaultModelSpec"
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise CampaignConfigError("fault-model component needs a label")
+        if not 0.0 < self.probability <= 1.0:
+            raise CampaignConfigError(
+                f"component {self.label!r}: probability must be in (0, 1], "
+                f"got {self.probability}"
+            )
+        if isinstance(self.model, CompositeFaultModel):
+            raise CampaignConfigError(
+                f"component {self.label!r}: composites cannot nest"
+            )
+
+
+@dataclass(frozen=True)
+class CompositeFaultModel:
+    """A probability-weighted mixture of fault models.
+
+    Each sample first draws the component (one uniform variate against the
+    cumulative probabilities, skipped entirely for single-component
+    composites), then delegates to that component's model — so the result is
+    a pure function of the RNG stream handed in, like every other model.
+    """
+
+    components: tuple[FaultModelComponent, ...]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise CampaignConfigError("composite needs at least one component")
+        labels = [c.label for c in self.components]
+        if len(set(labels)) != len(labels):
+            raise CampaignConfigError(f"duplicate component labels in {labels}")
+        total = sum(c.probability for c in self.components)
+        if abs(total - 1.0) > 1e-6:
+            raise CampaignConfigError(
+                f"component probabilities must sum to 1.0, got {total:.6f}"
+            )
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        run_length: int,
+        layout: HypervisorLayout,
+    ):
+        """Draw one fault: pick a component, then sample its model."""
+        if len(self.components) == 1:
+            return sample_fault(self.components[0].model, rng, run_length, layout)
+        u = float(rng.random())
+        acc = 0.0
+        chosen = self.components[-1]
+        for component in self.components:
+            acc += component.probability
+            if u < acc:
+                chosen = component
+                break
+        return sample_fault(chosen.model, rng, run_length, layout)
+
+
+#: Any single (non-composite) fault model, or the composite over them.
+FaultModelSpec = (
+    FaultModel
+    | MultiBitFaultModel
+    | BurstFaultModel
+    | MemoryFaultModel
+    | CompositeFaultModel
+)
+
+
+def sample_fault(
+    model: FaultModelSpec,
+    rng: np.random.Generator,
+    run_length: int,
+    layout: HypervisorLayout,
+):
+    """Sample from any model kind (memory models need the layout, register
+    models the run length; composites need both)."""
+    if isinstance(model, MemoryFaultModel):
+        return model.sample(rng, layout)
+    if isinstance(model, CompositeFaultModel):
+        return model.sample(rng, run_length, layout)
+    return model.sample(rng, run_length)
+
+
+def model_digest_payload(model: FaultModelSpec) -> dict:
+    """JSON-able identity of a fault model for the planner's config digest.
+
+    Two models digest equal iff they sample identically from identical
+    streams, so scenario digests inherit the digest contract.
+    """
+    if isinstance(model, FaultModel):
+        return {
+            "kind": "register",
+            "registers": list(model.registers),
+            "bits": list(model.bits),
+        }
+    if isinstance(model, MultiBitFaultModel):
+        return {
+            "kind": "multibit",
+            "registers": list(model.registers),
+            "bits": list(model.bits),
+            "n_bits": model.n_bits,
+        }
+    if isinstance(model, BurstFaultModel):
+        return {
+            "kind": "burst",
+            "registers": list(model.registers),
+            "bits": list(model.bits),
+            "n_flips": model.n_flips,
+        }
+    if isinstance(model, MemoryFaultModel):
+        return {
+            "kind": "memory",
+            "bits": list(model.bits),
+            "subsystem": model.subsystem,
+        }
+    if isinstance(model, CompositeFaultModel):
+        return {
+            "kind": "composite",
+            "components": [
+                {
+                    "label": c.label,
+                    "probability": c.probability,
+                    "model": model_digest_payload(c.model),
+                }
+                for c in model.components
+            ],
+        }
+    raise CampaignConfigError(f"unknown fault model type {type(model).__name__}")

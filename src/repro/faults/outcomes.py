@@ -23,6 +23,10 @@ __all__ = [
     "FailureClass",
     "UndetectedKind",
     "FaultSpec",
+    "MultiBitFaultSpec",
+    "BurstFaultSpec",
+    "MemoryFaultSpec",
+    "AnyFaultSpec",
     "RecoveryRecord",
     "TrialRecord",
 ]
@@ -108,6 +112,61 @@ class FaultSpec:
     bit: int
     dynamic_index: int
 
+    @property
+    def fault_class(self) -> str:
+        return "register"
+
+
+@dataclass(frozen=True)
+class MultiBitFaultSpec:
+    """Several bits flipped in *one* register at one dynamic instruction.
+
+    Models multi-bit upsets in a single physical storage cell group — the
+    whole set strikes atomically at ``dynamic_index``.  Duck-types the
+    fields aggregations read from :class:`FaultSpec` (``bit`` reports the
+    lowest flipped bit).
+    """
+
+    register: str
+    bits: tuple[int, ...]
+    dynamic_index: int
+
+    @property
+    def bit(self) -> int:
+        return self.bits[0]
+
+    @property
+    def fault_class(self) -> str:
+        return "multibit"
+
+
+@dataclass(frozen=True)
+class BurstFaultSpec:
+    """A time-correlated fault storm: flips across several registers, all
+    striking at the *same* dynamic instruction.
+
+    Models a particle strike spanning adjacent register-file cells.  The
+    storm has no single register to watch, so activation is inferred from
+    divergence (like memory faults).  ``flips`` is a tuple of
+    ``(register, bit)`` pairs; ``register`` reports ``"burst"`` so
+    aggregations keyed by register keep working.
+    """
+
+    flips: tuple[tuple[str, int], ...]
+    dynamic_index: int
+
+    @property
+    def register(self) -> str:
+        return "burst"
+
+    @property
+    def bit(self) -> int:
+        return self.flips[0][1]
+
+    @property
+    def fault_class(self) -> str:
+        return "burst"
+
 
 @dataclass(frozen=True)
 class MemoryFaultSpec:
@@ -128,6 +187,14 @@ class MemoryFaultSpec:
     @property
     def dynamic_index(self) -> int:
         return 0
+
+    @property
+    def fault_class(self) -> str:
+        return "memory"
+
+
+#: Everything a TrialRecord's ``fault`` field may carry.
+AnyFaultSpec = FaultSpec | MultiBitFaultSpec | BurstFaultSpec | MemoryFaultSpec
 
 
 @dataclass(frozen=True)
@@ -181,7 +248,7 @@ class TrialRecord:
 
     benchmark: str
     vmer: int
-    fault: FaultSpec
+    fault: AnyFaultSpec
     #: Whether the flipped value was read before being overwritten.
     activated: bool
     failure_class: FailureClass
@@ -195,6 +262,12 @@ class TrialRecord:
     #: Recovery outcome (campaigns run with ``--recover``; None otherwise —
     #: only *detected* trials run the policy).
     recovery: RecoveryRecord | None = None
+
+    @property
+    def fault_class(self) -> str:
+        """Taxonomy bucket of the injected fault ("register", "multibit",
+        "burst", "memory") — the per-class coverage axis."""
+        return self.fault.fault_class
 
     @property
     def manifested(self) -> bool:

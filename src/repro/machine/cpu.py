@@ -288,6 +288,10 @@ class CPUCore:
         self._inj_index: int | None = None
         self._inj_reg: str | None = None
         self._inj_bit = 0
+        #: Multi-flip set: ``None`` for the classic single-bit path,
+        #: otherwise every (register, bit) pair applied at the injection
+        #: index (multi-bit upsets and time-correlated bursts).
+        self._inj_flips: tuple[tuple[str, int], ...] | None = None
         self._inj_applied = False
         self._inj_known: int | None = None
         self._watch_reg: int | None = None
@@ -360,11 +364,97 @@ class CPUCore:
         self._inj_index = dynamic_index
         self._inj_reg = register
         self._inj_bit = bit
+        self._inj_flips = None
         self._inj_applied = False
         self._inj_known = known_activation
         self._watch_reg = None
         self._activated = None
         self._activation_index = None
+
+    def schedule_flip_set(
+        self,
+        dynamic_index: int,
+        flips: tuple[tuple[str, int], ...],
+        *,
+        known_activation: int | None = None,
+    ) -> None:
+        """Arm several bit flips striking atomically before dynamic
+        instruction ``dynamic_index`` of the next :meth:`run`.
+
+        Single-register sets (multi-bit upsets) keep the normal activation
+        watch; sets spanning registers (bursts) have no single register to
+        watch, so the report's ``activated`` stays ``None`` and callers
+        infer activation from divergence (exactly like memory faults).
+        ``known_activation`` is honored only for single-register sets.
+        """
+        flips = tuple(flips)
+        if not flips:
+            raise MachineConfigError("flip set must not be empty")
+        for register, bit in flips:
+            RegisterFile.index_of(register)  # validate eagerly
+            if not 0 <= bit < 64:
+                raise MachineConfigError(f"bit index {bit} outside [0, 64)")
+        if dynamic_index < 0:
+            raise MachineConfigError("dynamic_index must be non-negative")
+        self._inj_index = dynamic_index
+        self._inj_reg = flips[0][0]
+        self._inj_bit = flips[0][1]
+        self._inj_flips = flips
+        self._inj_applied = False
+        self._inj_known = known_activation
+        self._watch_reg = None
+        self._activated = None
+        self._activation_index = None
+
+    def arm_applied_flip_set(
+        self,
+        dynamic_index: int,
+        flips: tuple[tuple[str, int], ...],
+        *,
+        known_activation: int | None = None,
+    ) -> None:
+        """Apply a single-register flip set *now* (resume-side twin of
+        :meth:`schedule_flip_set`, mirroring :meth:`arm_applied_flip`).
+
+        Only legal for sets confined to one register: the lock-step scan's
+        no-access proof is per register, so a multi-register burst cannot
+        soundly fast-forward past its injection index this way.
+        """
+        flips = tuple(flips)
+        if not flips:
+            raise MachineConfigError("flip set must not be empty")
+        registers = {register for register, _ in flips}
+        if len(registers) != 1:
+            raise MachineConfigError(
+                "arm_applied_flip_set needs a single-register flip set"
+            )
+        register = flips[0][0]
+        reg_index = RegisterFile.index_of(register)
+        for _, bit in flips:
+            if not 0 <= bit < 64:
+                raise MachineConfigError(f"bit index {bit} outside [0, 64)")
+        if dynamic_index < 0:
+            raise MachineConfigError("dynamic_index must be non-negative")
+        self._inj_index = dynamic_index
+        self._inj_reg = register
+        self._inj_bit = flips[0][1]
+        self._inj_flips = flips
+        self._inj_applied = True
+        self._inj_known = None
+        self._activated = None
+        self._activation_index = None
+        for _, bit in flips:
+            self.regs.flip_bit(register, bit)
+        if reg_index == _RIP:
+            self._activated = True
+            self._activation_index = dynamic_index
+            self._watch_reg = None
+        elif known_activation is not None:
+            self._activated = True
+            self._activation_index = known_activation
+            self._watch_reg = None
+        else:
+            self._watch_reg = reg_index
 
     def arm_applied_flip(
         self,
@@ -397,6 +487,7 @@ class CPUCore:
         self._inj_index = dynamic_index
         self._inj_reg = register
         self._inj_bit = bit
+        self._inj_flips = None
         self._inj_applied = True
         self._inj_known = None
         self._activated = None
@@ -417,6 +508,7 @@ class CPUCore:
         """Disarm any scheduled fault."""
         self._inj_index = None
         self._inj_reg = None
+        self._inj_flips = None
         self._inj_applied = False
         self._inj_known = None
         self._watch_reg = None
@@ -439,6 +531,10 @@ class CPUCore:
         # ``count`` is the dispatch loop's buffered dynamic-instruction count
         # (the tracer's own counter lags it while the loop runs).
         assert self._inj_reg is not None
+        flips = self._inj_flips
+        if flips is not None and len(flips) > 1:
+            self._apply_flip_set(flips, count)
+            return
         self.regs.flip_bit(self._inj_reg, self._inj_bit)
         self._inj_applied = True
         reg_index = RegisterFile.index_of(self._inj_reg)
@@ -455,6 +551,24 @@ class CPUCore:
             self._activation_index = self._inj_known
         else:
             self._watch_reg = reg_index
+
+    def _apply_flip_set(self, flips: tuple[tuple[str, int], ...], count: int) -> None:
+        for register, bit in flips:
+            self.regs.flip_bit(register, bit)
+        self._inj_applied = True
+        reg_indices = {RegisterFile.index_of(register) for register, _ in flips}
+        if _RIP in reg_indices:
+            self._activated = True
+            self._activation_index = count
+        elif len(reg_indices) == 1:
+            reg_index = next(iter(reg_indices))
+            if self._inj_known is not None:
+                self._activated = True
+                self._activation_index = self._inj_known
+            else:
+                self._watch_reg = reg_index
+        # Multi-register burst: no single register to watch — the report's
+        # ``activated`` stays None and callers infer it from divergence.
 
     def _watch(self, instr: Instr, count: int) -> None:
         reads, writes = instr_register_accesses(instr)

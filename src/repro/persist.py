@@ -25,9 +25,12 @@ import numpy as np
 
 from repro.errors import DatasetError
 from repro.faults.outcomes import (
+    BurstFaultSpec,
     DetectionTechnique,
     FailureClass,
     FaultSpec,
+    MemoryFaultSpec,
+    MultiBitFaultSpec,
     RecoveryRecord,
     TrialRecord,
     UndetectedKind,
@@ -226,6 +229,20 @@ def _record_to_dict(record: TrialRecord) -> dict:
         "undetected_kind": record.undetected_kind.value if record.undetected_kind else None,
         "detail": record.detail,
     }
+    # Non-register fault classes carry a discriminator plus their extra
+    # coordinates; plain FaultSpec records omit them, so single-bit record
+    # streams stay byte-identical to the pre-scenario format (just as
+    # detection-only streams stay pre-recovery-identical below).
+    fault = record.fault
+    if isinstance(fault, MemoryFaultSpec):
+        payload["fault"] = "memory"
+        payload["address"] = fault.address
+    elif isinstance(fault, MultiBitFaultSpec):
+        payload["fault"] = "multibit"
+        payload["bits"] = list(fault.bits)
+    elif isinstance(fault, BurstFaultSpec):
+        payload["fault"] = "burst"
+        payload["flips"] = [[reg, bit] for reg, bit in fault.flips]
     # Only recovery-mode campaigns emit the key: detection-only record
     # streams stay byte-identical to the pre-recovery format.
     if record.recovery is not None:
@@ -233,12 +250,29 @@ def _record_to_dict(record: TrialRecord) -> dict:
     return payload
 
 
+def _fault_from_dict(data: dict):
+    kind = data.get("fault", "register")
+    if kind == "memory":
+        return MemoryFaultSpec(data["address"], data["bit"])
+    if kind == "multibit":
+        return MultiBitFaultSpec(
+            data["register"], tuple(data["bits"]), data["index"]
+        )
+    if kind == "burst":
+        return BurstFaultSpec(
+            tuple((reg, bit) for reg, bit in data["flips"]), data["index"]
+        )
+    if kind != "register":
+        raise DatasetError(f"unknown fault class {kind!r} in record")
+    return FaultSpec(data["register"], data["bit"], data["index"])
+
+
 def _record_from_dict(data: dict) -> TrialRecord:
     recovery = data.get("recovery")
     return TrialRecord(
         benchmark=data["benchmark"],
         vmer=data["vmer"],
-        fault=FaultSpec(data["register"], data["bit"], data["index"]),
+        fault=_fault_from_dict(data),
         activated=data["activated"],
         failure_class=FailureClass(data["failure"]),
         detected_by=DetectionTechnique(data["detected_by"]),

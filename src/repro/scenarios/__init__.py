@@ -1,0 +1,23 @@
+"""Declarative fault-injection scenarios (the ROADMAP scenario DSL).
+
+A scenario composes fault models — single-bit register flips (the paper's
+Section V.B model), multi-bit upsets, time-correlated bursts, memory flips
+optionally targeted at one hypervisor subsystem — with per-benchmark
+activation-mix overrides and campaign-parameter overrides, all behind one
+validated YAML/dict schema (:mod:`repro.scenarios.loader`).
+
+Scenarios are deterministic by construction: every trial's fault is drawn
+from a named RNG stream keyed on the campaign seed and the trial's
+coordinates, and the scenario's identity enters the planner's config digest.
+"""
+
+from repro.scenarios.loader import FAULT_KINDS, load_scenario, scenario_from_dict
+from repro.scenarios.spec import Scenario, WorkloadOverride
+
+__all__ = [
+    "FAULT_KINDS",
+    "Scenario",
+    "WorkloadOverride",
+    "load_scenario",
+    "scenario_from_dict",
+]

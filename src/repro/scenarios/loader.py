@@ -1,0 +1,357 @@
+"""Scenario loading and validation: YAML/dict → :class:`Scenario`.
+
+The schema follows py-chaos-agent's ``load_config`` shape — one block per
+fault class with ``enabled``/``probability`` keys — extended with campaign
+and workload sections::
+
+    name: mixed
+    campaign:                 # optional CampaignConfig overrides
+      benchmarks: [mcf, postmark]
+      n_injections: 600
+    faults:                   # required: at least one enabled block
+      register:               # single-bit register flips (the paper model)
+        probability: 0.5
+        registers: [rax, rbx] # optional restriction
+        bits: [0, 63]         # optional bit range
+      multibit:               # n_bits flips in one register, atomically
+        probability: 0.2
+        n_bits: 3
+      burst:                  # time-correlated storm across registers
+        probability: 0.2
+        n_flips: 4
+      memory:                 # uncorrected memory flip (MemoryFaultModel)
+        probability: 0.1
+        subsystem: scheduler  # optional: scheduler | event_channels |
+                              #   grant_tables | timekeeping
+    workloads:                # optional per-benchmark activation-mix overrides
+      mcf:
+        reason_mix: {mmu_update: 40.0}
+        background_weight: 0.01
+
+Enabled probabilities must sum to 1.0.  Every validation failure raises
+:class:`~repro.errors.ScenarioError` carrying the source path and the dotted
+key path of the offending entry.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import CampaignConfigError, ScenarioError
+from repro.faults.model import (
+    MEMORY_SUBSYSTEMS,
+    BurstFaultModel,
+    CompositeFaultModel,
+    FaultModel,
+    FaultModelComponent,
+    MemoryFaultModel,
+    MultiBitFaultModel,
+)
+from repro.hypervisor.vmexit import REGISTRY
+from repro.workloads.base import VirtMode
+from repro.workloads.suite import BENCHMARK_NAMES
+from repro.scenarios.spec import Scenario, WorkloadOverride
+
+__all__ = ["FAULT_KINDS", "load_scenario", "scenario_from_dict"]
+
+#: Recognized ``faults:`` block names, in sampling (cumulative) order.
+FAULT_KINDS = ("register", "multibit", "burst", "memory")
+
+#: Campaign-section keys a scenario may override, with (type, minimum).
+_CAMPAIGN_FIELDS = {
+    "benchmarks": None,  # handled specially
+    "mode": None,        # handled specially
+    "n_injections": (int, 1),
+    "n_domains": (int, 2),
+    "warmup_activations": (int, 0),
+    "injections_per_golden": (int, 1),
+    "followup_activations": (int, 0),
+}
+
+_MODES = {"pv": VirtMode.PV, "hvm": VirtMode.HVM}
+
+
+def load_scenario(path: str | Path) -> Scenario:
+    """Load and validate a YAML scenario file."""
+    try:
+        import yaml
+    except ImportError as exc:  # pragma: no cover - environment-dependent
+        raise CampaignConfigError(
+            "scenario files need PyYAML (pip install pyyaml); "
+            "dict scenarios via scenario_from_dict work without it"
+        ) from exc
+    path = Path(path)
+    source = str(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario file: {exc}", source=source)
+    try:
+        data = yaml.safe_load(text)
+    except yaml.YAMLError as exc:
+        raise ScenarioError(f"invalid YAML: {exc}", source=source)
+    if not isinstance(data, dict):
+        raise ScenarioError(
+            f"scenario must be a mapping, got {type(data).__name__}",
+            source=source,
+        )
+    if "name" not in data:
+        data = {"name": path.stem, **data}
+    return scenario_from_dict(data, source=source)
+
+
+def scenario_from_dict(data: dict, *, source: str = "") -> Scenario:
+    """Validate a scenario mapping (already parsed) into a :class:`Scenario`."""
+    if not isinstance(data, dict):
+        raise ScenarioError(
+            f"scenario must be a mapping, got {type(data).__name__}",
+            source=source,
+        )
+    known = {"name", "campaign", "faults", "workloads"}
+    for key in data:
+        if key not in known:
+            raise ScenarioError(
+                f"unknown key (expected one of {sorted(known)})",
+                source=source, keypath=str(key),
+            )
+    name = data.get("name", "scenario")
+    if not isinstance(name, str) or not name:
+        raise ScenarioError(
+            "name must be a non-empty string", source=source, keypath="name"
+        )
+    faults = _parse_faults(data.get("faults"), source)
+    workloads = _parse_workloads(data.get("workloads", {}), source)
+    campaign = _parse_campaign(data.get("campaign", {}), source)
+    return Scenario(
+        name=name,
+        faults=faults,
+        workloads=workloads,
+        campaign=campaign,
+        source=source,
+    )
+
+
+def _fail(message: str, source: str, keypath: str) -> ScenarioError:
+    return ScenarioError(message, source=source, keypath=keypath)
+
+
+def _require_mapping(value, source: str, keypath: str) -> dict:
+    if not isinstance(value, dict):
+        raise _fail(
+            f"expected a mapping, got {type(value).__name__}", source, keypath
+        )
+    return value
+
+
+def _parse_bits(block: dict, source: str, keypath: str) -> tuple[int, int]:
+    bits = block.get("bits", (0, 63))
+    if (
+        not isinstance(bits, (list, tuple))
+        or len(bits) != 2
+        or not all(isinstance(b, int) and not isinstance(b, bool) for b in bits)
+    ):
+        raise _fail("bits must be a [lo, hi] pair of integers", source, f"{keypath}.bits")
+    return (bits[0], bits[1])
+
+
+def _parse_registers(block: dict, source: str, keypath: str) -> dict:
+    registers = block.get("registers")
+    if registers is None:
+        return {}
+    if not isinstance(registers, (list, tuple)) or not all(
+        isinstance(r, str) for r in registers
+    ):
+        raise _fail(
+            "registers must be a list of register names",
+            source, f"{keypath}.registers",
+        )
+    return {"registers": tuple(registers)}
+
+
+def _parse_int(block: dict, key: str, source: str, keypath: str) -> dict:
+    value = block.get(key)
+    if value is None:
+        return {}
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise _fail(f"{key} must be an integer", source, f"{keypath}.{key}")
+    return {key: value}
+
+
+def _parse_faults(section, source: str) -> CompositeFaultModel:
+    if section is None:
+        raise _fail("scenario needs a faults section", source, "faults")
+    section = _require_mapping(section, source, "faults")
+    components: list[FaultModelComponent] = []
+    for kind in section:
+        if kind not in FAULT_KINDS:
+            raise _fail(
+                f"unknown fault kind (expected one of {list(FAULT_KINDS)})",
+                source, f"faults.{kind}",
+            )
+    for kind in FAULT_KINDS:
+        if kind not in section:
+            continue
+        keypath = f"faults.{kind}"
+        block = _require_mapping(section[kind], source, keypath)
+        known = {"enabled", "probability", "registers", "bits", "n_bits",
+                 "n_flips", "subsystem"}
+        for key in block:
+            if key not in known:
+                raise _fail(
+                    f"unknown key (expected one of {sorted(known)})",
+                    source, f"{keypath}.{key}",
+                )
+        enabled = block.get("enabled", True)
+        if not isinstance(enabled, bool):
+            raise _fail("enabled must be a boolean", source, f"{keypath}.enabled")
+        if not enabled:
+            continue
+        probability = block.get("probability", 1.0)
+        if isinstance(probability, bool) or not isinstance(probability, (int, float)):
+            raise _fail(
+                "probability must be a number",
+                source, f"{keypath}.probability",
+            )
+        kwargs: dict = {"bits": _parse_bits(block, source, keypath)}
+        if kind in ("register", "multibit", "burst"):
+            kwargs.update(_parse_registers(block, source, keypath))
+            if "subsystem" in block:
+                raise _fail(
+                    "subsystem only applies to memory faults",
+                    source, f"{keypath}.subsystem",
+                )
+        if kind == "multibit":
+            kwargs.update(_parse_int(block, "n_bits", source, keypath))
+        elif kind == "burst":
+            kwargs.update(_parse_int(block, "n_flips", source, keypath))
+        elif kind == "memory":
+            subsystem = block.get("subsystem")
+            if subsystem is not None and subsystem not in MEMORY_SUBSYSTEMS:
+                raise _fail(
+                    f"unknown subsystem {subsystem!r} "
+                    f"(choose from {list(MEMORY_SUBSYSTEMS)})",
+                    source, f"{keypath}.subsystem",
+                )
+            kwargs["subsystem"] = subsystem
+        model_cls = {
+            "register": FaultModel,
+            "multibit": MultiBitFaultModel,
+            "burst": BurstFaultModel,
+            "memory": MemoryFaultModel,
+        }[kind]
+        try:
+            model = model_cls(**kwargs)
+            components.append(
+                FaultModelComponent(
+                    label=kind, probability=float(probability), model=model
+                )
+            )
+        except CampaignConfigError as exc:
+            raise _fail(str(exc), source, keypath) from exc
+    if not components:
+        raise _fail("no fault kind is enabled", source, "faults")
+    try:
+        return CompositeFaultModel(components=tuple(components))
+    except CampaignConfigError as exc:
+        raise _fail(str(exc), source, "faults") from exc
+
+
+def _parse_workloads(section, source: str) -> tuple[WorkloadOverride, ...]:
+    section = _require_mapping(section, source, "workloads")
+    overrides: list[WorkloadOverride] = []
+    for benchmark in section:
+        keypath = f"workloads.{benchmark}"
+        if benchmark not in BENCHMARK_NAMES:
+            raise _fail(
+                f"unknown benchmark (choose from {list(BENCHMARK_NAMES)})",
+                source, keypath,
+            )
+        block = _require_mapping(section[benchmark], source, keypath)
+        known = {"reason_mix", "background_weight"}
+        for key in block:
+            if key not in known:
+                raise _fail(
+                    f"unknown key (expected one of {sorted(known)})",
+                    source, f"{keypath}.{key}",
+                )
+        mix = _require_mapping(
+            block.get("reason_mix", {}), source, f"{keypath}.reason_mix"
+        )
+        entries: list[tuple[str, float]] = []
+        for reason, weight in mix.items():
+            reason_path = f"{keypath}.reason_mix.{reason}"
+            try:
+                REGISTRY.by_name(reason)
+            except Exception as exc:
+                raise _fail(str(exc), source, reason_path) from exc
+            if isinstance(weight, bool) or not isinstance(weight, (int, float)):
+                raise _fail("weight must be a number", source, reason_path)
+            if weight < 0:
+                raise _fail("weight must be non-negative", source, reason_path)
+            entries.append((reason, float(weight)))
+        background = block.get("background_weight")
+        if background is not None:
+            if isinstance(background, bool) or not isinstance(
+                background, (int, float)
+            ):
+                raise _fail(
+                    "background_weight must be a number",
+                    source, f"{keypath}.background_weight",
+                )
+            if background < 0:
+                raise _fail(
+                    "background_weight must be non-negative",
+                    source, f"{keypath}.background_weight",
+                )
+            background = float(background)
+        overrides.append(
+            WorkloadOverride(
+                benchmark=benchmark,
+                reason_mix=tuple(entries),
+                background_weight=background,
+            )
+        )
+    return tuple(overrides)
+
+
+def _parse_campaign(section, source: str) -> tuple[tuple[str, object], ...]:
+    section = _require_mapping(section, source, "campaign")
+    overrides: list[tuple[str, object]] = []
+    for key, value in section.items():
+        keypath = f"campaign.{key}"
+        if key not in _CAMPAIGN_FIELDS:
+            raise _fail(
+                f"unknown key (expected one of {sorted(_CAMPAIGN_FIELDS)})",
+                source, keypath,
+            )
+        if key == "benchmarks":
+            if not isinstance(value, (list, tuple)) or not value:
+                raise _fail(
+                    "benchmarks must be a non-empty list", source, keypath
+                )
+            for bench in value:
+                if bench not in BENCHMARK_NAMES:
+                    raise _fail(
+                        f"unknown benchmark {bench!r} "
+                        f"(choose from {list(BENCHMARK_NAMES)})",
+                        source, keypath,
+                    )
+            overrides.append((key, tuple(value)))
+        elif key == "mode":
+            if value not in _MODES:
+                raise _fail(
+                    f"mode must be one of {sorted(_MODES)}", source, keypath
+                )
+            overrides.append((key, _MODES[value]))
+        else:
+            expected, minimum = _CAMPAIGN_FIELDS[key]
+            if not isinstance(value, expected) or isinstance(value, bool):
+                raise _fail(
+                    f"{key} must be an integer", source, keypath
+                )
+            if value < minimum:
+                raise _fail(
+                    f"{key} must be >= {minimum}", source, keypath
+                )
+            overrides.append((key, value))
+    return tuple(overrides)

@@ -1,0 +1,184 @@
+"""The validated scenario object and its campaign semantics.
+
+A :class:`Scenario` is the in-memory form of one scenario file: a composite
+fault model (what to inject), optional per-benchmark activation-mix overrides
+(what workload to drive), and optional campaign-parameter overrides (how big
+a campaign to run).  It is frozen and picklable, so it rides inside a
+:class:`~repro.faults.campaign.CampaignConfig` to engine pool workers
+unchanged.
+
+Determinism contract: a scenario never owns an RNG.  Every fault is drawn
+from the named stream ``(seed, "scenario", benchmark, mode, group, trial)``
+— a pure function of the campaign's root seed and the trial's coordinates —
+so serial, sharded and twin-batched runs of the same scenario are
+bit-identical, and any trial can be re-drawn in isolation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro import rng as rng_mod
+from repro.errors import ScenarioError
+from repro.faults.model import (
+    CompositeFaultModel,
+    FaultModel,
+    model_digest_payload,
+)
+from repro.hypervisor.layout import HypervisorLayout
+from repro.workloads.base import WorkloadProfile
+
+__all__ = ["Scenario", "WorkloadOverride"]
+
+
+@dataclass(frozen=True)
+class WorkloadOverride:
+    """Per-benchmark activation-mix override.
+
+    ``reason_mix`` entries replace (or add to) the profile's own weights;
+    ``background_weight`` replaces the profile default when given.  Stored
+    as a tuple of pairs so the override is hashable alongside the frozen
+    config it rides in.
+    """
+
+    benchmark: str
+    reason_mix: tuple[tuple[str, float], ...] = ()
+    background_weight: float | None = None
+
+    def apply(self, profile: WorkloadProfile) -> WorkloadProfile:
+        """Return ``profile`` with this override merged in."""
+        changes: dict = {}
+        if self.reason_mix:
+            mix = dict(profile.reason_mix)
+            mix.update(self.reason_mix)
+            changes["reason_mix"] = mix
+        if self.background_weight is not None:
+            changes["background_weight"] = self.background_weight
+        return dataclasses.replace(profile, **changes) if changes else profile
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One validated, digestable scenario.
+
+    ``campaign`` holds campaign-parameter overrides from the file's
+    ``campaign:`` section as ``(field, value)`` pairs — applied onto the
+    base config by :meth:`apply`, after which they are visible in the
+    config itself (and hence its digest).
+    """
+
+    name: str
+    faults: CompositeFaultModel
+    workloads: tuple[WorkloadOverride, ...] = ()
+    campaign: tuple[tuple[str, object], ...] = ()
+    #: Where the scenario came from (file path); excluded from equality so
+    #: the same scenario loaded from two paths compares (and digests) equal.
+    source: str = field(default="", compare=False)
+
+    # -- campaign integration -------------------------------------------------
+
+    def apply(self, base):
+        """Merge this scenario into ``base`` (a CampaignConfig).
+
+        The *degenerate* case — exactly one component, probability 1.0, on
+        the plain single-bit register model, with no workload overrides —
+        normalizes to a scenario-less config carrying that model as its
+        ``fault_model``: the campaign then takes the legacy sampling path
+        and the legacy digest, making a probability-1.0 single-bit scenario
+        byte-identical to the equivalent scenario-less campaign.
+        """
+        overrides = dict(self.campaign)
+        baseline = self.baseline_model()
+        if baseline is not None:
+            return dataclasses.replace(
+                base, fault_model=baseline, scenario=None, **overrides
+            )
+        return dataclasses.replace(base, scenario=self, **overrides)
+
+    def baseline_model(self) -> FaultModel | None:
+        """The single-bit register model this scenario degenerates to, or
+        ``None`` when it is a genuine multi-model/overridden scenario."""
+        if self.workloads:
+            return None
+        if len(self.faults.components) != 1:
+            return None
+        model = self.faults.components[0].model
+        return model if type(model) is FaultModel else None
+
+    def profile_for(self, profile: WorkloadProfile) -> WorkloadProfile:
+        """Apply this scenario's override for ``profile``'s benchmark."""
+        for override in self.workloads:
+            if override.benchmark == profile.name:
+                return override.apply(profile)
+        return profile
+
+    # -- sampling -------------------------------------------------------------
+
+    def sample_trial(
+        self,
+        seed: int,
+        benchmark: str,
+        mode: str,
+        group: int,
+        trial: int,
+        *,
+        run_length: int,
+        layout: HypervisorLayout,
+    ):
+        """Draw the fault for one trial — pure in (seed, trial coordinates)."""
+        rng = rng_mod.stream(seed, "scenario", benchmark, mode, group, trial)
+        return self.faults.sample(rng, run_length, layout)
+
+    # -- identity -------------------------------------------------------------
+
+    def digest_payload(self) -> dict:
+        """JSON-able identity for the planner's config digest.
+
+        Covers everything that shapes trial records and is *not* otherwise
+        visible on the config: the fault mixture and the workload overrides.
+        Campaign-parameter overrides are excluded — :meth:`apply` folds them
+        into config fields the digest already covers.  The name is a label,
+        not an identity: renaming a scenario changes neither records nor
+        digest.
+        """
+        return {
+            "faults": model_digest_payload(self.faults),
+            "workloads": [
+                {
+                    "benchmark": o.benchmark,
+                    "reason_mix": [[name, w] for name, w in o.reason_mix],
+                    "background_weight": o.background_weight,
+                }
+                for o in sorted(self.workloads, key=lambda o: o.benchmark)
+            ],
+        }
+
+    def describe(self) -> str:
+        """One-line human summary for CLI output."""
+        parts = []
+        for c in self.faults.components:
+            model = c.model
+            label = c.label
+            subsystem = getattr(model, "subsystem", None)
+            if subsystem:
+                label += f"[{subsystem}]"
+            parts.append(f"{label} {c.probability:.0%}")
+        line = f"{self.name}: " + " + ".join(parts)
+        if self.workloads:
+            benches = ", ".join(o.benchmark for o in self.workloads)
+            line += f" (workload overrides: {benches})"
+        return line
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("scenario needs a name", source=self.source)
+        seen = set()
+        for override in self.workloads:
+            if override.benchmark in seen:
+                raise ScenarioError(
+                    f"duplicate workload override for {override.benchmark!r}",
+                    source=self.source,
+                    keypath="workloads",
+                )
+            seen.add(override.benchmark)

@@ -242,3 +242,64 @@ class TestExecution:
         artifact = load_model(model_path)
         assert artifact.name == "random_tree"
         assert 0.0 < artifact.evaluation["accuracy"] <= 1.0
+
+
+class TestScenarioCLI:
+    """The --scenario flag: happy path, provenance on errors, byte-identity."""
+
+    MIXED_YAML = (
+        "faults:\n"
+        "  register:\n    probability: 0.5\n"
+        "  multibit:\n    probability: 0.2\n    n_bits: 3\n"
+        "  burst:\n    probability: 0.2\n    n_flips: 3\n"
+        "  memory:\n    probability: 0.1\n"
+    )
+
+    def test_parser_accepts_scenario(self):
+        args = build_parser().parse_args(
+            ["campaign", "--scenario", "examples/mixed.yaml"]
+        )
+        assert args.scenario == "examples/mixed.yaml"
+
+    def test_mixed_scenario_reports_per_class_coverage(self, capsys, tmp_path):
+        pytest.importorskip("yaml")
+        path = tmp_path / "mixed.yaml"
+        path.write_text(self.MIXED_YAML)
+        assert main(["campaign", "--scenario", str(path), "--injections",
+                     "120", "--scale", "0.03", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario: mixed: register 50%" in out
+        assert "Fig. 8b — coverage by fault class" in out
+        assert "burst" in out and "memory" in out
+
+    def test_bad_scenario_exits_2_with_provenance(self, capsys, tmp_path):
+        pytest.importorskip("yaml")
+        path = tmp_path / "bad.yaml"
+        path.write_text("faults:\n  register:\n    subsystem: scheduler\n")
+        assert main(["campaign", "--scenario", str(path), "--injections",
+                     "50", "--scale", "0.03"]) == 2
+        err = capsys.readouterr().err
+        # The error names the file and the dotted key path (the provenance
+        # satellite), so the user can fix the scenario without digging.
+        assert str(path) in err
+        assert "faults.register.subsystem" in err
+
+    def test_missing_scenario_file_exits_2(self, capsys, tmp_path):
+        pytest.importorskip("yaml")
+        missing = str(tmp_path / "nope.yaml")
+        assert main(["campaign", "--scenario", missing]) == 2
+        assert missing in capsys.readouterr().err
+
+    def test_degenerate_scenario_matches_plain_campaign(self, capsys, tmp_path):
+        pytest.importorskip("yaml")
+        scenario = tmp_path / "baseline.yaml"
+        scenario.write_text("faults:\n  register:\n    probability: 1.0\n")
+        plain, via = str(tmp_path / "plain.jsonl"), str(tmp_path / "scn.jsonl")
+        assert main(["campaign", "--injections", "80", "--scale", "0.03",
+                     "--seed", "2", "--output", plain]) == 0
+        assert main(["campaign", "--scenario", str(scenario), "--injections",
+                     "80", "--scale", "0.03", "--seed", "2",
+                     "--output", via]) == 0
+        capsys.readouterr()
+        with open(plain, "rb") as a, open(via, "rb") as b:
+            assert a.read() == b.read()
