@@ -1,8 +1,9 @@
-"""Campaign-engine throughput: trials/sec serial vs ``--jobs 2/4``.
+"""Campaign-engine throughput: serial vs ``--jobs``, cold vs warm cache.
 
-Measures the same campaign executed three ways — the serial
-``FaultInjectionCampaign`` loop, and the sharded engine with 2 and 4 worker
-processes — verifying bit-identical results while reporting throughput and
+Measures the same campaign executed several ways — the serial
+``FaultInjectionCampaign`` loop, the sharded engine with 2 and 4 worker
+processes, and the 4-worker engine against a cold then warm golden artifact
+cache — verifying bit-identical results while reporting throughput and
 speedup.  A machine-readable summary is written to ``BENCH_engine.json``
 next to this file (override with ``REPRO_BENCH_OUTPUT``).
 
@@ -12,17 +13,23 @@ scale this is a small campaign so the whole file stays in CI budget.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
+import tempfile
 import time
 from pathlib import Path
 
-from repro.engine import CampaignEngine, plan_campaign
+from repro.engine import CampaignEngine, EngineTelemetry, plan_campaign
 from repro.faults import CampaignConfig, FaultInjectionCampaign
 
 from benchmarks.conftest import SEED, scaled
 
 N_INJECTIONS = scaled(600)
+#: Acceptance floor for the golden artifact cache: a warm 4-worker run must
+#: beat the cacheless 4-worker run by this factor (zero captures + retired
+#: translation pre-warm vs full capture cost).
+TARGET_WARM_SPEEDUP = 1.5
 OUTPUT = Path(
     os.environ.get("REPRO_BENCH_OUTPUT", Path(__file__).parent / "BENCH_engine.json")
 )
@@ -62,23 +69,65 @@ def test_engine_throughput_and_speedup():
         )
         runs.append(stats)
 
+    # Golden artifact cache: the same 4-worker campaign against a cold then
+    # a warm content-addressed cache.  The warm run must execute zero golden
+    # captures (manifest hit rate 1.0) and its speedup over the no-cache
+    # 4-worker run is the headline number of the cache.
+    no_cache_jobs4 = runs[-1]
+    with tempfile.TemporaryDirectory() as tmp:
+        cached = dataclasses.replace(config, artifacts=str(Path(tmp) / "cache"))
+        for phase in ("cold-cache", "warm-cache"):
+            telemetry = EngineTelemetry()
+            stats, result = _timed(
+                f"jobs=4 {phase}",
+                lambda: CampaignEngine(
+                    cached, jobs=4, n_shards=8, telemetry=telemetry
+                ).run(),
+            )
+            # The cache must never change the science either.
+            assert result.records == serial.records
+            cache = telemetry.golden_cache_summary()
+            stats["golden_cache"] = cache
+            stats["speedup_vs_serial"] = (
+                serial_stats["elapsed_seconds"] / stats["elapsed_seconds"]
+            )
+            stats["speedup_vs_no_cache"] = (
+                no_cache_jobs4["elapsed_seconds"] / stats["elapsed_seconds"]
+            )
+            runs.append(stats)
+        assert cache["hit_rate"] == 1.0, cache
+        assert cache.get("golden_misses", 0) == 0, cache
+        assert runs[-1]["speedup_vs_no_cache"] >= TARGET_WARM_SPEEDUP, (
+            f"warm cache regressed: {runs[-1]['speedup_vs_no_cache']:.2f}x "
+            f"< {TARGET_WARM_SPEEDUP}x over the cacheless {runs[-1]['label']} run"
+        )
+
     summary = {
-        "format": "xentry-bench-engine-v1",
+        "format": "xentry-bench-engine-v2",
         "n_injections": len(serial),
         "n_shards_planned": plan_campaign(config, 8).n_shards,
         "seed": SEED,
         "runs": runs,
+        "warm_cache_speedup_vs_no_cache": runs[-1]["speedup_vs_no_cache"],
+        "target_warm_speedup": TARGET_WARM_SPEEDUP,
     }
     OUTPUT.write_text(json.dumps(summary, indent=1))
 
     print(f"\nengine throughput — {len(serial)} injections, seed {SEED}")
-    print(f"{'config':<10} {'elapsed':>9} {'trials/s':>10} {'speedup':>9}")
+    print(f"{'config':<18} {'elapsed':>9} {'trials/s':>10} {'speedup':>9}")
     for stats in runs:
         speedup = stats.get("speedup_vs_serial", 1.0)
         print(
-            f"{stats['label']:<10} {stats['elapsed_seconds']:8.2f}s "
+            f"{stats['label']:<18} {stats['elapsed_seconds']:8.2f}s "
             f"{stats['trials_per_sec']:10.1f} {speedup:8.2f}x"
         )
+    warm = runs[-1]
+    print(
+        f"warm cache vs no cache (jobs=4): "
+        f"{warm['speedup_vs_no_cache']:.2f}x "
+        f"(capture {warm['golden_cache'].get('golden_capture_seconds', 0.0):.2f}s, "
+        f"load {warm['golden_cache'].get('golden_load_seconds', 0.0):.2f}s)"
+    )
     print(f"summary written to {OUTPUT}")
 
     # Sanity floor, not a strict scaling claim: pooled runs must at least

@@ -10,6 +10,7 @@ evaluation artifacts::
     repro-xentry campaign [--injections N] # Figs. 8-10 + Table II
     repro-xentry campaign --scenario examples/mixed.yaml   # fault-model mix
     repro-xentry campaign --jobs 4 --journal run.jsonl [--resume]
+    repro-xentry campaign --artifacts cache/       # golden artifact cache
     repro-xentry campaign --jobs 4 --retries 3 --shard-timeout 600 \
                           --chaos crash=0.2,seed=1   # engine self-test
     repro-xentry overhead                  # Fig. 7 fault-free overhead
@@ -43,6 +44,7 @@ from repro.analysis import (
     summarize_recovery,
     undetected_breakdown,
 )
+from repro.artifacts import runtime as artifacts_runtime
 from repro.engine import (
     CampaignEngine,
     EngineTelemetry,
@@ -206,12 +208,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     # campaign phase alone (under --no-translate it must read 0% translated).
     pre_campaign = CACHE.stats()
     pre_lockstep = lockstep.stats()
+    pre_artifacts = artifacts_runtime.stats()
     config = CampaignConfig(
         n_injections=args.injections, seed=args.seed, trace=args.trace,
         translate=not args.no_translate,
         twin_batch=not args.no_twin_batch,
         recover=args.recover,
         recovery_hazard=args.recovery_hazard,
+        artifacts=args.artifacts,
+        golden_cache=not args.no_golden_cache,
     )
     if scenario is not None:
         config = scenario.apply(config)
@@ -237,6 +242,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             chaos=parse_chaos_spec(args.chaos) if args.chaos else None,
         )
         result = engine.run(resume=args.resume)
+        astats = dict(telemetry.artifact_stats)
         if args.journal:
             print(f"journal at {args.journal} "
                   f"(manifest: {args.journal}.manifest.json)")
@@ -248,8 +254,22 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             sys.stdout.flush()
 
         result = campaign.run(progress=progress)
+        post_artifacts = artifacts_runtime.stats()
+        astats = {
+            k: post_artifacts[k] - pre_artifacts[k]
+            for k in post_artifacts
+            if post_artifacts[k] != pre_artifacts[k]
+        }
     print(f"\n{len(result)} injections, {len(result.manifested)} manifested "
           f"({time.time() - t0:.0f}s)")
+    capture = astats.get("golden_capture_seconds", 0.0)
+    load = astats.get("golden_load_seconds", 0.0)
+    hits = int(astats.get("golden_hits", 0))
+    consulted = hits + int(astats.get("golden_misses", 0))
+    if capture or load or consulted:
+        cache_note = f", cache {hits}/{consulted} hits" if consulted else ""
+        print(f"golden capture: {capture:.2f}s capturing live, "
+              f"{load:.2f}s loading cached artifacts{cache_note}")
     tstats = {
         k: v - pre_campaign[k]
         for k, v in CACHE.stats().items()
@@ -471,6 +491,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable lock-step twin batching and execute every "
                         "injection per-trial (slower; records are "
                         "bit-identical either way)")
+    p.add_argument("--artifacts", metavar="DIR",
+                   help="content-addressed golden artifact cache: load cached "
+                        "golden runs from DIR instead of re-executing them, "
+                        "save newly captured ones there (records are "
+                        "bit-identical cold, warm, shared or disabled)")
+    p.add_argument("--no-golden-cache", action="store_true",
+                   help="disable the golden artifact cache even when "
+                        "--artifacts is set (always capture goldens live)")
     p.add_argument("--recover", choices=("reexecute", "microreboot", "ladder"),
                    default=None, metavar="POLICY",
                    help="run every detected trial through a recovery policy "

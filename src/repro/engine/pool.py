@@ -18,6 +18,10 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.artifacts import runtime as artifacts_runtime
+from repro.artifacts import shm as artifacts_shm
+from repro.artifacts.runtime import golden_source_for
+from repro.artifacts.store import GoldenStore, golden_digest
 from repro.engine.chaos import ChaosPolicy, ChaosTripwire
 from repro.engine.journal import TrialJournal, read_state
 from repro.engine.planner import CampaignPlan, ShardPlan, plan_campaign
@@ -46,7 +50,7 @@ from repro.hypervisor.xen import Activation, XenHypervisor
 from repro.machine import lockstep
 from repro.machine.translator import CACHE, COMPILE_THRESHOLD
 
-__all__ = ["CampaignEngine", "execute_shard", "warm_worker"]
+__all__ = ["CampaignEngine", "execute_shard", "store_fully_warm", "warm_worker"]
 
 
 def warm_worker(config: CampaignConfig) -> None:
@@ -82,6 +86,35 @@ def warm_worker(config: CampaignConfig) -> None:
     CACHE.mark_prewarmed(since=compiled_before)
 
 
+def store_fully_warm(config: CampaignConfig, pending: list[ShardPlan]) -> bool:
+    """True when every golden group of ``pending`` is already cached on disk.
+
+    Decides whether worker pre-warm (:func:`warm_worker`) still pays for
+    itself: the initializer exists to amortize first-*capture* translation
+    latency, and a fully-warm store has no captures left to amortize — twin
+    replays warm each worker's translation cache organically, off the
+    critical path.  The check is one ``stat`` per group, so it costs
+    microseconds against the half-second-per-worker initializer it can
+    retire.  Deliberately conservative the other way: one missing artifact
+    keeps the pre-warm (the capture path is about to run), and a present-
+    but-corrupt artifact merely means an unwarmed live capture — slower,
+    never different (records are invariant under translation warmth).
+    """
+    if (
+        not config.artifacts
+        or not getattr(config, "golden_cache", True)
+        or config.trace
+    ):
+        return False
+    store = GoldenStore(config.artifacts)
+    return all(
+        store.contains(golden_digest(config, s.benchmark, group))
+        for shard in pending
+        for s in shard.slices
+        for group in range(s.group_start, s.group_stop)
+    )
+
+
 def execute_shard(
     config: CampaignConfig,
     shard: ShardPlan,
@@ -90,21 +123,42 @@ def execute_shard(
     chaos: ChaosPolicy | None = None,
     attempt: int = 0,
     allow_hard: bool = True,
-) -> list[tuple[int, TrialRecord]]:
-    """Run every slice of ``shard`` and return ``(global trial index, record)``.
+    segment: str | None = None,
+) -> tuple[list[tuple[int, TrialRecord]], dict[str, int | float]]:
+    """Run every slice of ``shard``; return its records plus cache stats.
 
     Module-level so a process pool can pickle it; workers rebuild their own
     hypervisor from the config (bit-identical to the serial campaign's, which
     resets to post-boot state before each benchmark anyway).  ``chaos`` and
     ``attempt`` arm the deterministic chaos tripwire for this execution —
     the tripwire only observes record counts, never the records themselves.
+
+    ``segment`` names a shared-memory segment the parent pre-published with
+    this shard's golden artifacts; the worker maps it instead of re-reading
+    the store (and instead of re-executing goldens).  The returned trials
+    come paired with this execution's delta of the process-wide artifact
+    counters (:func:`repro.artifacts.runtime.stats`), so the supervisor can
+    fold worker-side cache telemetry into the run manifest.
     """
     tripwire = None
     if chaos is not None:
         plan = chaos.plan(shard.index, attempt, allow_hard=allow_hard)
         if not plan.quiet:
             tripwire = ChaosTripwire(plan)
-            tripwire.step()  # faults positioned "before the first trial"
+    golden_source = golden_source_for(config, segment=segment)
+    stats_before = artifacts_runtime.stats()
+    if tripwire is not None and golden_source is not None:
+        def _lose_segment() -> None:
+            # The chaos ``shm_lost`` effect: the worker's shared segment
+            # vanishes mid-shard and its artifact source refuses further
+            # loads, so every remaining group falls back to live capture.
+            artifacts_runtime.STATS["shm_lost"] += 1
+            if segment is not None:
+                artifacts_shm.unlink_segment(segment)
+            golden_source.poison()
+        tripwire.arm_shm(_lose_segment)
+    if tripwire is not None:
+        tripwire.step()  # faults positioned "before the first trial"
     hv = XenHypervisor(
         n_domains=config.n_domains, seed=config.seed,
         light_trace=not config.trace, translate=config.translate,
@@ -115,9 +169,66 @@ def execute_shard(
             config, s.benchmark, s.group_start, s.group_stop,
             hv=hv, detector=detector,
             on_record=tripwire.step if tripwire is not None else None,
+            golden_source=golden_source,
         )
         out.extend(enumerate(records, start=s.trial_start))
-    return out
+    stats_after = artifacts_runtime.stats()
+    delta = {
+        key: stats_after[key] - stats_before[key]
+        for key in stats_after
+        if stats_after[key] != stats_before[key]
+    }
+    return out, delta
+
+
+class _ShardSegments:
+    """Parent-side zero-copy distribution of cached golden artifacts.
+
+    For each shard about to be submitted, :meth:`acquire` reads the shard's
+    cached golden artifacts from the on-disk store (raw bytes, unverified —
+    workers checksum at decode) and publishes them as one shared-memory
+    segment; pool workers map that segment read-only instead of re-reading
+    the store once per worker, or worse, re-executing the goldens.  The
+    supervisor calls :meth:`release` when the shard reaches a terminal state
+    (merged or quarantined), and the engine's :meth:`close` backstops any
+    segment still live when the run unwinds, so ``/dev/shm`` is clean on
+    every exit path.
+    """
+
+    def __init__(self, config: CampaignConfig) -> None:
+        self._config = config
+        self._store = GoldenStore(config.artifacts)
+        self._publisher = artifacts_shm.SegmentPublisher()
+
+    def acquire(self, shard: ShardPlan) -> str | None:
+        """Publish ``shard``'s cached goldens; return the segment name.
+
+        Returns ``None`` — the worker falls back to store reads and live
+        capture — when nothing is cached yet (a cold first run) or shared
+        memory is unavailable.  Idempotent per shard: a retried attempt
+        reuses the segment already published for it.
+        """
+        blobs: dict[str, bytes] = {}
+        for s in shard.slices:
+            for group in range(s.group_start, s.group_stop):
+                digest = golden_digest(self._config, s.benchmark, group)
+                raw = self._store.load_bytes(digest)
+                if raw is not None:
+                    blobs[digest] = raw
+        return self._publisher.prepare(shard.index, blobs)
+
+    def release(self, shard_index: int) -> None:
+        """Unlink the shard's segment (terminal states only)."""
+        self._publisher.finished(shard_index)
+
+    def close(self) -> None:
+        """Unlink every remaining segment (run teardown backstop)."""
+        self._publisher.close_all()
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Parent-side publication counters (segments created, bytes)."""
+        return dict(self._publisher.stats)
 
 
 class CampaignEngine:
@@ -208,6 +319,7 @@ class CampaignEngine:
             dict(journal.state.completed) if journal is not None else {}
         )
         failures: dict[int, ShardFailure] = {}
+        segments: _ShardSegments | None = None
         try:
             pending = [s for s in plan.shards if s.index not in done]
             self.telemetry.emit(
@@ -225,10 +337,26 @@ class CampaignEngine:
                         shard=index, n_trials=len(trials), elapsed=0.0, resumed=True
                     )
                 )
-            if self.jobs == 1 and pending:
+            # A fully-warm artifact store retires the translation pre-warm:
+            # nothing will be captured, so there is no first-capture latency
+            # for the initializer to hide (see store_fully_warm).
+            fully_warm = store_fully_warm(self.config, pending)
+            if fully_warm:
+                self.telemetry.record_artifact_stats(
+                    {"translation_prewarm_skipped": 1}
+                )
+            if self.jobs == 1 and pending and not fully_warm:
                 # Inline runs execute shards in this process: warm it the
                 # same way a pool worker would be.
                 warm_worker(self.config)
+            if (
+                self.jobs > 1
+                and pending
+                and self.config.artifacts
+                and getattr(self.config, "golden_cache", True)
+                and not self.config.trace
+            ):
+                segments = _ShardSegments(self.config)
             supervisor = ShardSupervisor(
                 self.config,
                 execute=execute_shard,
@@ -239,7 +367,8 @@ class CampaignEngine:
                 chaos=self.chaos,
                 telemetry=self.telemetry,
                 journal=journal,
-                warm=warm_worker,
+                warm=None if fully_warm else warm_worker,
+                segments=segments,
             )
             failures = supervisor.run(pending, done)
             # Translation-cache/lock-step telemetry is per-process state;
@@ -249,6 +378,12 @@ class CampaignEngine:
                 {**CACHE.stats(), **lockstep.stats()}
             )
         finally:
+            # Segment teardown first: /dev/shm must be clean on every exit
+            # path, and the publication counters have to land before the
+            # manifest snapshot below.
+            if segments is not None:
+                self.telemetry.record_artifact_stats(segments.stats)
+                segments.close()
             # The manifest snapshot must survive any failure mode — it is
             # written first so a failing journal close cannot cost it, and
             # best-effort so an unwritable manifest cannot mask the real

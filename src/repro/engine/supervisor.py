@@ -228,6 +228,7 @@ class ShardSupervisor:
         telemetry: EngineTelemetry | None = None,
         journal: TrialJournal | None = None,
         warm: Callable | None = None,
+        segments=None,
     ) -> None:
         if shard_timeout is not None and shard_timeout <= 0:
             raise CampaignConfigError("shard_timeout must be positive")
@@ -245,6 +246,14 @@ class ShardSupervisor:
         #: runs there.  Injected like ``execute`` to stay pickle-friendly
         #: and import-cycle-free.
         self.warm = warm
+        #: Optional shared-memory golden-segment provider (the engine's
+        #: ``_ShardSegments``): ``acquire(shard)`` publishes the shard's
+        #: cached golden artifacts and returns the segment name (or ``None``),
+        #: ``release(index)`` unlinks it once the shard reaches a terminal
+        #: state (merged or quarantined).  Retried attempts reuse the live
+        #: segment — ``acquire`` is idempotent per shard — so a crash-retry
+        #: cycle never republishes or leaks.
+        self.segments = segments
         self._state = _SupervisedState()
 
     def _make_pool(self, max_workers: int) -> ProcessPoolExecutor:
@@ -288,10 +297,10 @@ class ShardSupervisor:
             while True:
                 t0 = time.monotonic()
                 try:
-                    trials = self.execute(
+                    trials = self._normalize(self.execute(
                         self.config, shard, self.detector,
                         chaos=self.chaos, attempt=attempt, allow_hard=False,
-                    )
+                    ))
                 except Exception as exc:  # noqa: BLE001 — every worker fault funnels here
                     delay = self._attempt_failed(
                         shard, attempt, "exception",
@@ -353,10 +362,13 @@ class ShardSupervisor:
                     ShardStarted(shard=run.shard.index, n_trials=run.shard.n_trials)
                 )
             run.started = time.monotonic()
+            kwargs: dict = {"chaos": self.chaos, "attempt": run.attempt}
+            if self.segments is not None:
+                kwargs["segment"] = self.segments.acquire(run.shard)
             try:
                 future = pool.submit(
                     self.execute, self.config, run.shard, self.detector,
-                    chaos=self.chaos, attempt=run.attempt,
+                    **kwargs,
                 )
             except BrokenProcessPool:
                 # The pool died between batches.  This run never started, so
@@ -392,7 +404,7 @@ class ShardSupervisor:
         for future in finished:
             run = inflight.pop(future)
             try:
-                completed.append((run, future.result()))
+                completed.append((run, self._normalize(future.result())))
             except BrokenProcessPool:
                 broken.append(run)
             except Exception as exc:  # noqa: BLE001 — worker failure, retried
@@ -481,6 +493,24 @@ class ShardSupervisor:
 
     # -- shared failure/finish plumbing ---------------------------------------
 
+    def _normalize(self, result):
+        """Unpack a shard result that carries an artifact-stats sidecar.
+
+        ``execute_shard`` returns ``(trials, stats_delta)`` so worker-side
+        golden-cache counters survive the process boundary; older executors
+        (and the training-sample path) return a bare trial list.  Either way
+        the caller gets just the trials.
+        """
+        if (
+            isinstance(result, tuple)
+            and len(result) == 2
+            and isinstance(result[1], dict)
+        ):
+            trials, stats = result
+            self.telemetry.record_artifact_stats(stats)
+            return trials
+        return result
+
     def _requeue_failed(self, run: _Run, kind: str, error: str, queue) -> None:
         delay = self._attempt_failed(run.shard, run.attempt, kind, error)
         if delay is not None:
@@ -520,6 +550,8 @@ class ShardSupervisor:
     def _quarantine(self, shard: ShardPlan, log: list[AttemptFailure]) -> None:
         failure = ShardFailure(shard=shard.index, attempts=tuple(log))
         self._state.failures[shard.index] = failure
+        if self.segments is not None:
+            self.segments.release(shard.index)
         last = failure.last
         self.telemetry.emit(
             ShardQuarantined(
@@ -542,6 +574,8 @@ class ShardSupervisor:
         if self.journal is not None:
             self._journal_append(shard, trials)
         done[shard.index] = trials
+        if self.segments is not None:
+            self.segments.release(shard.index)
         self.telemetry.record_outcomes(r for _, r in trials)
         self.telemetry.emit(
             ShardFinished(shard=shard.index, n_trials=len(trials), elapsed=elapsed)

@@ -200,6 +200,11 @@ class EngineTelemetry:
         #: Simulated-machine execution telemetry (translation-cache hit rate,
         #: translated/interpreted instruction mix); see record_machine_stats.
         self.machine_stats: dict[str, int | float] = {}
+        #: Golden artifact-cache counters (hits, misses, corrupt artifacts,
+        #: bytes moved, capture-vs-load seconds); see record_artifact_stats.
+        #: Unlike machine stats these are shipped per shard as worker-side
+        #: deltas, so pool runs are covered completely.
+        self.artifact_stats: dict[str, int | float] = {}
 
     # -- event plumbing ------------------------------------------------------
 
@@ -271,6 +276,29 @@ class EngineTelemetry:
             else:
                 self.machine_stats[key] += value
 
+    def record_artifact_stats(self, stats: dict[str, int | float]) -> None:
+        """Fold one golden artifact-cache stats delta into the run totals.
+
+        Every value is a summable counter (counts, bytes, seconds): workers
+        snapshot :data:`repro.artifacts.runtime.STATS` around each shard and
+        ship the difference, and the engine adds the parent-side segment
+        publication counters, so per-shard deltas sum to exact run totals in
+        both serial and pool modes.
+        """
+        for key, value in stats.items():
+            if value:
+                self.artifact_stats[key] = self.artifact_stats.get(key, 0) + value
+
+    def golden_cache_summary(self) -> dict:
+        """Artifact-cache rollup: raw counters plus the derived hit rate."""
+        hits = self.artifact_stats.get("golden_hits", 0)
+        misses = self.artifact_stats.get("golden_misses", 0)
+        consulted = hits + misses
+        return {
+            **self.artifact_stats,
+            "hit_rate": (hits / consulted) if consulted else None,
+        }
+
     # -- derived views -------------------------------------------------------
 
     @property
@@ -341,6 +369,7 @@ class EngineTelemetry:
                 ],
             },
             "machine": dict(self.machine_stats),
+            "golden_cache": self.golden_cache_summary(),
             "shards": [
                 {
                     "shard": s.shard,

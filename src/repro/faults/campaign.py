@@ -11,6 +11,7 @@ can scale up.
 from __future__ import annotations
 
 import dataclasses
+import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
@@ -18,9 +19,11 @@ from typing import TYPE_CHECKING
 from repro import rng as rng_mod
 from repro.errors import CampaignConfigError
 from repro.faults.injector import (
+    PLAN_UNSET,
     TransitionDetector,
     run_spec_trial,
     run_twin_batch,
+    trace_plan,
 )
 from repro.faults.model import FaultModel
 from repro.faults.outcomes import TrialRecord
@@ -100,6 +103,16 @@ class CampaignConfig:
     #: single-bit scenarios never reach here: ``Scenario.apply`` normalizes
     #: them onto ``fault_model`` so they take the legacy path byte-for-byte.
     scenario: "Scenario | None" = None
+    #: Root directory of the content-addressed golden artifact store
+    #: (:mod:`repro.artifacts`).  Golden groups found there are loaded
+    #: instead of captured live, and live captures are published back for
+    #: the next run.  Excluded from the config digest: records are
+    #: byte-identical with the cache cold, warm, shared, or disabled.
+    artifacts: str | None = None
+    #: Master switch for the golden artifact cache (``--no-golden-cache``
+    #: forces live capture even with ``artifacts`` set).  Excluded from the
+    #: config digest for the same reason as ``artifacts``.
+    golden_cache: bool = True
 
     def __post_init__(self) -> None:
         if not self.benchmarks:
@@ -204,6 +217,7 @@ def run_benchmark_groups(
     hv: XenHypervisor | None = None,
     detector: TransitionDetector | None = None,
     on_record: Callable[[TrialRecord], None] | None = None,
+    golden_source=None,
 ) -> list[TrialRecord]:
     """Execute golden groups ``[group_start, group_stop)`` of one benchmark.
 
@@ -213,13 +227,31 @@ def run_benchmark_groups(
     ``(seed, benchmark, mode, group)``, so any contiguous slice reproduces
     exactly the trials the serial run would produce for those groups —
     merged shards are bit-identical to a serial run of the same root seed.
+
+    ``golden_source`` is the artifact cache's capture-or-load policy
+    (:class:`repro.artifacts.runtime.GoldenSource`); by default it is derived
+    from the config (engine workers pass one carrying their shard's
+    shared-memory segment).  A cached group skips golden capture — and the
+    full-trace TwinPlan replay — entirely; the warmup burst always runs live
+    because it ages the machine the *trials* then perturb.  Records are
+    byte-identical either way: golden products are a pure function of the
+    digest the store keys them by, and every trial restores captured state
+    before executing.
     """
+    # Lazy import: repro.artifacts.store imports this module for the config
+    # and geometry types.
+    from repro.artifacts.codec import PLAN_ABSENT, PLAN_NONE, PLAN_PRESENT
+    from repro.artifacts.runtime import STATS as artifact_stats
+    from repro.artifacts.runtime import golden_source_for
+
     geo = benchmark_geometry(config)
     if not 0 <= group_start <= group_stop <= geo.n_goldens:
         raise CampaignConfigError(
             f"group range [{group_start}, {group_stop}) outside "
             f"[0, {geo.n_goldens}] for benchmark {benchmark!r}"
         )
+    if golden_source is None:
+        golden_source = golden_source_for(config)
     if hv is None:
         hv = XenHypervisor(
             n_domains=config.n_domains, seed=config.seed,
@@ -275,10 +307,40 @@ def run_benchmark_groups(
             break
         activation = stream[g * geo.stride]
         followups = tuple(stream[g * geo.stride + 1 : (g + 1) * geo.stride])
-        hv.restore(aged_state)
-        golden = capture_golden(
-            hv, activation, followups, ladder_interval=config.ladder_interval
+        plan = PLAN_UNSET
+        payload = (
+            golden_source.acquire(benchmark, g, registry=hv.registry)
+            if golden_source is not None
+            else None
         )
+        if payload is not None:
+            # Served from the artifact cache: no golden execution, no trace
+            # replay.  ``plan`` may legitimately be None (the live capture's
+            # replay refused to line up) — the twins then peel, exactly as
+            # they would have live.
+            golden = payload.golden
+            if config.twin_batch:
+                plan = payload.plan_state[1]
+        else:
+            hv.restore(aged_state)
+            started = time.perf_counter()
+            golden = capture_golden(
+                hv, activation, followups, ladder_interval=config.ladder_interval
+            )
+            if golden_source is not None and config.twin_batch:
+                # Pull the TwinPlan lowering forward (run_twin_batch would
+                # compute the identical plan from the identical state) so it
+                # can be published alongside the golden products.
+                plan = trace_plan(hv, activation, golden)
+            artifact_stats["golden_capture_seconds"] += time.perf_counter() - started
+            if golden_source is not None:
+                if not config.twin_batch:
+                    plan_state = (PLAN_ABSENT, None)
+                elif plan is not None:
+                    plan_state = (PLAN_PRESENT, plan)
+                else:
+                    plan_state = (PLAN_NONE, None)
+                golden_source.offer(benchmark, g, golden, plan_state)
         if executor is not None:
             executor.begin_group(g, activation, golden)
         if config.scenario is None:
@@ -314,6 +376,7 @@ def run_benchmark_groups(
                 followups=followups,
                 on_record=on_record,
                 recover=recover_hook,
+                plan=plan,
             )
             records.extend(group_records)
         else:

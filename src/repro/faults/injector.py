@@ -40,13 +40,20 @@ from repro.machine import lockstep
 from repro.machine.exceptions import AssertionViolation, HardwareException, classify_exception
 
 __all__ = [
+    "PLAN_UNSET",
     "TransitionDetector",
     "run_trial",
     "run_burst_trial",
     "run_memory_trial",
     "run_spec_trial",
     "run_twin_batch",
+    "trace_plan",
 ]
+
+#: Sentinel for :func:`run_twin_batch`'s ``plan`` parameter: "compute the
+#: TwinPlan yourself".  Distinct from ``None``, which is a *known* answer —
+#: the trace replay refused to classify and every twin must peel.
+PLAN_UNSET = object()
 
 
 class TransitionDetector(Protocol):
@@ -167,13 +174,18 @@ def _bump_lockstep(hv: XenHypervisor, key: str, n: int = 1) -> None:
     lockstep.STATS[key] += n
 
 
-def _trace_plan(hv: XenHypervisor, activation: Activation, golden: GoldenRun):
+def trace_plan(hv: XenHypervisor, activation: Activation, golden: GoldenRun):
     """Replay the golden activation once in full-trace mode and lower the
     address stream into a :class:`~repro.machine.lockstep.TwinPlan`.
 
     Returns ``None`` when the replay does not line up with the captured
     golden run (the scan refuses to classify against a mismatched trace;
     every twin then peels into the per-trial oracle path).
+
+    Public because the campaign pulls this lowering forward when an artifact
+    cache is armed: the plan (or the ``None`` refusal — equally cacheable)
+    is published with the golden products, and a warm run hands it straight
+    to :func:`run_twin_batch` instead of replaying.
     """
     core = hv.cpu
     tracer = core.tracer
@@ -231,6 +243,7 @@ def run_twin_batch(
     followups: tuple[Activation, ...] = (),
     on_record=None,
     recover=None,
+    plan=PLAN_UNSET,
 ) -> list[TrialRecord]:
     """Execute every faulty twin of one golden group as a lock-step batch.
 
@@ -249,11 +262,18 @@ def run_twin_batch(
     never detected, so the hook is a no-op for them, and every recovery
     attempt restores machine state itself — the following twin's trial is
     unperturbed either way.
+
+    ``plan`` short-circuits the full-trace lowering: a caller holding the
+    group's :class:`~repro.machine.lockstep.TwinPlan` (from the artifact
+    cache, or pre-computed for publication) passes it here — including an
+    explicit ``None`` for a cached trace-mismatch refusal.  Left at
+    :data:`PLAN_UNSET`, the batch replays and lowers the trace itself.
     """
     if golden is None:
         golden = capture_golden(hv, activation, followups)
     faults = list(faults)
-    plan = _trace_plan(hv, activation, golden) if faults else None
+    if plan is PLAN_UNSET:
+        plan = trace_plan(hv, activation, golden) if faults else None
     _bump_lockstep(hv, "twin_batches")
     _bump_lockstep(hv, "twins", len(faults))
     records: list[TrialRecord] = []

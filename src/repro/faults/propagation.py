@@ -41,6 +41,13 @@ class GoldenRun:
     injected activation is detected when later hypervisor executions consume
     it.  The golden continuation is the reference those later executions are
     compared against.
+
+    A ``GoldenRun`` is pure reference data — trials read it, nothing mutates
+    it — which is what makes it cacheable: :mod:`repro.artifacts` persists
+    whole golden groups content-addressed and rebuilds them bit-equal, with
+    ``heap_image`` and page payloads rehydrated as memoryviews over the
+    artifact (or shared-memory) buffer.  Every consumer must therefore treat
+    ``bytes`` fields as read-only buffers, never assume the concrete type.
     """
 
     result: ActivationResult

@@ -11,6 +11,12 @@ system, and each gets a stable on-disk format:
 * **campaign records** (JSON lines) — one fault-injection trial per line, so
   multi-hour campaigns can be analyzed incrementally and merged;
 * **datasets** (``.npz``) — labeled feature matrices for re-training.
+
+A fifth kind, the **golden artifact** (:mod:`repro.artifacts`), is binary
+(checkpoint pages and numpy columns dominate it), but its structured rim —
+activations, activation results, core checkpoints — round-trips through the
+JSON codecs below, so the artifact header stays greppable and the binary
+layer stays a pure blob index.
 """
 
 from __future__ import annotations
@@ -50,6 +56,12 @@ __all__ = [
     "iter_records_jsonl",
     "save_dataset",
     "load_dataset",
+    "activation_to_dict",
+    "activation_from_dict",
+    "activation_result_to_dict",
+    "activation_result_from_dict",
+    "core_checkpoint_to_dict",
+    "core_checkpoint_from_dict",
 ]
 
 _RULES_FORMAT = "xentry-rules-v1"
@@ -341,6 +353,104 @@ def iter_records_jsonl(path: str | Path) -> Iterator[TrialRecord]:
         for line in fh:
             if line.strip():
                 yield _record_from_dict(json.loads(line))
+
+
+# -- golden-artifact structural codecs ----------------------------------------
+#
+# The JSON-able rim of a golden artifact (repro.artifacts.codec): everything
+# except page contents and numpy columns.  Kept here with the other on-disk
+# formats so one module owns every serialization contract.  Imports are local
+# to the functions — persist is imported by training code that must not pull
+# the machine simulator in.
+
+
+def activation_to_dict(activation) -> dict:
+    """Serialize an :class:`~repro.hypervisor.xen.Activation`."""
+    return {
+        "vmer": activation.vmer,
+        "args": list(activation.args),
+        "domain_id": activation.domain_id,
+        "vcpu_id": activation.vcpu_id,
+        "seq": activation.seq,
+    }
+
+
+def activation_from_dict(data: dict):
+    """Rebuild an activation serialized by :func:`activation_to_dict`."""
+    from repro.hypervisor.xen import Activation
+
+    return Activation(
+        vmer=data["vmer"],
+        args=tuple(data["args"]),
+        domain_id=data["domain_id"],
+        vcpu_id=data["vcpu_id"],
+        seq=data["seq"],
+    )
+
+
+def activation_result_to_dict(result) -> dict:
+    """Serialize an :class:`~repro.hypervisor.xen.ActivationResult`.
+
+    The exit reason is stored by VMER (rebuilt from the registry) and the
+    exit op by name, so the payload is plain JSON scalars throughout.
+    """
+    return {
+        "activation": activation_to_dict(result.activation),
+        "vmer": result.reason.vmer,
+        "exit_op": result.exit_op.name,
+        "instructions": result.instructions,
+        "path_hash": result.path_hash,
+        "sample": list(result.sample.as_tuple()),
+        "tsc_end": result.tsc_end,
+    }
+
+
+def activation_result_from_dict(data: dict, *, registry):
+    """Rebuild a result serialized by :func:`activation_result_to_dict`."""
+    from repro.hypervisor.xen import ActivationResult
+    from repro.machine.isa import Op
+    from repro.machine.perfcounters import CounterSample
+
+    return ActivationResult(
+        activation=activation_from_dict(data["activation"]),
+        reason=registry.by_vmer(data["vmer"]),
+        exit_op=Op[data["exit_op"]],
+        instructions=data["instructions"],
+        path_hash=data["path_hash"],
+        sample=CounterSample(*data["sample"]),
+        tsc_end=data["tsc_end"],
+    )
+
+
+def core_checkpoint_to_dict(core) -> dict:
+    """Serialize a :class:`~repro.machine.cpu.CoreCheckpoint` (all scalars;
+    the tracer's address list is empty under the campaign's light tracer)."""
+    count, path_hash, addresses = core.tracer
+    return {
+        "index": core.index,
+        "regs": list(core.regs),
+        "pmu": list(core.pmu),
+        "tracer": [count, path_hash, list(addresses)],
+        "tsc": core.tsc,
+        "assert_checks": core.assert_checks,
+    }
+
+
+def core_checkpoint_from_dict(data: dict):
+    """Rebuild a core checkpoint serialized by :func:`core_checkpoint_to_dict`."""
+    from repro.machine.cpu import CoreCheckpoint
+
+    count, path_hash, addresses = data["tracer"]
+    return CoreCheckpoint(
+        index=data["index"],
+        regs=tuple(data["regs"]),
+        # The PMU snapshot nests one tuple (the collection-window base);
+        # JSON round-trips it as a list, so re-tuple recursively.
+        pmu=tuple(tuple(x) if isinstance(x, list) else x for x in data["pmu"]),
+        tracer=(count, path_hash, tuple(addresses)),
+        tsc=data["tsc"],
+        assert_checks=data["assert_checks"],
+    )
 
 
 # -- datasets ----------------------------------------------------------------------

@@ -1,0 +1,172 @@
+"""GoldenSource policy + the campaign-level bit-identity contract.
+
+The standing contract of the whole subsystem, asserted here end to end on a
+real (small) campaign: trial records are byte-identical with the cache cold,
+warm, corrupted, unwritable, or disabled.  Corruption surfaces only as an
+``artifact_corrupt`` count in the ledger — never an exception, never a
+changed record.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.artifacts import runtime
+from repro.artifacts.codec import MAGIC
+from repro.artifacts.runtime import GoldenSource, golden_source_for
+from repro.artifacts.store import GoldenStore
+from repro.faults import CampaignConfig, FaultInjectionCampaign
+
+CONFIG = CampaignConfig(
+    n_injections=24, seed=7, benchmarks=("mcf", "postmark"), ladder_interval=16
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_ledger():
+    runtime.reset_stats()
+    yield
+    runtime.reset_stats()
+
+
+def run_campaign(config):
+    return FaultInjectionCampaign(config).run()
+
+
+def cached(tmp_path):
+    return dataclasses.replace(CONFIG, artifacts=str(tmp_path / "cache"))
+
+
+def artifact_files(tmp_path):
+    return sorted((tmp_path / "cache").rglob("*.art"))
+
+
+class TestSourcePolicy:
+    def test_no_store_no_segment_is_no_source(self):
+        assert golden_source_for(CONFIG) is None
+
+    def test_cache_disabled_is_no_source(self, tmp_path):
+        config = dataclasses.replace(cached(tmp_path), golden_cache=False)
+        assert golden_source_for(config) is None
+
+    def test_trace_campaigns_never_cache(self, tmp_path):
+        config = dataclasses.replace(cached(tmp_path), trace=True)
+        assert golden_source_for(config) is None
+
+    def test_store_only_and_segment_only_sources(self, tmp_path):
+        source = golden_source_for(cached(tmp_path))
+        assert isinstance(source, GoldenSource)
+        assert source.store is not None and source.segment is None
+        source = golden_source_for(CONFIG, segment="xgold-nope")
+        assert isinstance(source, GoldenSource)
+        assert source.store is None and source.segment == "xgold-nope"
+
+    def test_poisoned_source_neither_serves_nor_saves(self, tmp_path):
+        source = golden_source_for(cached(tmp_path))
+        source.poison()
+        assert source.acquire("mcf", 0, registry=None) is None
+        source.offer("mcf", 0, None, None)  # must not touch the store
+        assert artifact_files(tmp_path) == []
+        # A poisoned source was never consulted: no hit, no miss.
+        assert runtime.STATS["golden_hits"] == 0
+        assert runtime.STATS["golden_misses"] == 0
+
+    def test_vanished_segment_falls_back_silently(self):
+        source = golden_source_for(CONFIG, segment="xgold-000000000000")
+        assert source.acquire("mcf", 0, registry=None) is None
+        assert runtime.STATS["golden_misses"] == 1
+
+
+class TestCampaignBitIdentity:
+    def test_cold_then_warm_matches_uncached(self, tmp_path):
+        baseline = run_campaign(CONFIG)
+
+        cold = run_campaign(cached(tmp_path))
+        assert cold.records == baseline.records
+        after_cold = runtime.stats()
+        assert after_cold["golden_misses"] > 0
+        assert after_cold["golden_hits"] == 0
+        assert after_cold["artifact_bytes_written"] > 0
+        assert artifact_files(tmp_path)
+
+        warm = run_campaign(cached(tmp_path))
+        assert warm.records == baseline.records
+        delta_hits = runtime.stats()["golden_hits"] - after_cold["golden_hits"]
+        delta_misses = runtime.stats()["golden_misses"] - after_cold["golden_misses"]
+        assert delta_misses == 0, "warm run must execute zero golden captures"
+        assert delta_hits == after_cold["golden_misses"]
+        assert runtime.stats()["golden_load_seconds"] > 0.0
+
+    @pytest.mark.parametrize("damage", ["truncate", "garbage", "version"])
+    def test_corrupt_artifacts_fall_back_to_live_capture(self, tmp_path, damage):
+        baseline = run_campaign(CONFIG)
+        run_campaign(cached(tmp_path))  # warm the store
+
+        files = artifact_files(tmp_path)
+        assert files
+        for path in files:
+            blob = path.read_bytes()
+            if damage == "truncate":
+                path.write_bytes(blob[: len(blob) // 3])
+            elif damage == "garbage":
+                path.write_bytes(b"\xde\xad" * 256)
+            else:
+                bumped = bytes([MAGIC[-1] + 1])
+                path.write_bytes(MAGIC[:-1] + bumped + blob[len(MAGIC):])
+
+        runtime.reset_stats()
+        rerun = run_campaign(cached(tmp_path))
+        assert rerun.records == baseline.records
+        stats = runtime.stats()
+        assert stats["artifact_corrupt"] == len(files)
+        assert stats["golden_hits"] == 0
+        assert stats["golden_misses"] == len(files)
+        # The rerun re-published good artifacts over the corpses...
+        assert stats["artifact_bytes_written"] > 0
+        runtime.reset_stats()
+        final = run_campaign(cached(tmp_path))
+        # ...so the next run is warm again.
+        assert final.records == baseline.records
+        assert runtime.stats()["golden_misses"] == 0
+
+    def test_unwritable_store_counts_write_errors(self, tmp_path):
+        baseline = run_campaign(CONFIG)
+        # A plain file where the store root should be (permission bits can't
+        # make a directory unwritable for root, which is how CI runs).
+        root = tmp_path / "cache"
+        root.write_bytes(b"not a directory")
+        runtime.reset_stats()
+        result = run_campaign(dataclasses.replace(CONFIG, artifacts=str(root)))
+        assert result.records == baseline.records
+        stats = runtime.stats()
+        assert stats["artifact_write_errors"] > 0
+        assert stats["artifact_bytes_written"] == 0
+
+    def test_cache_disabled_never_touches_the_ledger(self, tmp_path):
+        config = dataclasses.replace(cached(tmp_path), golden_cache=False)
+        baseline = run_campaign(CONFIG)
+        result = run_campaign(config)
+        assert result.records == baseline.records
+        assert artifact_files(tmp_path) == []
+        stats = runtime.stats()
+        # Capture seconds still accrue (they feed the campaign summary's
+        # capture-vs-load time-share line, cache or no cache); every
+        # cache-specific counter stays untouched.
+        assert stats.pop("golden_capture_seconds") > 0.0
+        assert all(not v for v in stats.values())
+
+
+class TestLedger:
+    def test_reset_preserves_counter_types(self):
+        runtime.STATS["golden_hits"] += 3
+        runtime.STATS["golden_capture_seconds"] += 1.5
+        runtime.reset_stats()
+        assert runtime.STATS["golden_hits"] == 0
+        assert isinstance(runtime.STATS["golden_hits"], int)
+        assert runtime.STATS["golden_capture_seconds"] == 0.0
+        assert isinstance(runtime.STATS["golden_capture_seconds"], float)
+
+    def test_stats_returns_a_snapshot(self):
+        snap = runtime.stats()
+        runtime.STATS["golden_hits"] += 1
+        assert snap["golden_hits"] == 0

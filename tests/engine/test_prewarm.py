@@ -9,10 +9,14 @@ compiles to the manifest's warm share.  These tests pin the accounting
 initializer to every pool it builds.
 """
 
+import dataclasses
+
 import pytest
 
-from repro.engine.pool import CampaignEngine, warm_worker
+from repro.engine.planner import plan_campaign
+from repro.engine.pool import CampaignEngine, store_fully_warm, warm_worker
 from repro.engine.supervisor import ShardSupervisor
+from repro.engine.telemetry import EngineTelemetry
 from repro.faults import CampaignConfig, FaultInjectionCampaign
 from repro.machine.translator import CACHE
 
@@ -105,3 +109,60 @@ class TestSupervisorPlumbing:
         assert len(result) > 0
         stats = fresh_cache.stats()
         assert stats["blocks_prewarmed"] > 0
+
+
+class TestWarmStoreRetiresPrewarm:
+    """A fully-warm artifact store makes the initializer pointless.
+
+    The pre-warm amortizes first-*capture* translation latency; when every
+    pending golden group is already cached there is no capture left to
+    amortize, so the engine drops the initializer (and the inline warm) and
+    notes the decision in the manifest's cache section.
+    """
+
+    CONFIG = CampaignConfig(n_injections=40, seed=9)
+
+    def _warm_store(self, tmp_path):
+        config = dataclasses.replace(self.CONFIG, artifacts=str(tmp_path / "c"))
+        FaultInjectionCampaign(config).run()
+        return config
+
+    def test_store_fully_warm_decision(self, tmp_path):
+        cold = dataclasses.replace(self.CONFIG, artifacts=str(tmp_path / "c"))
+        pending = list(plan_campaign(cold, 4).shards)
+        assert not store_fully_warm(cold, pending)
+
+        warm = self._warm_store(tmp_path)
+        assert store_fully_warm(warm, pending)
+        # One evicted artifact and the pre-warm is back on.
+        victim = next((tmp_path / "c").rglob("*.art"))
+        victim.unlink()
+        assert not store_fully_warm(warm, pending)
+
+    def test_disabled_cache_never_reports_warm(self, tmp_path):
+        warm = self._warm_store(tmp_path)
+        pending = list(plan_campaign(warm, 4).shards)
+        off = dataclasses.replace(warm, golden_cache=False)
+        assert not store_fully_warm(off, pending)
+        traced = dataclasses.replace(warm, trace=True)
+        assert not store_fully_warm(traced, pending)
+        assert not store_fully_warm(self.CONFIG, pending)
+
+    def test_warm_inline_engine_skips_prewarm(self, tmp_path, fresh_cache):
+        baseline = FaultInjectionCampaign(self.CONFIG).run()
+        warm = self._warm_store(tmp_path)
+        telemetry = EngineTelemetry()
+        result = CampaignEngine(warm, jobs=1, telemetry=telemetry).run()
+        assert result.records == baseline.records
+        assert fresh_cache.stats()["blocks_prewarmed"] == 0
+        cache = telemetry.golden_cache_summary()
+        assert cache["translation_prewarm_skipped"] == 1
+        assert cache["hit_rate"] == 1.0
+
+    def test_cold_store_keeps_the_prewarm(self, tmp_path, fresh_cache):
+        config = dataclasses.replace(self.CONFIG, artifacts=str(tmp_path / "c"))
+        telemetry = EngineTelemetry()
+        CampaignEngine(config, jobs=1, telemetry=telemetry).run()
+        assert fresh_cache.stats()["blocks_prewarmed"] > 0
+        cache = telemetry.golden_cache_summary()
+        assert "translation_prewarm_skipped" not in cache

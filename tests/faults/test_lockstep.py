@@ -95,12 +95,12 @@ class TestBuildPlan:
 
     @pytest.fixture(scope="class")
     def plan(self):
-        from repro.faults.injector import _trace_plan
+        from repro.faults.injector import trace_plan
 
         hv = XenHypervisor(seed=23)
         activation = act("apic_timer", 3)
         golden = capture_golden(hv, activation, ladder_interval=16)
-        plan = _trace_plan(hv, activation, golden)
+        plan = trace_plan(hv, activation, golden)
         assert plan is not None
         return plan, golden
 
